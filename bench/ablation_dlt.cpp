@@ -1,0 +1,74 @@
+// Ablation D: the functional performance model versus the Divisible Load
+// Theory baselines the paper cites ([17]-[19]). A star network distributes
+// load from a master; we compare three schedulers on the *same* simulated
+// truth (execution evaluated on the ground-truth speed curves, including
+// paging):
+//   * classic DLT      — constant compute rates measured in-core;
+//   * out-of-core DLT  — Drozdowski/Wolniewicz-style two-rate model with
+//                        the memory knee at each machine's paging onset;
+//   * FPM partitioner  — the paper's functional-model distribution.
+// Expected: classic DLT collapses once shares page; out-of-core DLT
+// recovers most of the gap; the full functional model does best because it
+// tracks the entire curve, not just a two-rate approximation.
+#include <iostream>
+#include <numeric>
+
+#include "common.hpp"
+#include "dlt/dlt.hpp"
+
+int main() {
+  using namespace fpm;
+  auto cluster = sim::make_table2_cluster();
+  const core::SpeedList truth = cluster.ground_truth_list(sim::kMatMul);
+  const double fpe = 100.0;  // flops per element for this workload
+
+  // True execution time of a share on machine i (band centre).
+  const auto true_seconds = [&](std::size_t i, double share) {
+    if (share <= 0.0) return 0.0;
+    return share * fpe / (truth[i]->speed(share) * 1e6);
+  };
+  const auto true_makespan = [&](const std::vector<double>& shares) {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < shares.size(); ++i)
+      worst = std::max(worst, true_seconds(i, shares[i]));
+    return worst;
+  };
+
+  util::Table t("Ablation D - FPM vs Divisible Load Theory baselines",
+                {"load_elements", "t_dlt_classic_s", "t_dlt_outofcore_s",
+                 "t_fpm_s"});
+  for (const double V : {2e8, 5e8, 1e9, 2e9}) {
+    // Classic DLT: constant rates measured at a healthy in-core size.
+    std::vector<dlt::DltWorker> classic;
+    std::vector<dlt::DltWorker> out_of_core;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      const auto& machine = cluster.ground_truth(i, sim::kMatMul);
+      const double onset = machine.paging_onset();
+      const double in_rate = fpe / (machine.speed(onset * 0.5) * 1e6);
+      classic.push_back(
+          {0.0, 0.0, dlt::ComputeTime::constant_rate(in_rate), 1e18});
+      out_of_core.push_back(dlt::worker_from_speed_function(
+          machine, onset, fpe, 0.0, 0.0));
+    }
+    const dlt::DltSchedule s_classic =
+        dlt::schedule_single_round(classic, V);
+    const dlt::DltSchedule s_ooc =
+        dlt::schedule_single_round(out_of_core, V);
+
+    const core::Distribution fpm_dist =
+        core::partition_combined(truth, static_cast<std::int64_t>(V))
+            .distribution;
+    std::vector<double> fpm_shares(fpm_dist.counts.size());
+    for (std::size_t i = 0; i < fpm_shares.size(); ++i)
+      fpm_shares[i] = static_cast<double>(fpm_dist.counts[i]);
+
+    t.add_row({util::fmt(V, 0), util::fmt(true_makespan(s_classic.shares), 1),
+               util::fmt(true_makespan(s_ooc.shares), 1),
+               util::fmt(true_makespan(fpm_shares), 1)});
+  }
+  bench::emit(t);
+  std::cout << "Expected shape: all three agree while everything fits in "
+               "memory; past the paging knees classic DLT degrades sharply, "
+               "two-rate DLT recovers most of it, FPM is best or tied.\n";
+  return 0;
+}

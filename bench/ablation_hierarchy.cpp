@@ -1,0 +1,69 @@
+// Ablation G: hierarchical vs flat partitioning at scale. For the global
+// networks the paper's introduction motivates, partitioning site-by-site
+// (across aggregate speed functions, then within each site) should match
+// the flat optimum while cutting the top-level search size from p to
+// #sites. Sweeps the total processor count with 12-machine sites built
+// from the Table-2 models.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/hierarchy.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace fpm;
+  auto cluster = sim::make_table2_cluster();
+  const bench::BuiltModels built = bench::build_models(cluster, sim::kMatMul);
+
+  // Curve pool: Table-2 models replicated with deterministic speed spread.
+  std::vector<std::shared_ptr<const core::SpeedFunction>> pool;
+  for (std::size_t i = 0; i < 1080; ++i) {
+    auto curve = std::make_shared<core::PiecewiseLinearSpeed>(
+        built.models.curves[i % built.models.curves.size()]);
+    pool.push_back(std::make_shared<core::ScaledSpeed>(
+        curve, 0.9 + 0.2 * static_cast<double>(i % 7) / 6.0));
+  }
+
+  util::Table t(
+      "Ablation G - hierarchical vs flat partitioning (sites of 12)",
+      {"p", "sites", "t_flat_ms", "t_hier_ms", "makespan_ratio"});
+
+  const std::int64_t n = 2'000'000'000;
+  for (const std::size_t p : {60u, 240u, 540u, 1080u}) {
+    core::SpeedList flat;
+    std::vector<core::SpeedList> sites;
+    for (std::size_t i = 0; i < p; ++i) {
+      flat.push_back(pool[i].get());
+      if (i % 12 == 0) sites.emplace_back();
+      sites.back().push_back(pool[i].get());
+    }
+
+    util::Timer timer;
+    const core::PartitionResult flat_result =
+        core::partition_combined(flat, n);
+    const double t_flat = timer.seconds();
+
+    timer.reset();
+    const core::HierarchicalResult hier =
+        core::partition_hierarchical(sites, n);
+    const double t_hier = timer.seconds();
+
+    core::Distribution hier_flat;
+    hier_flat.counts = hier.flatten();
+    const double ratio = core::makespan(flat, hier_flat) /
+                         core::makespan(flat, flat_result.distribution);
+    t.add_row({util::fmt(p), util::fmt(sites.size()),
+               util::fmt(t_flat * 1e3, 2), util::fmt(t_hier * 1e3, 2),
+               util::fmt(ratio, 4)});
+  }
+  bench::emit(t);
+  std::cout << "Expected shape: makespan ratio ~1.000 at every scale — the "
+               "aggregate construction is exact in the continuous limit. "
+               "Serially the hierarchy costs more (every aggregate "
+               "evaluation hides a nested line search); its value is "
+               "decomposition: the top level sees only #sites virtual "
+               "processors and each site's sub-problem is independent — "
+               "solvable locally, in parallel, without sharing per-machine "
+               "models across sites.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Shared helpers for the benchmark harness: each binary regenerates one
+// table or figure of the paper (see DESIGN.md §4) and prints it as an
+// aligned text table plus CSV.
+#pragma once
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fpm.hpp"
+#include "simcluster/presets.hpp"
+#include "util/table.hpp"
+
+namespace fpm::bench {
+
+/// Prints a table in both human and CSV form with a separating banner.
+inline void emit(const util::Table& table) {
+  table.print(std::cout);
+  std::cout << "\n[csv]\n";
+  table.print_csv(std::cout);
+  std::cout << "\n";
+}
+
+/// Functional models for every machine of a cluster, built through the
+/// paper's §3.1 procedure (the realistic pipeline: noisy measurements in).
+struct BuiltModels {
+  sim::ClusterModels models;
+  core::SpeedList list() const { return models.list(); }
+};
+
+inline BuiltModels build_models(sim::SimulatedCluster& cluster,
+                                const std::string& app) {
+  return {sim::build_cluster_models(cluster, app)};
+}
+
+/// An analytic heterogeneous ensemble used by the ablations (owning).
+struct OwnedEnsemble {
+  std::vector<std::shared_ptr<const core::SpeedFunction>> owned;
+  core::SpeedList list() const {
+    core::SpeedList l;
+    l.reserve(owned.size());
+    for (const auto& f : owned) l.push_back(f.get());
+    return l;
+  }
+};
+
+/// Power-decay family (well-behaved polynomial slopes).
+inline OwnedEnsemble power_family(std::size_t p) {
+  OwnedEnsemble e;
+  for (std::size_t i = 0; i < p; ++i)
+    e.owned.push_back(std::make_shared<core::PowerDecaySpeed>(
+        90.0 + 60.0 * static_cast<double>(i),
+        2e7 * (1.0 + static_cast<double>(i)),
+        0.8 + 0.3 * static_cast<double>(i % 3), 1e9));
+  return e;
+}
+
+/// Exponential family (pathological for the basic algorithm): decay
+/// constants spread geometrically over a fixed 27x range regardless of p,
+/// which keeps the Figure-18 bracket exponentially wide in n.
+inline OwnedEnsemble exp_family(std::size_t p) {
+  OwnedEnsemble e;
+  for (std::size_t i = 0; i < p; ++i) {
+    const double t =
+        p == 1 ? 0.0 : static_cast<double>(i) / static_cast<double>(p - 1);
+    const double lambda = 5e3 * std::pow(27.0, t);
+    e.owned.push_back(std::make_shared<core::ExpDecaySpeed>(
+        150.0 + 30.0 * static_cast<double>(i), lambda, 2e6));
+  }
+  return e;
+}
+
+/// Stepped (cache/paging cliff) family.
+inline OwnedEnsemble stepped_family(std::size_t p) {
+  OwnedEnsemble e;
+  for (std::size_t i = 0; i < p; ++i) {
+    const double d = static_cast<double>(i);
+    std::vector<core::SteppedSpeed::Step> steps;
+    steps.push_back({3e5 * (1.0 + d), (220.0 + 40.0 * d) * 0.8, 1e5});
+    steps.push_back({8e7 * (1.0 + 0.6 * d), (220.0 + 40.0 * d) * 0.05, 6e6});
+    e.owned.push_back(std::make_shared<core::SteppedSpeed>(
+        220.0 + 40.0 * d, std::move(steps), 8e8));
+  }
+  return e;
+}
+
+}  // namespace fpm::bench

@@ -1,0 +1,100 @@
+// Figure 21: the cost in seconds of finding the optimal distribution with
+// the partitioning algorithm, for p = 270, 540, 810, 1080 processors and
+// problem sizes up to 2·10⁹ elements. The paper reports costs below ~0.12 s
+// — negligible against application run times of minutes to hours.
+//
+// The processor set replicates the twelve Table-2 functional models (built
+// with the §3.1 procedure, 5-point piece-wise linear curves as in the
+// paper) with small deterministic speed perturbations so every processor is
+// distinct. Timing uses google-benchmark; a summary table in the paper's
+// format is printed afterwards.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common.hpp"
+#include "core/fpm.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace fpm;
+
+/// Builds the replicated processor set once per process.
+const std::vector<std::shared_ptr<const core::SpeedFunction>>& curve_pool() {
+  static const auto pool = [] {
+    auto cluster = sim::make_table2_cluster();
+    const bench::BuiltModels built = bench::build_models(cluster, sim::kMatMul);
+    std::vector<std::shared_ptr<const core::SpeedFunction>> owned;
+    const std::size_t base = built.models.curves.size();
+    owned.reserve(1080);
+    for (std::size_t i = 0; i < 1080; ++i) {
+      auto curve = std::make_shared<core::PiecewiseLinearSpeed>(
+          built.models.curves[i % base]);
+      // Deterministic +/-10% spread so replicas differ.
+      const double factor = 0.9 + 0.2 * static_cast<double>(i % 7) / 6.0;
+      owned.push_back(std::make_shared<core::ScaledSpeed>(curve, factor));
+    }
+    return owned;
+  }();
+  return pool;
+}
+
+core::SpeedList take(std::size_t p) {
+  core::SpeedList list;
+  list.reserve(p);
+  for (std::size_t i = 0; i < p; ++i) list.push_back(curve_pool()[i].get());
+  return list;
+}
+
+void BM_PartitionCost(benchmark::State& state) {
+  const auto p = static_cast<std::size_t>(state.range(0));
+  const std::int64_t n = state.range(1);
+  const core::SpeedList speeds = take(p);
+  for (auto _ : state) {
+    const core::PartitionResult r = core::partition_combined(speeds, n);
+    benchmark::DoNotOptimize(r.distribution.counts.data());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_PartitionCost)
+    ->ArgNames({"p", "n"})
+    ->Args({270, 500000000})
+    ->Args({270, 2000000000})
+    ->Args({540, 500000000})
+    ->Args({540, 2000000000})
+    ->Args({810, 500000000})
+    ->Args({810, 2000000000})
+    ->Args({1080, 500000000})
+    ->Args({1080, 2000000000})
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Figure-21 summary table: cost (s) against problem size per p.
+  util::Table t("Figure 21 - cost of the partitioning algorithm (seconds)",
+                {"problem_size", "p=270", "p=540", "p=810", "p=1080"});
+  for (const std::int64_t n :
+       {250000000LL, 500000000LL, 1000000000LL, 2000000000LL}) {
+    std::vector<std::string> row{util::fmt(static_cast<long long>(n))};
+    for (const std::size_t p : {270u, 540u, 810u, 1080u}) {
+      const core::SpeedList speeds = take(p);
+      util::Timer timer;
+      const auto r = core::partition_combined(speeds, n);
+      const double secs = timer.seconds();
+      benchmark::DoNotOptimize(r.distribution.counts.data());
+      row.push_back(util::fmt(secs, 4));
+    }
+    t.add_row(row);
+  }
+  bench::emit(t);
+  std::cout << "Expected shape (paper Figure 21): costs of a fraction of a "
+               "second, growing with p and roughly log-like in n.\n";
+  return 0;
+}

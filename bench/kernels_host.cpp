@@ -1,0 +1,94 @@
+// Host-kernel microbenchmark: the efficient/inefficient memory-pattern
+// dichotomy of Figure 1, measured for real on THIS machine — naive vs
+// blocked matrix multiplication and LU across sizes. Not a paper figure
+// per se, but the ground truth behind the application profiles the
+// simulator uses.
+#include <benchmark/benchmark.h>
+
+#include "linalg/block_lu.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/kernels.hpp"
+
+namespace {
+
+using namespace fpm;
+
+void BM_MatmulNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const util::MatrixD a = linalg::random_matrix(n, n, 1);
+  const util::MatrixD b = linalg::random_matrix(n, n, 2);
+  for (auto _ : state) {
+    const util::MatrixD c = linalg::matmul_naive(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["MFlops"] = benchmark::Counter(
+      linalg::mm_flops(n, n, n) * 1e-6, benchmark::Counter::kIsRate);
+}
+
+void BM_MatmulBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const util::MatrixD a = linalg::random_matrix(n, n, 1);
+  const util::MatrixD b = linalg::random_matrix(n, n, 2);
+  for (auto _ : state) {
+    const util::MatrixD c = linalg::matmul_blocked(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["MFlops"] = benchmark::Counter(
+      linalg::mm_flops(n, n, n) * 1e-6, benchmark::Counter::kIsRate);
+}
+
+void BM_LuUnblocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const util::MatrixD original = linalg::random_matrix(n, n, 3);
+  std::vector<std::size_t> pivots;
+  for (auto _ : state) {
+    util::MatrixD a = original;
+    benchmark::DoNotOptimize(linalg::lu_factor(a, pivots));
+  }
+  state.counters["MFlops"] = benchmark::Counter(
+      linalg::lu_flops(n, n) * 1e-6, benchmark::Counter::kIsRate);
+}
+
+void BM_LuBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const util::MatrixD original = linalg::random_matrix(n, n, 3);
+  std::vector<std::size_t> pivots;
+  for (auto _ : state) {
+    util::MatrixD a = original;
+    benchmark::DoNotOptimize(linalg::block_lu_factor(a, 48, pivots));
+  }
+  state.counters["MFlops"] = benchmark::Counter(
+      linalg::lu_flops(n, n) * 1e-6, benchmark::Counter::kIsRate);
+}
+
+void BM_Cholesky(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const util::MatrixD original = linalg::spd_matrix(n, 5);
+  for (auto _ : state) {
+    util::MatrixD a = original;
+    benchmark::DoNotOptimize(linalg::cholesky_factor(a));
+  }
+  state.counters["MFlops"] = benchmark::Counter(
+      linalg::cholesky_flops(n) * 1e-6, benchmark::Counter::kIsRate);
+}
+
+void BM_ArrayOps(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> data(n, 1.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(linalg::array_ops(data, 4));
+  state.counters["MFlops"] = benchmark::Counter(
+      linalg::array_ops_flops(static_cast<std::int64_t>(n), 4) * 1e-6,
+      benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK(BM_MatmulNaive)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MatmulBlocked)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LuUnblocked)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LuBlocked)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Cholesky)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ArrayOps)->Arg(1 << 12)->Arg(1 << 18)->Arg(1 << 22)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Dynamic load balancing for an iterative application: per-iteration
+// timings feed online models; when a heavy job lands on the fastest
+// machine mid-run, the rebalancer notices within a few iterations and
+// shifts work away — no offline re-benchmarking needed.
+//
+// Build & run:  ./examples/iterative_balance
+#include <iostream>
+
+#include "balance/iterative_sim.hpp"
+#include "simcluster/presets.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace fpm;
+  auto cluster = sim::make_table2_cluster(77);
+
+  balance::IterativeOptions opts;
+  opts.n = 4'000'000;
+  opts.iterations = 40;
+  opts.flops_per_element = 150.0;
+  opts.policy = balance::BalancePolicy::Online;
+  opts.rebalance.imbalance_threshold = 0.10;
+
+  // A heavy external job lands on X3 at iteration 12.
+  const std::vector<balance::DriftEvent> drift{{12, 2, 0.8}};
+
+  const balance::IterativeResult online =
+      balance::simulate_iterative(cluster, sim::kMatMul, opts, drift);
+
+  auto cluster2 = sim::make_table2_cluster(77);
+  opts.policy = balance::BalancePolicy::StaticFunctional;
+  const balance::IterativeResult fixed =
+      balance::simulate_iterative(cluster2, sim::kMatMul, opts, drift);
+
+  util::Table t("per-iteration wall time (s)",
+                {"iteration", "static_functional", "online"});
+  for (std::size_t it = 0; it < online.iteration_seconds.size(); it += 4)
+    t.add_row({util::fmt(it), util::fmt(fixed.iteration_seconds[it], 2),
+               util::fmt(online.iteration_seconds[it], 2)});
+  t.print(std::cout);
+
+  std::cout << "\ntotals: static-functional " << util::fmt(fixed.total_seconds, 1)
+            << " s, online " << util::fmt(online.total_seconds, 1) << " s ("
+            << online.repartitions << " repartitions)\n";
+  std::cout << "The heavy job lands on X3 at iteration 12; watch the static "
+               "policy's iteration time jump and stay high while the online "
+               "policy recovers.\n";
+  return 0;
+}

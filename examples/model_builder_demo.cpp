@@ -1,0 +1,77 @@
+// Model-builder walkthrough: watch the §3.1 trisection procedure construct
+// a piece-wise-linear performance band for one machine from noisy
+// measurements, then compare the built curve against the hidden ground
+// truth. Optionally (--real) measure THIS machine's naive matrix
+// multiplication speed function with real kernel runs.
+//
+// Build & run:  ./examples/model_builder_demo [--real]
+#include <cstring>
+#include <iostream>
+
+#include "core/builder.hpp"
+#include "linalg/real_source.hpp"
+#include "simcluster/presets.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace fpm;
+
+void demo_simulated() {
+  auto cluster = sim::make_table2_cluster();
+  const std::size_t machine = 7;  // X8: 1977 MHz Xeon, 134 MB free
+  const sim::MachineSpeed& truth = cluster.ground_truth(machine, sim::kMatMul);
+  std::cout << "Machine X8 ground truth (hidden from the builder): peak "
+            << util::fmt(truth.peak_speed(), 0) << " MFlops, paging onset "
+            << util::fmt(truth.paging_onset(), 0) << " elements\n\n";
+
+  sim::MachineMeasurement source(cluster, machine, sim::kMatMul);
+  core::BuilderOptions opts;
+  opts.epsilon = 0.08;
+  opts.samples_per_point = 5;
+  opts.min_size = truth.cache_capacity() * 0.25;
+  opts.max_size = truth.max_size();
+  opts.min_interval = (opts.max_size - opts.min_size) / 256.0;
+  const core::BuiltModel built = core::build_speed_band(source, opts);
+
+  std::cout << "Builder consumed " << built.probes
+            << " experimental runs and produced "
+            << built.band.lower_points().size() << " band breakpoints.\n\n";
+
+  const core::PiecewiseLinearSpeed centre = built.band.center();
+  util::Table t("built model vs ground truth",
+                {"size_elements", "truth_MFlops", "model_MFlops", "err_pct"});
+  for (double x = opts.min_size * 4.0; x < opts.max_size; x *= 2.2) {
+    const double s_true = truth.speed(x);
+    const double s_model = centre.speed(x);
+    t.add_row({util::fmt(x, 0), util::fmt(s_true, 1), util::fmt(s_model, 1),
+               util::fmt(100.0 * (s_model - s_true) / s_true, 1)});
+  }
+  t.print(std::cout);
+}
+
+void demo_real() {
+  std::cout << "\nMeasuring THIS machine's naive matrix multiplication "
+               "speed function (real runs)...\n";
+  linalg::RealKernelSource source(linalg::Kernel::MatMulNaive);
+  core::BuilderOptions opts;
+  opts.epsilon = 0.10;
+  // Keep the real experiment quick: up to ~500x500 matrices (3*500^2
+  // elements) and a tight probe budget.
+  opts.min_size = 3.0 * 48 * 48;
+  opts.max_size = 3.0 * 500 * 500;
+  opts.max_probes = 16;
+  const core::BuiltModel built = core::build_speed_band(source, opts);
+  util::Table t("this machine, naive MM", {"elements", "measured_MFlops"});
+  for (const core::SpeedPoint& p : built.probed)
+    t.add_row({util::fmt(p.size, 0), util::fmt(p.speed, 1)});
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  demo_simulated();
+  if (argc > 1 && std::strcmp(argv[1], "--real") == 0) demo_real();
+  return 0;
+}

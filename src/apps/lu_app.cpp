@@ -1,0 +1,99 @@
+#include "apps/lu_app.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/kernels.hpp"
+
+namespace fpm::apps {
+
+namespace {
+
+/// Shared implementation: `net` == nullptr skips communication costs.
+double simulate_lu_impl(sim::SimulatedCluster& cluster, const std::string& app,
+                        const VgbDistribution& dist,
+                        const comm::CommModel* net, bool sampled) {
+  const std::int64_t n = dist.n;
+  const std::int64_t b = dist.block;
+  const std::int64_t nb = dist.total_blocks();
+  if (nb == 0) return 0.0;
+  for (const int owner : dist.block_owner)
+    if (owner < 0 || static_cast<std::size_t>(owner) >= cluster.size())
+      throw std::invalid_argument("simulate_lu_seconds: owner out of range");
+
+  // Trailing-block counts per processor, maintained incrementally: counts
+  // of blocks with index > k as k advances.
+  std::vector<std::int64_t> trailing(cluster.size(), 0);
+  for (const int owner : dist.block_owner) ++trailing[owner];
+
+  const auto seconds = [&](std::size_t machine, double x, double flops) {
+    if (x <= 0.0 || flops <= 0.0) return 0.0;
+    // sampled_seconds/expected_seconds take flops-per-element; pass the
+    // ratio so the total is exactly `flops`.
+    const double fpe = flops / x;
+    return sampled ? cluster.sampled_seconds(machine, app, x, fpe)
+                   : cluster.expected_seconds(machine, app, x, fpe);
+  };
+
+  double total = 0.0;
+  for (std::int64_t k = 0; k < nb; ++k) {
+    const auto owner = static_cast<std::size_t>(dist.block_owner[k]);
+    --trailing[owner];  // block k leaves the trailing set
+
+    const std::int64_t col0 = k * b;
+    const std::int64_t kb = std::min(b, n - col0);  // this panel's width
+    const std::int64_t m_rows = n - col0;           // panel height
+
+    // Panel factorization by the owner.
+    const double panel_flops =
+        linalg::lu_flops(m_rows, kb);
+    const double panel_elems = static_cast<double>(m_rows * kb);
+    total += seconds(owner, panel_elems, panel_flops);
+    if (net != nullptr)
+      total += net->broadcast_seconds(owner, panel_elems * 8.0);
+
+    // Trailing update: every processor updates its own column blocks.
+    const std::int64_t rows_u = m_rows - kb;
+    if (rows_u <= 0) continue;
+    double slowest = 0.0;
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      if (trailing[i] == 0) continue;
+      // Trailing columns owned by i (the final block may be partial).
+      std::int64_t cols = trailing[i] * b;
+      if (dist.block_owner.back() == static_cast<int>(i)) {
+        const std::int64_t last_cols = n - (nb - 1) * b;
+        cols -= b - last_cols;
+      }
+      const double update_flops = 2.0 * static_cast<double>(rows_u) *
+                                  static_cast<double>(kb) *
+                                  static_cast<double>(cols);
+      const double x = static_cast<double>(rows_u) * static_cast<double>(cols);
+      slowest = std::max(slowest, seconds(i, x, update_flops));
+    }
+    total += slowest;
+  }
+  return total;
+}
+
+}  // namespace
+
+double simulate_lu_seconds(sim::SimulatedCluster& cluster,
+                           const std::string& app,
+                           const VgbDistribution& dist, bool sampled) {
+  return simulate_lu_impl(cluster, app, dist, nullptr, sampled);
+}
+
+double simulate_lu_with_comm_seconds(sim::SimulatedCluster& cluster,
+                                     const std::string& app,
+                                     const VgbDistribution& dist,
+                                     const comm::CommModel& net,
+                                     bool sampled) {
+  if (net.processors() != cluster.size())
+    throw std::invalid_argument("simulate_lu_with_comm_seconds: net size");
+  return simulate_lu_impl(cluster, app, dist, &net, sampled);
+}
+
+double lu_total_flops(std::int64_t n) { return linalg::lu_flops(n, n); }
+
+}  // namespace fpm::apps

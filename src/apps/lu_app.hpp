@@ -1,0 +1,45 @@
+// Parallel LU factorization driven by a Variable Group Block distribution
+// (paper §3.1, Figure 17): at step k the owner of column block k factors the
+// panel, then every processor updates the trailing column blocks it owns.
+// The simulated makespan evaluates the speed of each processor *at the
+// problem size it processes at that step* — the heart of the functional
+// model's advantage, since the shrinking trailing matrix crosses paging
+// thresholds as the factorization progresses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "apps/vgb.hpp"
+#include "comm/model.hpp"
+#include "simcluster/cluster.hpp"
+
+namespace fpm::apps {
+
+/// Step-by-step simulated execution of the factorization on the cluster.
+/// For step k (0-based) with panel rows m_k = n - k·b:
+///   * the panel owner factors the m_k x b panel (getf2 flops);
+///   * processor i updates its owned trailing blocks: with c_i trailing
+///     columns the update is 2·(m_k - b)·b·c_i flops at problem size
+///     (m_k - b)·c_i elements (its share of the trailing matrix);
+///   * the step time is the panel time plus the slowest update.
+/// Returns the sum over all steps, in seconds. `sampled` draws speeds from
+/// the fluctuation bands; otherwise band centres are used.
+double simulate_lu_seconds(sim::SimulatedCluster& cluster,
+                           const std::string& app,
+                           const VgbDistribution& dist, bool sampled);
+
+/// Like simulate_lu_seconds but charging the panel broadcast of each step
+/// under the given link model: after factorizing the m_k x b panel its
+/// owner broadcasts the packed factors (m_k·b·8 bytes) to every other
+/// machine before the trailing update starts.
+double simulate_lu_with_comm_seconds(sim::SimulatedCluster& cluster,
+                                     const std::string& app,
+                                     const VgbDistribution& dist,
+                                     const comm::CommModel& net,
+                                     bool sampled);
+
+/// Total useful flops of the factorization (~(2/3)·n³), for reporting.
+double lu_total_flops(std::int64_t n);
+
+}  // namespace fpm::apps

@@ -1,0 +1,109 @@
+#include "apps/stencil.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "core/combined.hpp"
+
+namespace fpm::apps {
+
+StencilPlan plan_stencil(const core::SpeedList& models, std::int64_t rows,
+                         std::int64_t cols) {
+  if (models.empty()) throw std::invalid_argument("plan_stencil: no models");
+  if (rows < 1 || cols < 1)
+    throw std::invalid_argument("plan_stencil: grid must be >= 1x1");
+  StencilPlan plan;
+  plan.grid_rows = rows;
+  plan.grid_cols = cols;
+
+  std::vector<core::GranularSpeedView> row_speeds;
+  row_speeds.reserve(models.size());
+  for (const core::SpeedFunction* m : models)
+    row_speeds.emplace_back(*m, static_cast<double>(cols));
+  core::SpeedList list;
+  for (const auto& rs : row_speeds) list.push_back(&rs);
+  core::PartitionResult result = core::partition_combined(list, rows);
+  plan.rows = std::move(result.distribution.counts);
+  plan.stats = std::move(result.stats);
+  return plan;
+}
+
+util::MatrixD jacobi_sweep(const util::MatrixD& grid) {
+  util::MatrixD out = grid;  // boundaries keep their values
+  if (grid.rows() < 3 || grid.cols() < 3) return out;
+  for (std::size_t r = 1; r + 1 < grid.rows(); ++r)
+    for (std::size_t c = 1; c + 1 < grid.cols(); ++c)
+      out(r, c) = 0.25 * (grid(r - 1, c) + grid(r + 1, c) + grid(r, c - 1) +
+                          grid(r, c + 1));
+  return out;
+}
+
+util::MatrixD striped_jacobi_sweep(const util::MatrixD& grid,
+                                   const StencilPlan& plan) {
+  std::int64_t total = 0;
+  for (const std::int64_t r : plan.rows) total += r;
+  if (total != static_cast<std::int64_t>(grid.rows()) ||
+      plan.grid_cols != static_cast<std::int64_t>(grid.cols()))
+    throw std::invalid_argument("striped_jacobi_sweep: plan/grid mismatch");
+
+  util::MatrixD out = grid;
+  std::size_t first = 0;
+  for (const std::int64_t band_rows : plan.rows) {
+    if (band_rows == 0) continue;
+    // The band owner assembles its rows plus up to two halo rows; here the
+    // "message" is simply reading the neighbour rows of the shared grid —
+    // numerically identical to what the distributed code computes.
+    const std::size_t lo = first == 0 ? 1 : first;
+    const std::size_t hi = std::min(first + static_cast<std::size_t>(band_rows),
+                                    grid.rows() - 1);
+    for (std::size_t r = lo; r < hi; ++r)
+      for (std::size_t c = 1; c + 1 < grid.cols(); ++c)
+        out(r, c) = 0.25 * (grid(r - 1, c) + grid(r + 1, c) + grid(r, c - 1) +
+                            grid(r, c + 1));
+    first += static_cast<std::size_t>(band_rows);
+  }
+  return out;
+}
+
+double simulate_stencil_seconds(sim::SimulatedCluster& cluster,
+                                const std::string& app,
+                                const StencilPlan& plan, int iterations,
+                                const comm::CommModel& net, bool sampled) {
+  if (plan.rows.size() != cluster.size())
+    throw std::invalid_argument("simulate_stencil_seconds: size mismatch");
+  if (iterations < 0)
+    throw std::invalid_argument("simulate_stencil_seconds: iterations < 0");
+  constexpr double kFlopsPerCell = 5.0;
+  const double cols = static_cast<double>(plan.grid_cols);
+  const double halo_bytes = cols * 8.0;
+
+  // Identify the non-empty bands in stacking order for halo neighbours.
+  std::vector<std::size_t> bands;
+  for (std::size_t i = 0; i < plan.rows.size(); ++i)
+    if (plan.rows[i] > 0) bands.push_back(i);
+
+  double total = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    double slowest = 0.0;
+    for (std::size_t k = 0; k < bands.size(); ++k) {
+      const std::size_t i = bands[k];
+      const double cells = static_cast<double>(plan.rows[i]) * cols;
+      double t = sampled
+                     ? cluster.sampled_seconds(i, app, cells, kFlopsPerCell)
+                     : cluster.expected_seconds(i, app, cells, kFlopsPerCell);
+      // Halo exchange with each adjacent band: one row each way.
+      if (k > 0)
+        t += net.send_seconds(bands[k - 1], i, halo_bytes) +
+             net.send_seconds(i, bands[k - 1], halo_bytes);
+      if (k + 1 < bands.size())
+        t += net.send_seconds(bands[k + 1], i, halo_bytes) +
+             net.send_seconds(i, bands[k + 1], halo_bytes);
+      slowest = std::max(slowest, t);
+    }
+    total += slowest;
+  }
+  return total;
+}
+
+}  // namespace fpm::apps

@@ -1,0 +1,56 @@
+// Iterative 5-point Jacobi stencil over a 2-D grid with 1-D (row-striped)
+// decomposition — the "simulation / processing of very large linear data
+// files" workload class from the paper's introduction. Each processor owns
+// a horizontal band of the grid; one iteration updates every interior cell
+// from its four neighbours and exchanges one halo row with each adjacent
+// band.
+//
+// Problem-size convention: x = owned cells (rows x grid width). One
+// iteration performs 5 flops per owned cell (4 adds + 1 multiply).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/model.hpp"
+#include "core/partition.hpp"
+#include "simcluster/cluster.hpp"
+#include "util/matrix.hpp"
+
+namespace fpm::apps {
+
+/// A striped stencil decomposition: band i owns `rows[i]` consecutive grid
+/// rows; bands are stacked in index order.
+struct StencilPlan {
+  std::int64_t grid_rows = 0;
+  std::int64_t grid_cols = 0;
+  std::vector<std::int64_t> rows;
+  core::PartitionStats stats;
+};
+
+/// Plans the decomposition of a rows x cols grid over the models (speed
+/// argument in cells). Bands are partitioned at row granularity with the
+/// combined algorithm.
+StencilPlan plan_stencil(const core::SpeedList& models, std::int64_t rows,
+                         std::int64_t cols);
+
+/// One serial Jacobi sweep over the whole grid: returns the updated grid
+/// (fixed boundary values). The reference for numeric verification.
+util::MatrixD jacobi_sweep(const util::MatrixD& grid);
+
+/// The distributed computation path: each band sweeps its own rows using
+/// halo rows from its neighbours, and the results are reassembled. Must be
+/// bit-identical to jacobi_sweep (Jacobi reads only old values).
+util::MatrixD striped_jacobi_sweep(const util::MatrixD& grid,
+                                   const StencilPlan& plan);
+
+/// Simulated wall time of `iterations` sweeps on the cluster: per-iteration
+/// compute time from the speed model at the band size, plus two halo-row
+/// exchanges per interior band boundary under the link model.
+double simulate_stencil_seconds(sim::SimulatedCluster& cluster,
+                                const std::string& app,
+                                const StencilPlan& plan, int iterations,
+                                const comm::CommModel& net, bool sampled);
+
+}  // namespace fpm::apps

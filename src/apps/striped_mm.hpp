@@ -1,0 +1,75 @@
+// Parallel matrix multiplication C = A·Bᵀ with horizontal striped
+// partitioning (paper §3.1, Figure 16): a heterogeneous 1-D clone of the
+// ScaLAPACK algorithm. A, B and C are partitioned into horizontal slices
+// whose total element count is proportional to the speed of the owning
+// processor; processor i computes its C rows against every B slice.
+//
+// Problem-size convention: the partitioned set holds the 3·n² elements of
+// A, B and C, at row granularity (one row of the three matrices = 3·n
+// elements). The per-processor speed argument is its slice size 3·r_i·n;
+// its useful work is 2·r_i·n² flops, i.e. 2n/3 flops per slice element —
+// uniform across processors, so partitioning by MFlops speeds is exact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/model.hpp"
+#include "core/partition.hpp"
+#include "simcluster/cluster.hpp"
+#include "util/matrix.hpp"
+
+namespace fpm::apps {
+
+/// Which performance model drives the distribution.
+enum class ModelKind {
+  Functional,    ///< the paper's model: speed as a function of size
+  SingleNumber,  ///< constant speeds measured at one reference size
+  Even,          ///< equal rows per processor
+};
+
+/// A planned striped distribution for one multiplication.
+struct StripedMmPlan {
+  std::vector<std::int64_t> rows;  ///< rows of A/B/C per processor, sums to n
+  core::PartitionStats stats;      ///< partitioner diagnostics
+};
+
+/// Plans the distribution of an n x n multiplication over the given models
+/// (x in elements). For ModelKind::SingleNumber the constant speeds are the
+/// model values at the problem size of a reference_n x reference_n serial
+/// multiplication (3·reference_n² elements) — exactly the paper's baseline.
+StripedMmPlan plan_striped_mm(const core::SpeedList& models, std::int64_t n,
+                              ModelKind kind,
+                              std::int64_t reference_n = 500);
+
+/// Simulated wall-clock seconds of executing the plan on the cluster:
+/// every machine multiplies its slice concurrently; the makespan is the
+/// slowest machine. `sampled` draws speeds from the fluctuation bands,
+/// otherwise band centres are used.
+double simulate_striped_mm_seconds(sim::SimulatedCluster& cluster,
+                                   const std::string& app,
+                                   const StripedMmPlan& plan, std::int64_t n,
+                                   bool sampled);
+
+/// Like simulate_striped_mm_seconds but charging the ring communication of
+/// the B slices under the given link model: the algorithm runs p ring
+/// steps; in each, every machine forwards the B slice it holds to its ring
+/// successor (its own slice size rotates around), then computes. Per-step
+/// time is the slowest (send + compute); the machine-k slice has
+/// rows[k]·n·8 bytes.
+double simulate_striped_mm_with_comm_seconds(sim::SimulatedCluster& cluster,
+                                             const std::string& app,
+                                             const StripedMmPlan& plan,
+                                             std::int64_t n,
+                                             const comm::CommModel& net,
+                                             bool sampled);
+
+/// Numerical reference path: computes C = A·Bᵀ slice by slice following the
+/// plan and reassembles the result — bit-for-bit the distributed
+/// computation, used to verify that striping preserves the numerics.
+util::MatrixD striped_mm_compute(const util::MatrixD& a,
+                                 const util::MatrixD& b,
+                                 const StripedMmPlan& plan);
+
+}  // namespace fpm::apps

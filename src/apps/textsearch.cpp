@@ -1,0 +1,105 @@
+#include "apps/textsearch.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/bounded.hpp"
+#include "util/rng.hpp"
+
+namespace fpm::apps {
+
+std::size_t Corpus::total_bytes() const {
+  std::size_t total = 0;
+  for (const std::string& d : documents) total += d.size();
+  return total;
+}
+
+Corpus make_corpus(std::size_t documents, std::size_t mean_bytes,
+                   std::string_view pattern, std::uint64_t seed) {
+  if (documents == 0 || mean_bytes < pattern.size() + 8)
+    throw std::invalid_argument("make_corpus: degenerate parameters");
+  util::Rng rng(seed);
+  Corpus corpus;
+  corpus.documents.reserve(documents);
+  static constexpr char kAlphabet[] = "abcdefghij klmnopqrstuvwxyz .\n";
+  for (std::size_t d = 0; d < documents; ++d) {
+    // Heavy-tailed lengths: most documents small, a few ~20x the mean.
+    const double u = rng.uniform();
+    const double factor = 0.2 + 2.0 * u * u * u * u * 10.0;
+    const auto len = static_cast<std::size_t>(
+        std::max<double>(static_cast<double>(pattern.size()) + 8.0,
+                         static_cast<double>(mean_bytes) * factor));
+    std::string text;
+    text.reserve(len);
+    while (text.size() < len) {
+      // Embed the pattern at deterministic pseudo-random spots.
+      if (!pattern.empty() && rng.uniform() < 0.01 &&
+          text.size() + pattern.size() <= len)
+        text.append(pattern);
+      else
+        text.push_back(
+            kAlphabet[rng.uniform_int(0, sizeof(kAlphabet) - 2)]);
+    }
+    corpus.documents.push_back(std::move(text));
+  }
+  return corpus;
+}
+
+std::size_t count_occurrences(std::string_view text,
+                              std::string_view pattern) {
+  if (pattern.empty() || text.size() < pattern.size()) return 0;
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(pattern, 0); pos != std::string_view::npos;
+       pos = text.find(pattern, pos + 1))
+    ++count;
+  return count;
+}
+
+SearchPlan plan_search(const core::SpeedList& models, const Corpus& corpus) {
+  if (models.empty()) throw std::invalid_argument("plan_search: no models");
+  if (corpus.documents.empty())
+    throw std::invalid_argument("plan_search: empty corpus");
+  std::vector<double> weights;
+  weights.reserve(corpus.documents.size());
+  for (const std::string& d : corpus.documents)
+    weights.push_back(static_cast<double>(std::max<std::size_t>(d.size(), 1)));
+
+  SearchPlan plan;
+  plan.boundaries = core::partition_weighted_contiguous(models, weights);
+  plan.bytes.assign(models.size(), 0.0);
+  for (std::size_t i = 0; i < models.size(); ++i)
+    for (std::size_t j = plan.boundaries[i]; j < plan.boundaries[i + 1]; ++j)
+      plan.bytes[i] += weights[j];
+  return plan;
+}
+
+std::size_t run_search(const Corpus& corpus, const SearchPlan& plan,
+                       std::string_view pattern) {
+  if (plan.boundaries.empty() || plan.boundaries.back() != corpus.documents.size())
+    throw std::invalid_argument("run_search: plan does not cover the corpus");
+  std::size_t total = 0;
+  for (std::size_t i = 0; i + 1 < plan.boundaries.size(); ++i)
+    for (std::size_t j = plan.boundaries[i]; j < plan.boundaries[i + 1]; ++j)
+      total += count_occurrences(corpus.documents[j], pattern);
+  return total;
+}
+
+double simulate_search_seconds(sim::SimulatedCluster& cluster,
+                               const std::string& app, const SearchPlan& plan,
+                               bool sampled) {
+  if (plan.bytes.size() != cluster.size())
+    throw std::invalid_argument("simulate_search_seconds: size mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    if (plan.bytes[i] <= 0.0) continue;
+    const double t = sampled
+                         ? cluster.sampled_seconds(i, app, plan.bytes[i], 1.0)
+                         : cluster.expected_seconds(i, app, plan.bytes[i], 1.0);
+    worst = std::max(worst, t);
+  }
+  return worst;
+}
+
+}  // namespace fpm::apps

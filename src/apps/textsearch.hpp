@@ -1,0 +1,65 @@
+// Pattern search over a large text corpus — the first workload the paper's
+// introduction motivates ("search for patterns in text, audio, graphical
+// files ... processing of very large linear data files").
+//
+// The corpus is a sequence of documents of unequal length. Processors
+// receive *contiguous* runs of documents (cheap to ship and to describe),
+// so the distribution problem is the weighted contiguous partitioning of
+// the general formulation: document weight = its byte length, processor
+// speed = a functional model in bytes/second vs assigned bytes (a machine
+// whose slice outgrows its page cache drops to disk speed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "simcluster/cluster.hpp"
+
+namespace fpm::apps {
+
+/// A synthetic corpus: documents with deterministic pseudo-text content.
+struct Corpus {
+  std::vector<std::string> documents;
+
+  std::size_t total_bytes() const;
+};
+
+/// Generates `documents` documents whose lengths follow a heavy-tailed
+/// deterministic distribution (a few big files dominate, as in real
+/// corpora) and whose text embeds the pattern at known positions.
+Corpus make_corpus(std::size_t documents, std::size_t mean_bytes,
+                   std::string_view pattern, std::uint64_t seed);
+
+/// Counts (possibly overlapping) occurrences of `pattern` in `text` —
+/// the real search kernel.
+std::size_t count_occurrences(std::string_view text, std::string_view pattern);
+
+/// A contiguous assignment of documents: processor i searches documents
+/// [boundaries[i], boundaries[i+1]).
+struct SearchPlan {
+  std::vector<std::size_t> boundaries;  ///< size p+1, 0 .. documents
+  std::vector<double> bytes;            ///< bytes assigned per processor
+};
+
+/// Plans the distribution with weighted contiguous partitioning: weights
+/// are document byte sizes, speed argument is assigned bytes. Models must
+/// use bytes as the problem-size unit.
+SearchPlan plan_search(const core::SpeedList& models, const Corpus& corpus);
+
+/// Runs the search: every processor's range is scanned (serially here) and
+/// the per-range counts are summed. The distributed result must equal the
+/// serial scan of the whole corpus — verified in tests.
+std::size_t run_search(const Corpus& corpus, const SearchPlan& plan,
+                       std::string_view pattern);
+
+/// Simulated wall time of the parallel search on the cluster: processor i
+/// scans bytes[i] at its modelled speed (MFlops stand in for MB/s up to
+/// the app's flops_per_element scale; we use 1 flop per byte).
+double simulate_search_seconds(sim::SimulatedCluster& cluster,
+                               const std::string& app, const SearchPlan& plan,
+                               bool sampled);
+
+}  // namespace fpm::apps

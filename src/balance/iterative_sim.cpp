@@ -1,0 +1,73 @@
+#include "balance/iterative_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/combined.hpp"
+
+namespace fpm::balance {
+
+IterativeResult simulate_iterative(sim::SimulatedCluster& cluster,
+                                   const std::string& app,
+                                   const IterativeOptions& opts,
+                                   std::span<const DriftEvent> drift) {
+  if (opts.n <= 0 || opts.iterations <= 0)
+    throw std::invalid_argument("simulate_iterative: need n, iterations >= 1");
+  const std::size_t p = cluster.size();
+
+  // Initial distribution by policy.
+  core::Distribution dist;
+  switch (opts.policy) {
+    case BalancePolicy::StaticEven:
+    case BalancePolicy::Online:
+      dist = core::partition_even(opts.n, p);
+      break;
+    case BalancePolicy::StaticFunctional: {
+      sim::ClusterModels models = sim::build_cluster_models(cluster, app);
+      dist = core::partition_combined(models.list(), opts.n).distribution;
+      break;
+    }
+  }
+
+  OnlineModelOptions model_opts = opts.model;
+  if (model_opts.max_size <= model_opts.min_size) {
+    // Default the modelled range to the distribution scale.
+    model_opts.min_size = 1.0;
+    model_opts.max_size = static_cast<double>(opts.n);
+  }
+  Rebalancer rebalancer(dist, model_opts, opts.rebalance);
+
+  IterativeResult result;
+  result.iteration_seconds.reserve(static_cast<std::size_t>(opts.iterations));
+  std::size_t next_drift = 0;
+
+  for (int it = 0; it < opts.iterations; ++it) {
+    while (next_drift < drift.size() && drift[next_drift].iteration <= it) {
+      cluster.set_load_shift(drift[next_drift].machine,
+                             drift[next_drift].load_shift);
+      ++next_drift;
+    }
+    const core::Distribution& current =
+        opts.policy == BalancePolicy::Online ? rebalancer.distribution()
+                                             : dist;
+    std::vector<double> seconds(p, 0.0);
+    double wall = 0.0;
+    for (std::size_t i = 0; i < p; ++i) {
+      const auto share = static_cast<double>(current.counts[i]);
+      if (share <= 0.0) continue;
+      seconds[i] =
+          cluster.sampled_seconds(i, app, share, opts.flops_per_element);
+      wall = std::max(wall, seconds[i]);
+    }
+    if (opts.policy == BalancePolicy::Online) {
+      if (rebalancer.step(seconds))
+        wall += rebalancer.last_migration_seconds();
+    }
+    result.iteration_seconds.push_back(wall);
+    result.total_seconds += wall;
+  }
+  result.repartitions = rebalancer.repartitions();
+  return result;
+}
+
+}  // namespace fpm::balance

@@ -1,0 +1,55 @@
+// Driver for studying dynamic load balancing on the simulated cluster: an
+// iterative data-parallel application whose per-iteration work is
+// flops_per_element per owned element, with optional background-load drift
+// events injected mid-run (a user logs into a machine and starts a heavy
+// job; paper §1 observes such loads shift the performance band down).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "balance/rebalancer.hpp"
+#include "simcluster/cluster.hpp"
+
+namespace fpm::balance {
+
+/// Background-load change applied before the given iteration starts.
+struct DriftEvent {
+  int iteration = 0;        ///< 0-based iteration index
+  std::size_t machine = 0;  ///< which machine changes
+  double load_shift = 0.0;  ///< new persistent load fraction [0, 1)
+};
+
+/// How the distribution is chosen.
+enum class BalancePolicy {
+  StaticEven,        ///< n/p each, never changes
+  StaticFunctional,  ///< one offline functional partition, never changes
+  Online,            ///< Rebalancer-driven
+};
+
+struct IterativeOptions {
+  std::int64_t n = 0;              ///< elements partitioned each iteration
+  int iterations = 50;             ///< iteration count
+  double flops_per_element = 100;  ///< per-iteration work per element
+  BalancePolicy policy = BalancePolicy::Online;
+  RebalancerOptions rebalance;     ///< used when policy == Online
+  OnlineModelOptions model;        ///< used when policy == Online
+};
+
+struct IterativeResult {
+  double total_seconds = 0.0;
+  std::vector<double> iteration_seconds;  ///< wall time per iteration
+  int repartitions = 0;
+};
+
+/// Runs the simulation. Drift events must be sorted by iteration. The
+/// StaticFunctional policy builds §3.1 models before the run (their cost is
+/// not charged to total_seconds, matching how the paper reports run times).
+IterativeResult simulate_iterative(sim::SimulatedCluster& cluster,
+                                   const std::string& app,
+                                   const IterativeOptions& opts,
+                                   std::span<const DriftEvent> drift = {});
+
+}  // namespace fpm::balance

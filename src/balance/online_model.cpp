@@ -1,0 +1,85 @@
+#include "balance/online_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fpm::balance {
+
+OnlineModel::OnlineModel(const OnlineModelOptions& opts) : opts_(opts) {
+  if (!(opts.min_size > 0.0) || !(opts.max_size > opts.min_size))
+    throw std::invalid_argument("OnlineModel: need 0 < min_size < max_size");
+  if (opts.buckets < 2)
+    throw std::invalid_argument("OnlineModel: need >= 2 buckets");
+  if (!(opts.learning_rate > 0.0) || !(opts.learning_rate <= 1.0))
+    throw std::invalid_argument("OnlineModel: learning_rate in (0, 1]");
+  log_min_ = std::log(opts.min_size);
+  log_step_ = (std::log(opts.max_size) - log_min_) /
+              static_cast<double>(opts.buckets);
+  ewma_.assign(opts.buckets, 0.0);
+  counts_.assign(opts.buckets, 0);
+}
+
+std::size_t OnlineModel::bucket_of(double size) const {
+  const double clamped = std::clamp(size, opts_.min_size, opts_.max_size);
+  const auto b = static_cast<std::size_t>(
+      (std::log(clamped) - log_min_) / log_step_);
+  return std::min(b, opts_.buckets - 1);
+}
+
+double OnlineModel::bucket_centre(std::size_t b) const {
+  return std::exp(log_min_ + (static_cast<double>(b) + 0.5) * log_step_);
+}
+
+void OnlineModel::observe(double size, double speed) {
+  if (!(size > 0.0) || !(speed > 0.0) || !std::isfinite(speed)) return;
+  const std::size_t b = bucket_of(size);
+  if (counts_[b] == 0)
+    ewma_[b] = speed;
+  else
+    ewma_[b] += opts_.learning_rate * (speed - ewma_[b]);
+  ++counts_[b];
+  ++observations_;
+}
+
+bool OnlineModel::ready() const noexcept {
+  return std::any_of(counts_.begin(), counts_.end(),
+                     [](int c) { return c > 0; });
+}
+
+std::optional<double> OnlineModel::estimate(double size) const {
+  if (!ready()) return std::nullopt;
+  return curve().speed(size);
+}
+
+core::NamedModel OnlineModel::to_named_model(std::string name) const {
+  if (!ready())
+    throw std::logic_error("OnlineModel::to_named_model: no observations");
+  core::NamedModel m;
+  m.name = std::move(name);
+  m.epsilon = 0.0;  // online models carry no band semantics
+  for (std::size_t b = 0; b < opts_.buckets; ++b)
+    if (counts_[b] > 0) {
+      m.lower.push_back({bucket_centre(b), ewma_[b]});
+      m.upper.push_back({bucket_centre(b), ewma_[b]});
+    }
+  return m;
+}
+
+void OnlineModel::restore(const core::NamedModel& saved) {
+  for (std::size_t i = 0; i < saved.lower.size(); ++i)
+    observe(saved.lower[i].size,
+            0.5 * (saved.lower[i].speed + saved.upper[i].speed));
+}
+
+core::PiecewiseLinearSpeed OnlineModel::curve() const {
+  std::vector<core::SpeedPoint> pts;
+  for (std::size_t b = 0; b < opts_.buckets; ++b)
+    if (counts_[b] > 0) pts.push_back({bucket_centre(b), ewma_[b]});
+  if (pts.empty())
+    throw std::logic_error("OnlineModel::curve: no observations yet");
+  return core::PiecewiseLinearSpeed(
+      core::repair_shape_requirement(std::move(pts)));
+}
+
+}  // namespace fpm::balance

@@ -1,0 +1,77 @@
+// Online maintenance of the functional model.
+//
+// The paper closes by naming "the problems of efficient building and
+// maintaining of our model" as open research (§4). This module implements
+// the maintaining half: an incrementally updated piece-wise-linear speed
+// model that ingests (size, observed speed) pairs from real executions —
+// every iteration of a data-parallel application is a free experiment — and
+// ages old observations so the model tracks drifting background load.
+//
+// Design: a fixed grid of geometric size buckets. Each bucket keeps an
+// exponentially weighted moving average (EWMA) of the speeds observed in
+// it. The exported curve interpolates the populated buckets and is passed
+// through the monotone-ratio repair, so it always satisfies the shape
+// requirement the partitioners need.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/model_io.hpp"
+#include "core/piecewise.hpp"
+
+namespace fpm::balance {
+
+struct OnlineModelOptions {
+  double min_size = 1.0;   ///< smallest modelled size
+  double max_size = 1e9;   ///< largest modelled size
+  std::size_t buckets = 24;  ///< geometric size buckets over [min, max]
+  /// EWMA weight of a new observation (1 = only the latest, 0 = frozen).
+  double learning_rate = 0.3;
+};
+
+/// Incrementally learned speed model for one processor.
+class OnlineModel {
+ public:
+  explicit OnlineModel(const OnlineModelOptions& opts);
+
+  /// Ingests one observation: the processor ran a problem of `size`
+  /// elements at `speed` speed units. Sizes are clamped into the modelled
+  /// range; non-positive observations are ignored.
+  void observe(double size, double speed);
+
+  /// Number of observations ingested so far.
+  std::size_t observations() const noexcept { return observations_; }
+
+  /// True once at least one bucket is populated (curve() is usable).
+  bool ready() const noexcept;
+
+  /// Current speed estimate at `size`; nullopt until ready().
+  std::optional<double> estimate(double size) const;
+
+  /// Exports the current model as a partitioner-ready curve (monotone-ratio
+  /// repaired). Requires ready().
+  core::PiecewiseLinearSpeed curve() const;
+
+  /// Serializes the learned state (bucket centres and EWMA speeds) as a
+  /// NamedModel for model_io persistence; requires ready().
+  core::NamedModel to_named_model(std::string name) const;
+
+  /// Seeds the buckets from a previously saved model: each breakpoint is
+  /// ingested as one observation, so a restored model continues adapting.
+  void restore(const core::NamedModel& saved);
+
+ private:
+  std::size_t bucket_of(double size) const;
+  double bucket_centre(std::size_t b) const;
+
+  OnlineModelOptions opts_;
+  double log_min_ = 0.0;
+  double log_step_ = 0.0;
+  std::vector<double> ewma_;   ///< per-bucket speed EWMA (0 = empty)
+  std::vector<int> counts_;    ///< per-bucket observation counts
+  std::size_t observations_ = 0;
+};
+
+}  // namespace fpm::balance

@@ -1,0 +1,84 @@
+#include "balance/rebalancer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/combined.hpp"
+
+namespace fpm::balance {
+
+Rebalancer::Rebalancer(std::size_t processors, std::int64_t n,
+                       const OnlineModelOptions& model_opts,
+                       const RebalancerOptions& opts)
+    : Rebalancer(core::partition_even(n, processors), model_opts, opts) {}
+
+Rebalancer::Rebalancer(core::Distribution initial,
+                       const OnlineModelOptions& model_opts,
+                       const RebalancerOptions& opts)
+    : dist_(std::move(initial)), n_(dist_.total()), opts_(opts) {
+  if (dist_.counts.empty())
+    throw std::invalid_argument("Rebalancer: no processors");
+  models_.reserve(dist_.counts.size());
+  for (std::size_t i = 0; i < dist_.counts.size(); ++i)
+    models_.emplace_back(model_opts);
+}
+
+bool Rebalancer::step(std::span<const double> seconds) {
+  if (seconds.size() != dist_.counts.size())
+    throw std::invalid_argument("Rebalancer::step: size mismatch");
+  ++iterations_seen_;
+  last_migration_s_ = 0.0;
+
+  // Ingest observations and compute the iteration's imbalance.
+  double t_max = 0.0;
+  double t_min = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < seconds.size(); ++i) {
+    const auto share = static_cast<double>(dist_.counts[i]);
+    if (share <= 0.0 || !(seconds[i] > 0.0)) continue;
+    models_[i].observe(share, share / seconds[i]);
+    t_max = std::max(t_max, seconds[i]);
+    t_min = std::min(t_min, seconds[i]);
+  }
+  last_imbalance_ = t_max > 0.0 ? (t_max - t_min) / t_max : 0.0;
+
+  if (iterations_seen_ <= opts_.warmup_iterations) return false;
+  if (iterations_seen_ - last_repartition_iteration_ <=
+      opts_.cooldown_iterations)
+    return false;
+  if (last_imbalance_ <= opts_.imbalance_threshold) return false;
+  for (const OnlineModel& m : models_)
+    if (!m.ready()) return false;  // someone has no data yet (empty share)
+
+  // Candidate repartition from the learned curves.
+  std::vector<core::PiecewiseLinearSpeed> curves;
+  curves.reserve(models_.size());
+  for (const OnlineModel& m : models_) curves.push_back(m.curve());
+  core::SpeedList speeds;
+  for (const auto& c : curves) speeds.push_back(&c);
+  core::Distribution candidate =
+      core::partition_combined(speeds, n_).distribution;
+
+  // Accept only if the *predicted* makespan (both sides evaluated on the
+  // learned curves, cancelling measurement noise) improves by the margin
+  // plus the one-off migration cost amortized over a single iteration.
+  const double predicted_new = core::makespan(speeds, candidate);
+  const double predicted_current = core::makespan(speeds, dist_);
+  std::int64_t moved = 0;
+  for (std::size_t i = 0; i < candidate.counts.size(); ++i)
+    moved += std::abs(candidate.counts[i] - dist_.counts[i]);
+  moved /= 2;  // every element moved leaves one share and enters another
+  const double migration =
+      static_cast<double>(moved) * opts_.migration_cost_per_element_s;
+  if (predicted_new + migration >=
+      predicted_current * (1.0 - opts_.gain_margin))
+    return false;
+
+  dist_ = std::move(candidate);
+  ++repartitions_;
+  last_repartition_iteration_ = iterations_seen_;
+  last_migration_s_ = migration;
+  return true;
+}
+
+}  // namespace fpm::balance

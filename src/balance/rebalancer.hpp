@@ -1,0 +1,84 @@
+// Dynamic repartitioning for iterative data-parallel applications.
+//
+// An iterative application (Jacobi sweeps, time-stepped simulation,
+// iterative solvers) executes the same partitioned computation many times.
+// Every iteration yields free measurements — each processor's wall time at
+// its current share — which the Rebalancer feeds into per-processor
+// OnlineModels and uses to repartition when the observed imbalance exceeds
+// a threshold and the predicted gain outweighs the data-migration cost.
+//
+// Speed units: the rebalancer works in elements/second (speed_i =
+// share_i / seconds_i), so it needs no knowledge of the application's flop
+// counts and its models plug straight into the partitioners.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "balance/online_model.hpp"
+#include "core/partition.hpp"
+
+namespace fpm::balance {
+
+struct RebalancerOptions {
+  /// Repartition when (t_max - t_min)/t_max exceeds this.
+  double imbalance_threshold = 0.10;
+  /// Seconds to move one element between processors (0 = free migration).
+  double migration_cost_per_element_s = 0.0;
+  /// Iterations to run on the initial distribution before the models are
+  /// trusted (they need at least one observation per processor anyway).
+  int warmup_iterations = 1;
+  /// Minimum iterations between repartitions (damps thrashing on noisy
+  /// measurements).
+  int cooldown_iterations = 3;
+  /// Required relative improvement of the *predicted* makespan (evaluated
+  /// on the learned curves, so measurement noise cancels) before a
+  /// repartition is accepted.
+  double gain_margin = 0.05;
+};
+
+class Rebalancer {
+ public:
+  /// Starts from an even distribution of n elements over p processors.
+  Rebalancer(std::size_t processors, std::int64_t n,
+             const OnlineModelOptions& model_opts,
+             const RebalancerOptions& opts);
+
+  /// Starts from a caller-provided initial distribution (e.g. one computed
+  /// offline with pre-built models).
+  Rebalancer(core::Distribution initial, const OnlineModelOptions& model_opts,
+             const RebalancerOptions& opts);
+
+  /// The distribution the application should use for the next iteration.
+  const core::Distribution& distribution() const noexcept { return dist_; }
+
+  /// Feeds the measured per-processor wall times of the last iteration
+  /// (seconds[i] == 0 is allowed for processors with empty shares).
+  /// Returns true when the distribution was changed, in which case the
+  /// caller pays migration_seconds() before the next iteration.
+  bool step(std::span<const double> seconds);
+
+  /// Relative imbalance of the most recent iteration.
+  double last_imbalance() const noexcept { return last_imbalance_; }
+  /// Number of repartitions performed so far.
+  int repartitions() const noexcept { return repartitions_; }
+  /// Migration time charged by the most recent repartition.
+  double last_migration_seconds() const noexcept { return last_migration_s_; }
+  /// Read access to a processor's learned model.
+  const OnlineModel& model(std::size_t i) const { return models_.at(i); }
+
+ private:
+  core::Distribution dist_;
+  std::int64_t n_;
+  std::vector<OnlineModel> models_;
+  RebalancerOptions opts_;
+  int iterations_seen_ = 0;
+  int last_repartition_iteration_ = std::numeric_limits<int>::min() / 2;
+  int repartitions_ = 0;
+  double last_imbalance_ = 0.0;
+  double last_migration_s_ = 0.0;
+};
+
+}  // namespace fpm::balance

@@ -1,0 +1,275 @@
+#include "comm/model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace fpm::comm {
+
+CommModel CommModel::uniform(std::size_t processors, LinkParams link) {
+  if (processors == 0)
+    throw std::invalid_argument("CommModel: processors must be >= 1");
+  if (!(link.rate_Bps > 0.0) || link.startup_s < 0.0)
+    throw std::invalid_argument("CommModel: invalid link parameters");
+  std::vector<std::vector<LinkParams>> links(
+      processors, std::vector<LinkParams>(processors, link));
+  return CommModel(std::move(links));
+}
+
+CommModel::CommModel(std::vector<std::vector<LinkParams>> links)
+    : links_(std::move(links)) {
+  if (links_.empty()) throw std::invalid_argument("CommModel: empty matrix");
+  for (const auto& row : links_) {
+    if (row.size() != links_.size())
+      throw std::invalid_argument("CommModel: matrix must be square");
+    for (const LinkParams& l : row)
+      if (!(l.rate_Bps > 0.0) || l.startup_s < 0.0)
+        throw std::invalid_argument("CommModel: invalid link parameters");
+  }
+}
+
+double CommModel::send_seconds(std::size_t from, std::size_t to,
+                               double bytes) const {
+  if (from >= links_.size() || to >= links_.size())
+    throw std::out_of_range("CommModel: processor index");
+  if (from == to || bytes <= 0.0) return 0.0;
+  const LinkParams& l = links_[from][to];
+  return l.startup_s + bytes / l.rate_Bps;
+}
+
+double CommModel::scatter_seconds(std::size_t root,
+                                  std::span<const double> bytes) const {
+  assert(bytes.size() == links_.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < bytes.size(); ++i)
+    total += send_seconds(root, i, bytes[i]);
+  return total;
+}
+
+double CommModel::gather_seconds(std::size_t root,
+                                 std::span<const double> bytes) const {
+  assert(bytes.size() == links_.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < bytes.size(); ++i)
+    total += send_seconds(i, root, bytes[i]);
+  return total;
+}
+
+double CommModel::broadcast_seconds(std::size_t root, double bytes) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < links_.size(); ++i)
+    total += send_seconds(root, i, bytes);
+  return total;
+}
+
+core::PartitionResult partition_comm_aware(const core::SpeedList& speeds,
+                                           std::int64_t n,
+                                           const CommModel& comm,
+                                           const CommAwareProblem& problem) {
+  if (speeds.size() != comm.processors())
+    throw std::invalid_argument("partition_comm_aware: size mismatch");
+  if (problem.root >= speeds.size())
+    throw std::invalid_argument("partition_comm_aware: root out of range");
+  core::PartitionResult result;
+  result.stats.algorithm = "comm-aware";
+  result.distribution.counts.assign(speeds.size(), 0);
+  if (n <= 0) return result;
+
+  const auto total_seconds = [&](std::size_t i, std::int64_t x) {
+    const double xd = static_cast<double>(x);
+    const double compute =
+        xd * problem.flops_per_element / (speeds[i]->speed(xd) * 1e6);
+    const double recv = comm.send_seconds(problem.root, i,
+                                          xd * problem.bytes_per_element);
+    return compute + recv;
+  };
+  const auto cap = [&](std::size_t i, double T) -> std::int64_t {
+    if (total_seconds(i, 1) > T) return 0;
+    std::int64_t lo = 1;
+    std::int64_t hi = n;
+    if (total_seconds(i, hi) <= T) return hi;
+    while (hi - lo > 1) {
+      const std::int64_t mid = lo + (hi - lo) / 2;
+      if (total_seconds(i, mid) <= T)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    return lo;
+  };
+  const auto total_cap = [&](double T) {
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < speeds.size(); ++i) sum += cap(i, T);
+    return sum;
+  };
+
+  double t_hi = total_seconds(problem.root, n);  // root alone: no comm cost
+  double t_lo = 0.0;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (t_lo + t_hi);
+    if (mid <= t_lo || mid >= t_hi) break;
+    if (total_cap(mid) >= n)
+      t_hi = mid;
+    else
+      t_lo = mid;
+    ++result.stats.iterations;
+  }
+
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
+    result.distribution.counts[i] = cap(i, t_hi);
+    sum += result.distribution.counts[i];
+  }
+  // Trim overshoot from the slowest finishers.
+  while (sum > n) {
+    std::size_t worst = 0;
+    double worst_t = -1.0;
+    for (std::size_t i = 0; i < speeds.size(); ++i) {
+      if (result.distribution.counts[i] == 0) continue;
+      const double t = total_seconds(i, result.distribution.counts[i]);
+      if (t > worst_t) {
+        worst_t = t;
+        worst = i;
+      }
+    }
+    --result.distribution.counts[worst];
+    --sum;
+  }
+  result.stats.final_slope = t_hi;
+  return result;
+}
+
+double serialized_makespan_seconds_ordered(
+    const core::SpeedList& speeds, const core::Distribution& d,
+    const CommModel& comm, const CommAwareProblem& problem,
+    std::span<const std::size_t> order) {
+  assert(speeds.size() == d.counts.size());
+  assert(order.size() == speeds.size());
+  double clock = 0.0;
+  double finish = 0.0;
+  for (const std::size_t i : order) {
+    if (i == problem.root) continue;  // the root keeps its share locally
+    const double xd = static_cast<double>(d.counts[i]);
+    if (xd <= 0.0) continue;
+    clock += comm.send_seconds(problem.root, i, xd * problem.bytes_per_element);
+    const double compute =
+        xd * problem.flops_per_element / (speeds[i]->speed(xd) * 1e6);
+    finish = std::max(finish, clock + compute);
+  }
+  // The master is busy sending; its own computation starts once the
+  // scatter completes (the classic DLT master-computes-last convention).
+  const double root_x = static_cast<double>(d.counts[problem.root]);
+  if (root_x > 0.0)
+    finish = std::max(
+        finish, clock + root_x * problem.flops_per_element /
+                            (speeds[problem.root]->speed(root_x) * 1e6));
+  return finish;
+}
+
+double serialized_makespan_seconds(const core::SpeedList& speeds,
+                                   const core::Distribution& d,
+                                   const CommModel& comm,
+                                   const CommAwareProblem& problem) {
+  std::vector<std::size_t> order(speeds.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  return serialized_makespan_seconds_ordered(speeds, d, comm, problem, order);
+}
+
+core::Distribution refine_serialized(const core::SpeedList& speeds,
+                                     const core::Distribution& seed,
+                                     const CommModel& comm,
+                                     const CommAwareProblem& problem,
+                                     int max_rounds) {
+  const std::size_t p = speeds.size();
+  assert(seed.counts.size() == p);
+  core::Distribution best = seed;
+  const auto evaluate = [&](const core::Distribution& d) {
+    const auto order = optimize_send_order(speeds, d, comm, problem);
+    return serialized_makespan_seconds_ordered(speeds, d, comm, problem,
+                                               order);
+  };
+  double best_t = evaluate(best);
+  // Chunk size: fine enough to converge close to a local optimum, coarse
+  // enough to keep the search cheap.
+  const std::int64_t chunk =
+      std::max<std::int64_t>(1, best.total() / (static_cast<std::int64_t>(p) * 64));
+
+  for (int round = 0; round < max_rounds; ++round) {
+    // Identify the finisher that defines the makespan.
+    const auto order = optimize_send_order(speeds, best, comm, problem);
+    double clock = 0.0;
+    std::size_t bottleneck = problem.root;
+    double bottleneck_t = -1.0;
+    for (const std::size_t i : order) {
+      const double xd = static_cast<double>(best.counts[i]);
+      if (i == problem.root || xd <= 0.0) continue;
+      clock += comm.send_seconds(problem.root, i, xd * problem.bytes_per_element);
+      const double finish =
+          clock + xd * problem.flops_per_element / (speeds[i]->speed(xd) * 1e6);
+      if (finish > bottleneck_t) {
+        bottleneck_t = finish;
+        bottleneck = i;
+      }
+    }
+    const double root_x = static_cast<double>(best.counts[problem.root]);
+    if (root_x > 0.0) {
+      const double finish = clock + root_x * problem.flops_per_element /
+                                        (speeds[problem.root]->speed(root_x) * 1e6);
+      if (finish > bottleneck_t) {
+        bottleneck_t = finish;
+        bottleneck = problem.root;
+      }
+    }
+    const std::int64_t give =
+        std::min(chunk, best.counts[bottleneck]);
+    if (give == 0) break;
+
+    // Try the move to every other processor; keep the best improvement.
+    double round_best_t = best_t;
+    core::Distribution round_best = best;
+    for (std::size_t to = 0; to < p; ++to) {
+      if (to == bottleneck) continue;
+      core::Distribution candidate = best;
+      candidate.counts[bottleneck] -= give;
+      candidate.counts[to] += give;
+      const double t = evaluate(candidate);
+      if (t < round_best_t) {
+        round_best_t = t;
+        round_best = std::move(candidate);
+      }
+    }
+    if (round_best_t >= best_t * (1.0 - 1e-12)) break;  // local optimum
+    best = std::move(round_best);
+    best_t = round_best_t;
+  }
+  return best;
+}
+
+std::vector<std::size_t> optimize_send_order(const core::SpeedList& speeds,
+                                             const core::Distribution& d,
+                                             const CommModel& comm,
+                                             const CommAwareProblem& problem) {
+  assert(speeds.size() == d.counts.size());
+  std::vector<std::size_t> order(speeds.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> compute(speeds.size(), 0.0);
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
+    const double xd = static_cast<double>(d.counts[i]);
+    if (xd > 0.0)
+      compute[i] = xd * problem.flops_per_element / (speeds[i]->speed(xd) * 1e6);
+  }
+  // Longest computation first; the root (zero receive cost) goes last so
+  // its slot never delays anyone. Stable for determinism.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (a == problem.root) return false;
+                     if (b == problem.root) return true;
+                     return compute[a] > compute[b];
+                   });
+  (void)comm;
+  return order;
+}
+
+}  // namespace fpm::comm

@@ -1,0 +1,114 @@
+// Communication cost modelling — the paper's stated future work (§1),
+// built here as an extension. Following Bhat, Prasanna & Raghavendra (the
+// paper's [13]), the link between every processor pair is characterized by
+// two parameters: a start-up time and a data transmission rate. The paper
+// also notes that on switched 100 Mbit Ethernet it is desirable that only
+// one processor sends at a time; the serialized collective costs model
+// exactly that schedule.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/partition.hpp"
+
+namespace fpm::comm {
+
+/// Two-parameter link model: seconds(bytes) = startup_s + bytes/rate_Bps.
+struct LinkParams {
+  double startup_s = 0.0;
+  double rate_Bps = 1.0;  ///< bytes per second (> 0)
+};
+
+/// Per-pair link parameters for a p-processor network. The maximal number
+/// of distinct links is p² (paper §1); a switched network is modelled by
+/// uniform parameters.
+class CommModel {
+ public:
+  /// Uniform network: every pair shares the same parameters.
+  static CommModel uniform(std::size_t processors, LinkParams link);
+
+  /// Fully general p x p matrix (row = sender, column = receiver).
+  explicit CommModel(std::vector<std::vector<LinkParams>> links);
+
+  std::size_t processors() const noexcept { return links_.size(); }
+
+  /// Point-to-point time for `bytes` from `from` to `to`; 0 when from == to.
+  double send_seconds(std::size_t from, std::size_t to, double bytes) const;
+
+  /// Root sends bytes[i] to each processor i, one message at a time (the
+  /// serialized Ethernet schedule): the total is the sum of the sends.
+  double scatter_seconds(std::size_t root, std::span<const double> bytes) const;
+
+  /// Each processor returns bytes[i] to the root, serialized.
+  double gather_seconds(std::size_t root, std::span<const double> bytes) const;
+
+  /// Root sends the same payload to everyone, serialized flat tree.
+  double broadcast_seconds(std::size_t root, double bytes) const;
+
+ private:
+  std::vector<std::vector<LinkParams>> links_;
+};
+
+/// Parameters of the communication-aware partitioning problem: processor i
+/// receiving x elements pays its compute time plus the cost of receiving
+/// x·bytes_per_element from the root.
+struct CommAwareProblem {
+  std::size_t root = 0;
+  double bytes_per_element = 8.0;
+  /// Converts the speed-function unit into seconds: compute seconds =
+  /// x·flops_per_element / (speed(x)·1e6) for speeds in MFlops.
+  double flops_per_element = 1.0;
+};
+
+/// Communication-aware partitioning assuming links operate concurrently:
+/// minimizes max_i [recv_i(x_i) + compute_i(x_i)] by bisection on the
+/// makespan (each addend is non-decreasing in x_i, so per-processor
+/// capacities are well-defined). The root pays no receive cost.
+core::PartitionResult partition_comm_aware(const core::SpeedList& speeds,
+                                           std::int64_t n,
+                                           const CommModel& comm,
+                                           const CommAwareProblem& problem);
+
+/// Evaluates a distribution under the serialized-Ethernet schedule: the
+/// root scatters every share in sequence (index order), then computation
+/// proceeds in parallel (processor i starts after its own receive
+/// completes).
+double serialized_makespan_seconds(const core::SpeedList& speeds,
+                                   const core::Distribution& d,
+                                   const CommModel& comm,
+                                   const CommAwareProblem& problem);
+
+/// Like serialized_makespan_seconds but with an explicit send order (a
+/// permutation of 0..p-1; the root's own entry costs nothing wherever it
+/// appears).
+double serialized_makespan_seconds_ordered(
+    const core::SpeedList& speeds, const core::Distribution& d,
+    const CommModel& comm, const CommAwareProblem& problem,
+    std::span<const std::size_t> order);
+
+/// Refines a distribution for the *serialized* schedule by local search:
+/// repeatedly moves a small chunk of elements away from the processor that
+/// finishes last (under the optimized send order) to the processor whose
+/// finish time grows least, keeping moves that reduce the serialized
+/// makespan. Starts from `seed` (typically partition_comm_aware's output)
+/// and returns the improved distribution. Deterministic;
+/// O(rounds · p · makespan evaluations).
+core::Distribution refine_serialized(const core::SpeedList& speeds,
+                                     const core::Distribution& seed,
+                                     const CommModel& comm,
+                                     const CommAwareProblem& problem,
+                                     int max_rounds = 256);
+
+/// Chooses a good send order for the serialized schedule. The classic rule
+/// — serve the longest remaining computation first — is optimal for
+/// uniform links (an exchange argument: delaying a long computation by a
+/// short send beats the converse); for non-uniform links it is a strong
+/// heuristic. Returns the permutation.
+std::vector<std::size_t> optimize_send_order(const core::SpeedList& speeds,
+                                             const core::Distribution& d,
+                                             const CommModel& comm,
+                                             const CommAwareProblem& problem);
+
+}  // namespace fpm::comm

@@ -1,0 +1,41 @@
+#include "core/bisection.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/detail/search_state.hpp"
+#include "core/finetune.hpp"
+
+namespace fpm::core {
+
+bool bracket_converged(std::span<const double> small,
+                       std::span<const double> large) {
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    double k = std::floor(large[i]);
+    if (k == large[i]) k -= 1.0;
+    if (k > small[i]) return false;
+  }
+  return true;
+}
+
+PartitionResult partition_basic(const SpeedList& speeds, std::int64_t n,
+                                const BasicBisectionOptions& opts) {
+  if (speeds.empty())
+    throw std::invalid_argument("partition_basic: no speeds");
+  PartitionResult result;
+  result.stats.algorithm = "basic";
+  if (n <= 0) {
+    result.distribution.counts.assign(speeds.size(), 0);
+    return result;
+  }
+  detail::SearchState state(speeds, n);
+  while (!state.converged() && state.iterations() < opts.max_iterations)
+    state.step_basic(opts.bisect_angles);
+  result.stats.iterations = state.iterations();
+  result.stats.intersections = state.intersections();
+  result.stats.final_slope = state.hi_slope();
+  result.distribution = fine_tune(speeds, n, state.small());
+  return result;
+}
+
+}  // namespace fpm::core

@@ -1,0 +1,37 @@
+// The basic (simplest) partitioning algorithm (paper §2, Figures 7-8):
+// maintain two lines through the origin bracketing the optimal one and
+// bisect the angular region between them. Each step costs O(p) intersection
+// solves; when the optimal slope decays polynomially in n the algorithm
+// needs O(log n) steps (total O(p·log n)), but an exponentially decaying
+// optimal slope degrades it to O(n) steps — the motivation for the modified
+// algorithm.
+#pragma once
+
+#include <cstdint>
+
+#include "core/partition.hpp"
+
+namespace fpm::core {
+
+struct BasicBisectionOptions {
+  /// Bisect true angles (atan of the slopes) as in the paper's description,
+  /// or the tangents directly (the paper's suggested practical shortcut).
+  bool bisect_angles = true;
+  /// Hard iteration cap; on hitting it the current bracket is fine-tuned
+  /// as-is (the result is still a valid distribution, possibly sub-optimal).
+  int max_iterations = 1 << 20;
+};
+
+/// Partitions n elements over speeds.size() processors with the basic
+/// angle-bisection algorithm followed by fine-tuning.
+/// Requires n >= 0 and a non-empty speed list.
+PartitionResult partition_basic(const SpeedList& speeds, std::int64_t n,
+                                const BasicBisectionOptions& opts = {});
+
+/// True when no integer lies strictly inside any processor's size bracket —
+/// the paper's stopping criterion. `small`/`large` are the per-processor
+/// intersections with the steep and shallow bracket lines.
+bool bracket_converged(std::span<const double> small,
+                       std::span<const double> large);
+
+}  // namespace fpm::core

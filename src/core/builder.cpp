@@ -1,0 +1,185 @@
+#include "core/builder.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace fpm::core {
+namespace {
+
+/// Band value at one breakpoint.
+struct Bounds {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool contains(double s) const { return lo <= s && s <= hi; }
+};
+
+/// Builder state shared across the recursion: the breakpoint map holds the
+/// current band; probes are counted against the budget.
+class Trisector {
+ public:
+  Trisector(MeasurementSource& source, const BuilderOptions& opts)
+      : source_(source), opts_(opts) {
+    if (!(opts_.min_size > 0.0) || !(opts_.max_size > opts_.min_size))
+      throw std::invalid_argument("builder: need 0 < min_size < max_size");
+    if (!(opts_.epsilon > 0.0) || !(opts_.epsilon < 1.0))
+      throw std::invalid_argument("builder: epsilon must be in (0, 1)");
+    if (opts_.samples_per_point < 1)
+      throw std::invalid_argument("builder: samples_per_point must be >= 1");
+    // The absolute floor is only a backstop against runaway recursion; the
+    // relative floor is what normally terminates refinement.
+    min_interval_ =
+        opts_.min_interval > 0.0
+            ? opts_.min_interval
+            : std::max(1.0, (opts_.max_size - opts_.min_size) / 1048576.0);
+  }
+
+  BuiltModel run() {
+    const double a = opts_.min_size;
+    const double b = opts_.max_size;
+    const double sa = probe(a);
+    const double eps = opts_.epsilon;
+    // Initial approximation (Figure 20a): one band from (a, sa·(1±eps)) to
+    // (b, [0, eps·sa]) — at b the speed is practically zero, so its band is
+    // the absolute sliver [0, eps·sa].
+    band_[a] = {sa * (1.0 - eps), sa * (1.0 + eps)};
+    band_[b] = {0.0, eps * sa};
+    refine(a, b);
+    return finish();
+  }
+
+ private:
+  /// One experimental point: `samples_per_point` runs averaged.
+  double probe(double x) {
+    double sum = 0.0;
+    for (int i = 0; i < opts_.samples_per_point; ++i) {
+      sum += source_.measure(x);
+      ++probes_;
+    }
+    const double s = std::max(0.0, sum / opts_.samples_per_point);
+    probed_.push_back({x, s});
+    return s;
+  }
+
+  bool budget_exhausted() const {
+    return probes_ + 2 * opts_.samples_per_point > opts_.max_probes;
+  }
+
+  /// Linear interpolation of the current band between two breakpoints.
+  Bounds interpolate(double xl, double xr, double x) const {
+    const Bounds& l = band_.at(xl);
+    const Bounds& r = band_.at(xr);
+    const double t = (x - xl) / (xr - xl);
+    return {l.lo + t * (r.lo - l.lo), l.hi + t * (r.hi - l.hi)};
+  }
+
+  Bounds measured_band(double s) const {
+    return {s * (1.0 - opts_.epsilon), s * (1.0 + opts_.epsilon)};
+  }
+
+  /// The recursive trisection over the interval [xl, xr]; both endpoints
+  /// must already be breakpoints of the band map.
+  void refine(double xl, double xr) {
+    if (xr - xl < min_interval_ || xr - xl < opts_.min_relative_interval * xl ||
+        budget_exhausted())
+      return;
+    const double third = (xr - xl) / 3.0;
+    const double xb1 = xl + third;
+    const double xb2 = xl + 2.0 * third;
+
+    const Bounds est1 = interpolate(xl, xr, xb1);
+    const Bounds est2 = interpolate(xl, xr, xb2);
+    const Bounds end_l = band_.at(xl);
+    const Bounds end_r = band_.at(xr);
+
+    const double s1 = probe(xb1);
+    const double s2 = probe(xb2);
+    const bool in1 = est1.contains(s1);
+    const bool in2 = est2.contains(s2);
+
+    if (in1 && in2) return;  // case (a): accept the current piece
+
+    if (!in1 && in2) {
+      // Case (b): re-anchor at the measured xb1; the second piece runs from
+      // xb1 to the *estimated* band at xb2 (Figure 20b).
+      band_[xb1] = measured_band(s1);
+      band_[xb2] = est2;
+      if (end_l.contains(s1)) {
+        refine(xb1, xb2);
+      } else {
+        refine(xl, xb1);
+        refine(xb1, xb2);
+      }
+      return;
+    }
+
+    if (in1 && !in2) {
+      // Case (c): mirror image (Figure 20c).
+      band_[xb1] = est1;
+      band_[xb2] = measured_band(s2);
+      if (end_r.contains(s2)) {
+        refine(xb1, xb2);
+      } else {
+        refine(xb1, xb2);
+        refine(xb2, xr);
+      }
+      return;
+    }
+
+    // Case (d): both probes out of band (Figure 20d).
+    band_[xb1] = measured_band(s1);
+    band_[xb2] = measured_band(s2);
+    const bool left_ok = end_l.contains(s1);
+    const bool right_ok = end_r.contains(s2);
+    if (left_ok && right_ok) {
+      refine(xb1, xb2);
+    } else if (right_ok) {
+      refine(xl, xb1);
+      refine(xb1, xb2);
+    } else if (left_ok) {
+      refine(xb1, xb2);
+      refine(xb2, xr);
+    } else {
+      refine(xl, xb1);
+      refine(xb1, xb2);
+      refine(xb2, xr);
+    }
+  }
+
+  BuiltModel finish() const {
+    std::vector<SpeedPoint> lower;
+    std::vector<SpeedPoint> upper;
+    lower.reserve(band_.size());
+    upper.reserve(band_.size());
+    for (const auto& [x, bounds] : band_) {
+      lower.push_back({x, bounds.lo});
+      upper.push_back({x, bounds.hi});
+    }
+    BuiltModel model{PerformanceBand(std::move(lower), std::move(upper)),
+                     probes_, probed_};
+    return model;
+  }
+
+  MeasurementSource& source_;
+  const BuilderOptions& opts_;
+  double min_interval_ = 0.0;
+  std::map<double, Bounds> band_;
+  std::vector<SpeedPoint> probed_;
+  int probes_ = 0;
+};
+
+}  // namespace
+
+BuiltModel build_speed_band(MeasurementSource& source,
+                            const BuilderOptions& opts) {
+  return Trisector(source, opts).run();
+}
+
+PiecewiseLinearSpeed build_speed_model(MeasurementSource& source,
+                                       const BuilderOptions& opts) {
+  return build_speed_band(source, opts).band.center();
+}
+
+}  // namespace fpm::core

@@ -1,0 +1,76 @@
+// Practical construction of the functional model (paper §3.1, Figures 14,
+// 19, 20): build a piece-wise-linear band approximation of a processor's
+// speed function from few experimentally obtained points.
+//
+// The procedure starts from a single band connecting (a, s(a)·(1±ε)) to
+// (b, [0, ε·s(a)]) — a is a size fitting the top-level cache, b a size large
+// enough that the speed is practically zero — and recursively refines by
+// *trisection*: probe the two interior third-points of an interval; if both
+// measured speeds fall within the current band the piece is accepted,
+// otherwise the band is re-anchored at the out-of-band probes and the
+// procedure recurses into the sub-intervals the paper prescribes. Trisection
+// (rather than bisection) is essential: under the single-intersection shape
+// assumption two probe points cannot both lie on the chord by accident
+// (Figure 19c).
+#pragma once
+
+#include <vector>
+
+#include "core/piecewise.hpp"
+
+namespace fpm::core {
+
+/// Source of experimental speed observations: runs (or simulates) the
+/// application at a given problem size and reports the observed speed.
+/// Measurements may be noisy; the builder treats each call as one
+/// experiment and counts it towards the model-building cost.
+class MeasurementSource {
+ public:
+  virtual ~MeasurementSource() = default;
+
+  /// Observed speed for a problem of `size` elements. Must be >= 0.
+  virtual double measure(double size) = 0;
+};
+
+struct BuilderOptions {
+  /// Band half-width as a fraction of the measured speed: the paper's
+  /// acceptable deviation (±5%).
+  double epsilon = 0.05;
+  /// a: the smallest modelled size (fits in the top cache level).
+  double min_size = 1.0;
+  /// b: a size large enough that the speed is practically zero.
+  double max_size = 0.0;
+  /// Repetitions averaged per probe point (the paper repeats small-scale
+  /// experiments and averages).
+  int samples_per_point = 1;
+  /// Refinement floor: intervals shorter than this are accepted as-is.
+  /// <= 0 selects (b - a)/4096.
+  double min_interval = 0.0;
+  /// Relative refinement floor: an interval [xl, xr] with xr - xl below
+  /// min_relative_interval·xl is accepted as-is. Because speed features
+  /// (cache and paging knees) sit at size *scales*, this keeps the small
+  /// end of a range spanning several decades refinable without letting the
+  /// recursion chase noise: geometric refinement depth is logarithmic.
+  double min_relative_interval = 0.02;
+  /// Upper bound on measure() calls; refinement stops once exhausted.
+  int max_probes = 512;
+};
+
+/// The constructed model plus its experimental cost.
+struct BuiltModel {
+  PerformanceBand band;            ///< lower/upper piece-wise envelopes
+  int probes = 0;                  ///< measure() calls consumed
+  std::vector<SpeedPoint> probed;  ///< every measured (size, speed) pair
+};
+
+/// Runs the trisection procedure. Requires 0 < min_size < max_size and
+/// epsilon in (0, 1).
+BuiltModel build_speed_band(MeasurementSource& source,
+                            const BuilderOptions& opts);
+
+/// Convenience: builds the band and returns its centre curve, ready for the
+/// partitioning algorithms.
+PiecewiseLinearSpeed build_speed_model(MeasurementSource& source,
+                                       const BuilderOptions& opts);
+
+}  // namespace fpm::core

@@ -1,0 +1,116 @@
+#include "core/detail/search_state.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fpm::core::detail {
+
+SearchState::SearchState(const SpeedList& speeds, std::int64_t n)
+    : speeds_(speeds), n_(static_cast<double>(n)) {
+  bracket_ = detect_bracket(speeds, n);
+  small_ = sizes_at(speeds_, bracket_.hi_slope);
+  large_ = sizes_at(speeds_, bracket_.lo_slope);
+  intersections_ += static_cast<int>(2 * speeds_.size());
+}
+
+std::int64_t SearchState::interior_count(std::size_t i) const {
+  // Integers k with small[i] < k <= large[i].
+  const double lo = small_[i];
+  const double hi = large_[i];
+  if (hi <= lo) return 0;
+  return static_cast<std::int64_t>(std::floor(hi)) -
+         static_cast<std::int64_t>(std::floor(lo));
+}
+
+std::int64_t SearchState::total_interior() const {
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < speeds_.size(); ++i) total += interior_count(i);
+  return total;
+}
+
+bool SearchState::converged() const {
+  // No integer strictly inside (small[i], large[i]) for any processor. A
+  // candidate equal to a bracket endpoint is already represented by that
+  // line, so strict interiority is the right test.
+  for (std::size_t i = 0; i < speeds_.size(); ++i) {
+    double k = std::floor(large_[i]);
+    if (k == large_[i]) k -= 1.0;  // want strictly below the shallow line
+    if (k > small_[i]) return false;
+  }
+  return true;
+}
+
+void SearchState::split_at(double slope) {
+  ++iterations_;
+  std::vector<double> sizes = sizes_at(speeds_, slope);
+  intersections_ += static_cast<int>(speeds_.size());
+  double sum = 0.0;
+  for (const double x : sizes) sum += x;
+  if (sum < n_) {
+    // Line too steep: the optimum lies in the shallower (lower) region.
+    bracket_.hi_slope = slope;
+    small_ = std::move(sizes);
+  } else {
+    bracket_.lo_slope = slope;
+    large_ = std::move(sizes);
+  }
+}
+
+void SearchState::step_basic(bool bisect_angles) {
+  double mid;
+  if (bisect_angles) {
+    const double theta =
+        0.5 * (std::atan(bracket_.lo_slope) + std::atan(bracket_.hi_slope));
+    mid = std::tan(theta);
+  } else {
+    mid = 0.5 * (bracket_.lo_slope + bracket_.hi_slope);
+  }
+  // Guard against a degenerate midpoint (possible once the interval reaches
+  // round-off width): nudge to the geometric mean, then give up gracefully
+  // by reusing an endpoint, which converged() will catch via the x-brackets.
+  if (!(mid > bracket_.lo_slope) || !(mid < bracket_.hi_slope))
+    mid = std::sqrt(bracket_.lo_slope * bracket_.hi_slope);
+  if (!(mid > bracket_.lo_slope) || !(mid < bracket_.hi_slope)) {
+    ++iterations_;
+    return;
+  }
+  split_at(mid);
+}
+
+void SearchState::step_custom(double slope) {
+  if (!(slope > bracket_.lo_slope) || !(slope < bracket_.hi_slope))
+    slope = 0.5 * (bracket_.lo_slope + bracket_.hi_slope);
+  if (!(slope > bracket_.lo_slope) || !(slope < bracket_.hi_slope)) {
+    ++iterations_;
+    return;
+  }
+  split_at(slope);
+}
+
+void SearchState::step_modified() {
+  // Processor whose graph carries the most candidate solutions.
+  std::size_t best = 0;
+  std::int64_t best_count = -1;
+  for (std::size_t i = 0; i < speeds_.size(); ++i) {
+    const std::int64_t c = interior_count(i);
+    if (c > best_count) {
+      best_count = c;
+      best = i;
+    }
+  }
+  const double m = 0.5 * (small_[best] + large_[best]);
+  double slope = m > 0.0 ? speeds_[best]->speed(m) / m : 0.0;
+  // m lies strictly between the two intersections of graph `best`, so by the
+  // decreasing-ratio property the new slope lies strictly inside the slope
+  // interval; re-bisect on tangents if round-off breaks that.
+  if (!(slope > bracket_.lo_slope) || !(slope < bracket_.hi_slope))
+    slope = 0.5 * (bracket_.lo_slope + bracket_.hi_slope);
+  if (!(slope > bracket_.lo_slope) || !(slope < bracket_.hi_slope)) {
+    ++iterations_;
+    return;
+  }
+  split_at(slope);
+}
+
+}  // namespace fpm::core::detail

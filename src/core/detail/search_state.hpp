@@ -1,0 +1,70 @@
+// Internal shared state for the bracketing line search used by the basic,
+// modified, and combined partitioning algorithms. Not part of the public
+// API; include only from core/*.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partition.hpp"
+
+namespace fpm::core::detail {
+
+/// The region between two lines through the origin, tracked as the slope
+/// interval together with the per-processor intersection coordinates.
+class SearchState {
+ public:
+  /// Initializes from the Figure-18 bracket and solves both lines.
+  SearchState(const SpeedList& speeds, std::int64_t n);
+
+  /// Per-processor intersections with the steep line (sum <= n).
+  const std::vector<double>& small() const noexcept { return small_; }
+  /// Per-processor intersections with the shallow line (sum >= n).
+  const std::vector<double>& large() const noexcept { return large_; }
+
+  double hi_slope() const noexcept { return bracket_.hi_slope; }
+  double lo_slope() const noexcept { return bracket_.lo_slope; }
+  int iterations() const noexcept { return iterations_; }
+  int intersections() const noexcept { return intersections_; }
+
+  /// Count of integers k with small[i] < k <= large[i]: the candidate
+  /// solutions the i-th graph still contributes to the solution space.
+  std::int64_t interior_count(std::size_t i) const;
+
+  /// Sum of interior_count over all processors.
+  std::int64_t total_interior() const;
+
+  /// The paper's stopping criterion: no processor bracket contains an
+  /// integer strictly inside.
+  bool converged() const;
+
+  /// One basic-bisection step: split the slope interval at the (angle or
+  /// tangent) midpoint and keep the half containing the optimum.
+  void step_basic(bool bisect_angles);
+
+  /// One modified-algorithm step: pick the processor with the most interior
+  /// candidates, draw the line through the midpoint of its size bracket,
+  /// and shrink the region with it. Falls back to a tangent bisection when
+  /// the midpoint line degenerates numerically.
+  void step_modified();
+
+  /// One step with a caller-chosen slope (used by the interpolation
+  /// search); slopes outside the open bracket are replaced by a tangent
+  /// bisection.
+  void step_custom(double slope);
+
+ private:
+  /// Evaluates the line of slope `c`, then assigns it to the steep or
+  /// shallow side depending on whether its total size is below n.
+  void split_at(double slope);
+
+  SpeedList speeds_;  // non-owning pointers, copied so temporaries are safe
+  double n_;
+  SlopeBracket bracket_;
+  std::vector<double> small_;
+  std::vector<double> large_;
+  int iterations_ = 0;
+  int intersections_ = 0;
+};
+
+}  // namespace fpm::core::detail

@@ -1,0 +1,16 @@
+// Umbrella header for the fpmlib core: the functional performance model and
+// the set-partitioning algorithms of Lastovetsky & Reddy (IPDPS 2004).
+#pragma once
+
+#include "core/bisection.hpp"
+#include "core/bounded.hpp"
+#include "core/builder.hpp"
+#include "core/combined.hpp"
+#include "core/finetune.hpp"
+#include "core/hierarchy.hpp"
+#include "core/interpolation.hpp"
+#include "core/modified.hpp"
+#include "core/partition.hpp"
+#include "core/piecewise.hpp"
+#include "core/speed_function.hpp"
+#include "core/surface.hpp"

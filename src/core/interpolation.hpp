@@ -1,0 +1,43 @@
+// An interpolation-based line search — a candidate for the paper's open
+// challenge (§2): "An ideal bisection algorithm would be of the complexity
+// O(p·log₂n), reducing at each step the space of solutions by 50% and
+// being insensitive to the shape of the graphs. The design of such an
+// algorithm is still a challenge."
+//
+// Idea: the total-size function N(c) = Σ x_i(c) is strictly decreasing and,
+// for the observed curve families, close to a power law in the slope over
+// wide ranges. Instead of bisecting the slope interval, fit the secant of
+// log N against log c through the bracket endpoints and step to the slope
+// it predicts for N = n (regula falsi in log-log space), with a bisection
+// safeguard: if the interpolated point falls outside the middle 98% of the
+// bracket or fails to shrink it geometrically, fall back to one bisection
+// step. The safeguard bounds the worst case by 2x the basic algorithm
+// while the interpolation typically converges superlinearly — including on
+// the exponential family, where log N is near-*linear* in log c and plain
+// bisection degrades to O(n) steps.
+//
+// This does not settle the theoretical challenge (no O(p·log n) worst-case
+// proof), but it is measurably shape-insensitive in practice — see
+// bench/ablation_algorithms.
+#pragma once
+
+#include <cstdint>
+
+#include "core/partition.hpp"
+
+namespace fpm::core {
+
+struct InterpolationOptions {
+  /// Fraction of the log-slope bracket the interpolated point must stay
+  /// inside; outside, the step is replaced by a bisection.
+  double safeguard_margin = 0.01;
+  int max_iterations = 1 << 20;
+};
+
+/// Partitions n elements with the safeguarded log-log regula-falsi search
+/// followed by the standard fine-tuning.
+PartitionResult partition_interpolation(const SpeedList& speeds,
+                                        std::int64_t n,
+                                        const InterpolationOptions& opts = {});
+
+}  // namespace fpm::core

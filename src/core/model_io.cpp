@@ -1,0 +1,129 @@
+#include "core/model_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace fpm::core {
+namespace {
+
+[[noreturn]] void parse_error(int line, const std::string& what) {
+  throw std::runtime_error("fpm-model parse error at line " +
+                           std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+PiecewiseLinearSpeed NamedModel::curve() const {
+  if (lower.size() != upper.size() || lower.empty())
+    throw std::runtime_error("NamedModel::curve: malformed band");
+  std::vector<SpeedPoint> pts(lower.size());
+  for (std::size_t i = 0; i < lower.size(); ++i)
+    pts[i] = {lower[i].size, 0.5 * (lower[i].speed + upper[i].speed)};
+  return PiecewiseLinearSpeed(repair_shape_requirement(std::move(pts)));
+}
+
+NamedModel make_named_model(std::string name,
+                            const PiecewiseLinearSpeed& curve,
+                            double epsilon) {
+  NamedModel m;
+  m.name = std::move(name);
+  m.epsilon = epsilon;
+  m.lower.assign(curve.points().begin(), curve.points().end());
+  m.upper = m.lower;
+  return m;
+}
+
+NamedModel make_named_model(std::string name, const PerformanceBand& band,
+                            double epsilon) {
+  NamedModel m;
+  m.name = std::move(name);
+  m.epsilon = epsilon;
+  m.lower.assign(band.lower_points().begin(), band.lower_points().end());
+  m.upper.assign(band.upper_points().begin(), band.upper_points().end());
+  return m;
+}
+
+void save_models(std::ostream& os, const std::vector<NamedModel>& models) {
+  os << "# fpm-model v1\n";
+  os << std::setprecision(17);
+  for (const NamedModel& m : models) {
+    if (m.name.empty() || m.name.find_first_of(" \t\n") != std::string::npos)
+      throw std::runtime_error("save_models: model names must be non-empty "
+                               "and contain no whitespace");
+    if (m.lower.size() != m.upper.size())
+      throw std::runtime_error("save_models: malformed band in '" + m.name +
+                               "'");
+    os << "model " << m.name << "\n";
+    os << "band " << m.epsilon << "\n";
+    for (std::size_t i = 0; i < m.lower.size(); ++i) {
+      if (m.lower[i].size != m.upper[i].size)
+        throw std::runtime_error("save_models: envelope x mismatch in '" +
+                                 m.name + "'");
+      os << "point " << m.lower[i].size << ' ' << m.lower[i].speed << ' '
+         << m.upper[i].speed << "\n";
+    }
+    os << "end\n";
+  }
+}
+
+std::vector<NamedModel> load_models(std::istream& is) {
+  std::vector<NamedModel> models;
+  NamedModel current;
+  bool in_model = false;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ss(line);
+    std::string keyword;
+    if (!(ss >> keyword) || keyword[0] == '#') continue;
+    if (keyword == "model") {
+      if (in_model) parse_error(line_no, "nested 'model'");
+      current = NamedModel{};
+      if (!(ss >> current.name)) parse_error(line_no, "missing model name");
+      in_model = true;
+    } else if (keyword == "band") {
+      if (!in_model) parse_error(line_no, "'band' outside a model");
+      if (!(ss >> current.epsilon) || current.epsilon < 0.0)
+        parse_error(line_no, "bad band epsilon");
+    } else if (keyword == "point") {
+      if (!in_model) parse_error(line_no, "'point' outside a model");
+      double size = 0.0, lo = 0.0, hi = 0.0;
+      if (!(ss >> size >> lo >> hi)) parse_error(line_no, "bad point");
+      if (size <= 0.0) parse_error(line_no, "point size must be > 0");
+      if (lo < 0.0 || hi < lo)
+        parse_error(line_no, "need 0 <= lower <= upper");
+      if (!current.lower.empty() && size <= current.lower.back().size)
+        parse_error(line_no, "sizes must be strictly increasing");
+      current.lower.push_back({size, lo});
+      current.upper.push_back({size, hi});
+    } else if (keyword == "end") {
+      if (!in_model) parse_error(line_no, "'end' outside a model");
+      if (current.lower.empty()) parse_error(line_no, "model has no points");
+      models.push_back(std::move(current));
+      in_model = false;
+    } else {
+      parse_error(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (in_model) parse_error(line_no, "unterminated model (missing 'end')");
+  return models;
+}
+
+void save_models_file(const std::string& path,
+                      const std::vector<NamedModel>& models) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_models_file: cannot open " + path);
+  save_models(os, models);
+  if (!os) throw std::runtime_error("save_models_file: write failed: " + path);
+}
+
+std::vector<NamedModel> load_models_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_models_file: cannot open " + path);
+  return load_models(is);
+}
+
+}  // namespace fpm::core

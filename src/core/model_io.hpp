@@ -1,0 +1,60 @@
+// Persistence for functional performance models.
+//
+// Building a speed function costs real benchmark runs (§3.1), so a usable
+// library must let applications build once and reuse across runs — the
+// same design as the FuPerMod toolchain that grew out of this paper. The
+// format is a small line-oriented text format, one file per machine or a
+// multi-model bundle:
+//
+//   # fpm-model v1
+//   model <name>
+//   band <epsilon>
+//   point <size> <lower_speed> <upper_speed>
+//   ...
+//   end
+//
+// Lines starting with '#' are comments. Sizes must be strictly increasing
+// within a model. A single-curve model writes lower == upper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/piecewise.hpp"
+
+namespace fpm::core {
+
+/// A named performance band ready for saving or just loaded.
+struct NamedModel {
+  std::string name;
+  double epsilon = 0.0;  ///< the builder's accepted deviation (metadata)
+  std::vector<SpeedPoint> lower;
+  std::vector<SpeedPoint> upper;
+
+  /// Centre curve of the band (repaired to the shape requirement).
+  PiecewiseLinearSpeed curve() const;
+};
+
+/// Builds a NamedModel from a single curve (lower == upper).
+NamedModel make_named_model(std::string name,
+                            const PiecewiseLinearSpeed& curve,
+                            double epsilon = 0.0);
+
+/// Builds a NamedModel from a band.
+NamedModel make_named_model(std::string name, const PerformanceBand& band,
+                            double epsilon);
+
+/// Writes one or more models to a stream in the fpm-model format.
+void save_models(std::ostream& os, const std::vector<NamedModel>& models);
+
+/// Parses models from a stream. Throws std::runtime_error with a line
+/// number on malformed input.
+std::vector<NamedModel> load_models(std::istream& is);
+
+/// Convenience file-path wrappers; throw std::runtime_error on I/O failure.
+void save_models_file(const std::string& path,
+                      const std::vector<NamedModel>& models);
+std::vector<NamedModel> load_models_file(const std::string& path);
+
+}  // namespace fpm::core

@@ -1,0 +1,92 @@
+// Common types and helpers for the set-partitioning problem (paper §2):
+// partition an n-element set over p heterogeneous processors so that the
+// number of elements per processor is proportional to its speed at the size
+// it receives.
+//
+// The geometric formulation: an allocation (x_1..x_p) with x_i proportional
+// to s_i(x_i) corresponds to a straight line of some slope c through the
+// origin, with x_i the intersection of that line with the i-th speed graph
+// and sum(x_i) = n. All algorithms search for that slope.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/speed_function.hpp"
+
+namespace fpm::core {
+
+/// Integer allocation of the n elements: counts[i] elements to processor i.
+struct Distribution {
+  std::vector<std::int64_t> counts;
+
+  std::int64_t total() const noexcept;
+  std::size_t processors() const noexcept { return counts.size(); }
+};
+
+/// Diagnostics reported by the iterative partitioners.
+struct PartitionStats {
+  int iterations = 0;              ///< bisection steps performed
+  int intersections = 0;           ///< c·x = s(x) solves performed
+  double final_slope = 0.0;        ///< slope of the line used for fine-tuning
+  std::string algorithm;           ///< which algorithm produced the result
+  bool switched_to_modified = false;  ///< combined algorithm fell back
+};
+
+/// A partitioner's output: the integer allocation plus diagnostics.
+struct PartitionResult {
+  Distribution distribution;
+  PartitionStats stats;
+};
+
+/// Intersections of a slope-c line with every graph: x_i = s_i^{-1}-style
+/// solve of c·x = s_i(x). Sizes are real-valued (the integer allocation is
+/// produced later by fine-tuning).
+std::vector<double> sizes_at(const SpeedList& speeds, double slope);
+
+/// Sum of sizes_at(); strictly decreasing in the slope.
+double total_size_at(const SpeedList& speeds, double slope);
+
+/// A pair of slopes bracketing the optimal line: total size >= n at
+/// `lo_slope` and <= n at `hi_slope` (hi_slope >= lo_slope).
+struct SlopeBracket {
+  double lo_slope = 0.0;  ///< shallow line, larger sizes (sum >= n)
+  double hi_slope = 0.0;  ///< steep line, smaller sizes (sum <= n)
+};
+
+/// Initial bracket detection (paper Figure 18): evaluate every speed at
+/// n/p; line 1 through (n/p, max speed) has sum <= n, line 2 through
+/// (n/p, min speed) has sum >= n. A geometric expansion loop guards against
+/// degenerate inputs (e.g. sizes beyond every curve's range).
+/// Requires n >= 1 and a non-empty speed list.
+SlopeBracket detect_bracket(const SpeedList& speeds, std::int64_t n);
+
+/// Even distribution: n/p elements each, remainders to the lowest ranks.
+/// The paper's fallback when model information is unusable.
+Distribution partition_even(std::int64_t n, std::size_t p);
+
+/// The single-number model baseline: distributes n proportionally to the
+/// constant speeds, then fixes rounding with a min-completion-time greedy so
+/// the counts sum to exactly n. Complexity O(p·log p).
+Distribution partition_single_number(std::int64_t n,
+                                     std::span<const double> speeds);
+
+/// Convenience: the single-number baseline where each constant speed is
+/// read off the functional model at a reference size (the paper's
+/// experiments measure all processors at one fixed size, e.g. a 500x500
+/// matrix).
+Distribution partition_single_number_at(const SpeedList& speeds,
+                                        std::int64_t n, double reference_size);
+
+/// Parallel execution time of a distribution under the functional model:
+/// max_i counts[i] / s_i(counts[i]) in reciprocal speed units. This is the
+/// objective the optimal line minimizes.
+double makespan(const SpeedList& speeds, const Distribution& d);
+
+/// Per-processor execution times counts[i] / s_i(counts[i]).
+std::vector<double> execution_times(const SpeedList& speeds,
+                                    const Distribution& d);
+
+}  // namespace fpm::core

@@ -1,0 +1,203 @@
+#include "core/rect2d.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/combined.hpp"
+
+namespace fpm::core {
+namespace {
+
+/// Splits `total` units over groups in proportion to non-negative weights,
+/// summing exactly; a group with zero weight gets zero. Largest-remainder
+/// rounding, deterministic tie-break by index.
+std::vector<std::int64_t> proportional_split(
+    std::int64_t total, const std::vector<double>& weights) {
+  const double weight_sum =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  std::vector<std::int64_t> out(weights.size(), 0);
+  if (weight_sum <= 0.0 || total <= 0) return out;
+  std::vector<std::pair<double, std::size_t>> remainders;
+  std::int64_t assigned = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double exact =
+        static_cast<double>(total) * weights[i] / weight_sum;
+    out[i] = static_cast<std::int64_t>(exact);
+    assigned += out[i];
+    remainders.emplace_back(exact - static_cast<double>(out[i]), i);
+  }
+  std::stable_sort(remainders.begin(), remainders.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::int64_t left = total - assigned;
+  for (std::size_t k = 0; left > 0 && k < remainders.size(); ++k) {
+    const std::size_t i = remainders[k].second;
+    if (weights[i] <= 0.0) continue;  // zero-weight groups stay empty
+    ++out[i];
+    --left;
+  }
+  // The floor error is below the number of positive groups, so the loop
+  // above always settles; the fallback guards degenerate float inputs.
+  while (left > 0) {
+    const std::size_t i = static_cast<std::size_t>(
+        std::max_element(weights.begin(), weights.end()) - weights.begin());
+    ++out[i];
+    --left;
+  }
+  return out;
+}
+
+/// A candidate layout for a fixed column count.
+struct Layout {
+  std::vector<std::vector<std::size_t>> column_members;
+  std::vector<double> column_areas;
+};
+
+/// Greedy longest-processing-time assignment of processors to columns:
+/// biggest areas first, each into the currently lightest column. Produces
+/// balanced column areas, which keeps column widths even.
+Layout assign_columns(const std::vector<std::int64_t>& areas,
+                      std::size_t columns) {
+  Layout layout;
+  layout.column_members.resize(columns);
+  layout.column_areas.assign(columns, 0.0);
+  std::vector<std::size_t> order(areas.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return areas[a] > areas[b];
+  });
+  for (const std::size_t i : order) {
+    const std::size_t lightest = static_cast<std::size_t>(
+        std::min_element(layout.column_areas.begin(),
+                         layout.column_areas.end()) -
+        layout.column_areas.begin());
+    layout.column_members[lightest].push_back(i);
+    layout.column_areas[lightest] += static_cast<double>(areas[i]);
+  }
+  return layout;
+}
+
+/// Realizes a layout as integer rectangles tiling the grid exactly.
+std::vector<Rect> realize(const Layout& layout,
+                          const std::vector<std::int64_t>& areas,
+                          std::int64_t rows, std::int64_t cols) {
+  std::vector<Rect> rects(areas.size());
+  std::vector<std::int64_t> widths =
+      proportional_split(cols, layout.column_areas);
+  // Every column holding positive area needs at least one unit of width;
+  // steal from the widest columns when rounding starved one.
+  for (std::size_t j = 0; j < widths.size(); ++j) {
+    if (layout.column_areas[j] > 0.0 && widths[j] == 0) {
+      const std::size_t widest = static_cast<std::size_t>(
+          std::max_element(widths.begin(), widths.end()) - widths.begin());
+      if (widths[widest] > 1) {
+        --widths[widest];
+        ++widths[j];
+      }
+    }
+  }
+  std::int64_t col0 = 0;
+  for (std::size_t j = 0; j < layout.column_members.size(); ++j) {
+    const auto& members = layout.column_members[j];
+    std::vector<double> member_areas;
+    member_areas.reserve(members.size());
+    for (const std::size_t i : members)
+      member_areas.push_back(static_cast<double>(areas[i]));
+    const std::vector<std::int64_t> heights =
+        widths[j] > 0 ? proportional_split(rows, member_areas)
+                      : std::vector<std::int64_t>(members.size(), 0);
+    std::int64_t row0 = 0;
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      Rect& r = rects[members[k]];
+      r.row = row0;
+      r.col = col0;
+      r.rows = heights[k];
+      r.cols = widths[j];
+      if (r.rows == 0 || r.cols == 0) r = Rect{0, 0, 0, 0};
+      row0 += heights[k];
+    }
+    col0 += widths[j];
+  }
+  return rects;
+}
+
+std::int64_t layout_half_perimeter(const std::vector<Rect>& rects) {
+  std::int64_t total = 0;
+  for (const Rect& r : rects)
+    if (r.area() > 0) total += r.half_perimeter();
+  return total;
+}
+
+}  // namespace
+
+std::int64_t RectPartition::total_half_perimeter() const {
+  return layout_half_perimeter(rects);
+}
+
+RectPartition partition_rectangles(const SpeedList& speeds, std::int64_t rows,
+                                   std::int64_t cols,
+                                   const Rect2dOptions& opts) {
+  if (speeds.empty())
+    throw std::invalid_argument("partition_rectangles: no speeds");
+  if (rows < 1 || cols < 1)
+    throw std::invalid_argument("partition_rectangles: grid must be >= 1x1");
+  const std::size_t p = speeds.size();
+  if (opts.force_columns > p)
+    throw std::invalid_argument("partition_rectangles: more columns than "
+                                "processors");
+
+  // Optimal per-processor areas under the functional model.
+  PartitionResult area_result = partition_combined(speeds, rows * cols);
+  const std::vector<std::int64_t>& areas = area_result.distribution.counts;
+
+  RectPartition best;
+  best.grid_rows = rows;
+  best.grid_cols = cols;
+  best.stats = area_result.stats;
+  std::int64_t best_score = std::numeric_limits<std::int64_t>::max();
+
+  const std::size_t c_lo = opts.force_columns ? opts.force_columns : 1;
+  const std::size_t c_hi = opts.force_columns ? opts.force_columns : p;
+  for (std::size_t c = c_lo; c <= c_hi; ++c) {
+    const Layout layout = assign_columns(areas, c);
+    std::vector<Rect> rects = realize(layout, areas, rows, cols);
+    const std::int64_t score = layout_half_perimeter(rects);
+    if (score < best_score) {
+      best_score = score;
+      best.rects = std::move(rects);
+      best.columns = c;
+    }
+  }
+  return best;
+}
+
+bool is_exact_tiling(const RectPartition& partition) {
+  std::int64_t covered = 0;
+  for (const Rect& r : partition.rects) {
+    if (r.rows < 0 || r.cols < 0) return false;
+    if (r.area() == 0) continue;
+    if (r.row < 0 || r.col < 0 || r.row + r.rows > partition.grid_rows ||
+        r.col + r.cols > partition.grid_cols)
+      return false;
+    covered += r.area();
+  }
+  if (covered != partition.grid_rows * partition.grid_cols) return false;
+  // Pairwise overlap check.
+  for (std::size_t i = 0; i < partition.rects.size(); ++i) {
+    const Rect& a = partition.rects[i];
+    if (a.area() == 0) continue;
+    for (std::size_t j = i + 1; j < partition.rects.size(); ++j) {
+      const Rect& b = partition.rects[j];
+      if (b.area() == 0) continue;
+      const bool row_overlap =
+          a.row < b.row + b.rows && b.row < a.row + a.rows;
+      const bool col_overlap =
+          a.col < b.col + b.cols && b.col < a.col + a.cols;
+      if (row_overlap && col_overlap) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fpm::core

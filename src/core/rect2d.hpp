@@ -1,0 +1,70 @@
+// Two-dimensional rectangular partitioning — the multi-parameter extension
+// the paper sketches in §3.1: "the optimal solution provided by a geometric
+// algorithm would divide these surfaces to produce a set of rectangular
+// partitions equal in number to the number of processors such that the
+// number of elements in each partition (the area of the partition) is
+// proportional to the speed of the processor."
+//
+// This module implements the classic column-based construction (the one
+// heterogeneous ScaLAPACK-style codes use): processors are arranged into
+// columns; column widths are proportional to the summed optimal areas of
+// their processors, and each processor receives a horizontal slab of its
+// column with height proportional to its own area. The per-processor areas
+// come from the 1-D functional partitioner, so size-dependent speeds (and
+// paging) are honoured. The column count is chosen by minimizing the total
+// half-perimeter, the standard communication-volume proxy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partition.hpp"
+
+namespace fpm::core {
+
+/// One processor's rectangle in an M x N element grid (rows x cols).
+struct Rect {
+  std::int64_t row = 0;
+  std::int64_t col = 0;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+
+  std::int64_t area() const noexcept { return rows * cols; }
+  /// Half-perimeter, the standard proxy for a processor's communication
+  /// volume in 2-D matrix algorithms.
+  std::int64_t half_perimeter() const noexcept { return rows + cols; }
+};
+
+/// A full 2-D partition: one rectangle per processor, exactly covering the
+/// grid.
+struct RectPartition {
+  std::int64_t grid_rows = 0;
+  std::int64_t grid_cols = 0;
+  std::vector<Rect> rects;       ///< rects[i] belongs to processor i
+  std::size_t columns = 0;       ///< processor-column count chosen
+  PartitionStats stats;          ///< from the underlying 1-D area solve
+
+  /// Sum of half-perimeters of all non-empty rectangles.
+  std::int64_t total_half_perimeter() const;
+};
+
+struct Rect2dOptions {
+  /// Fix the processor-column count; 0 searches 1..p for the smallest
+  /// total half-perimeter.
+  std::size_t force_columns = 0;
+};
+
+/// Partitions an M x N grid of elements over the processors. Rectangles
+/// tile the grid exactly; each processor's area tracks its optimal 1-D
+/// share (from partition_combined over M·N elements) up to the integer
+/// rounding that exact tiling requires. Processors whose optimal share is
+/// zero receive an empty rectangle. Requires rows, cols >= 1.
+RectPartition partition_rectangles(const SpeedList& speeds,
+                                   std::int64_t rows, std::int64_t cols,
+                                   const Rect2dOptions& opts = {});
+
+/// Verifies that the rectangles tile the grid exactly (no gap, no overlap).
+/// Exposed for tests and user assertions; O(p²).
+bool is_exact_tiling(const RectPartition& partition);
+
+}  // namespace fpm::core

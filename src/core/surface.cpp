@@ -1,0 +1,50 @@
+#include "core/surface.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fpm::core {
+
+ShapeInvariantSurface::ShapeInvariantSurface(
+    std::shared_ptr<const SpeedFunction> by_elements,
+    double aspect_sensitivity)
+    : by_elements_(std::move(by_elements)),
+      aspect_sensitivity_(aspect_sensitivity) {
+  if (!by_elements_ || aspect_sensitivity < 0.0)
+    throw std::invalid_argument("ShapeInvariantSurface: invalid parameters");
+}
+
+double ShapeInvariantSurface::speed(double n1, double n2) const {
+  const double elements = n1 * n2;
+  double s = by_elements_->speed(elements);
+  if (aspect_sensitivity_ > 0.0 && n1 > 0.0 && n2 > 0.0) {
+    const double aspect = std::abs(std::log(n1 / n2));
+    s /= 1.0 + aspect_sensitivity_ * aspect;
+  }
+  return s;
+}
+
+double ShapeInvariantSurface::max_n1(double n2) const {
+  if (!(n2 > 0.0))
+    throw std::invalid_argument("ShapeInvariantSurface: n2 must be > 0");
+  return by_elements_->max_size() / n2;
+}
+
+FixedParamSpeed::FixedParamSpeed(std::shared_ptr<const SpeedSurface> surface,
+                                 double n2)
+    : surface_(std::move(surface)), n2_(n2) {
+  if (!surface_ || !(n2 > 0.0))
+    throw std::invalid_argument("FixedParamSpeed: invalid parameters");
+}
+
+double FixedParamSpeed::speed(double x) const {
+  const double n1 = std::max(x, 0.0) / n2_;
+  return surface_->speed(n1, n2_);
+}
+
+double FixedParamSpeed::max_size() const {
+  return surface_->max_n1(n2_) * n2_;
+}
+
+}  // namespace fpm::core

@@ -1,0 +1,63 @@
+// Two-parameter problem sizes (paper §3.1): for the striped matrix
+// applications the per-processor problem is an n1 x n2 sub-matrix, so the
+// speed function is geometrically a surface s = f(n1, n2). The paper's key
+// observation (Tables 3 and 4): with one parameter fixed, the surface
+// reduces to a line, and for the studied kernels the speed depends only on
+// the element count n1·n2, not on the shape — so speed functions built with
+// square matrices serve non-square slices too.
+#pragma once
+
+#include <memory>
+
+#include "core/speed_function.hpp"
+
+namespace fpm::core {
+
+/// Abstract speed surface over two size parameters.
+class SpeedSurface {
+ public:
+  virtual ~SpeedSurface() = default;
+
+  /// Speed when processing an n1 x n2 problem.
+  virtual double speed(double n1, double n2) const = 0;
+
+  /// Largest modelled n1 for a given n2.
+  virtual double max_n1(double n2) const = 0;
+};
+
+/// A surface whose speed depends (almost) only on the element count
+/// n1·n2 — the experimentally observed behaviour of Tables 3/4. An optional
+/// aspect sensitivity adds a mild penalty for extreme aspect ratios, for
+/// studying when the shape-invariance assumption breaks.
+class ShapeInvariantSurface final : public SpeedSurface {
+ public:
+  /// `by_elements` maps total element count to speed; `aspect_sensitivity`
+  /// (>= 0) scales a log-aspect penalty (0 = perfectly shape-invariant).
+  ShapeInvariantSurface(std::shared_ptr<const SpeedFunction> by_elements,
+                        double aspect_sensitivity = 0.0);
+
+  double speed(double n1, double n2) const override;
+  double max_n1(double n2) const override;
+
+ private:
+  std::shared_ptr<const SpeedFunction> by_elements_;
+  double aspect_sensitivity_;
+};
+
+/// Reduction of a surface to a one-parameter speed function by fixing the
+/// second parameter (paper Figure 16b: n2 = n during set partitioning). The
+/// resulting function's argument is the *element count* x = n1·n2, matching
+/// the partitioning convention.
+class FixedParamSpeed final : public SpeedFunction {
+ public:
+  FixedParamSpeed(std::shared_ptr<const SpeedSurface> surface, double n2);
+
+  double speed(double x) const override;
+  double max_size() const override;
+
+ private:
+  std::shared_ptr<const SpeedSurface> surface_;
+  double n2_;
+};
+
+}  // namespace fpm::core

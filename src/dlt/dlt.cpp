@@ -1,0 +1,244 @@
+#include "dlt/dlt.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace fpm::dlt {
+
+ComputeTime ComputeTime::constant_rate(double seconds_per_unit) {
+  if (!(seconds_per_unit > 0.0))
+    throw std::invalid_argument("ComputeTime: rate must be > 0");
+  return {{0.0}, {seconds_per_unit}};
+}
+
+ComputeTime ComputeTime::out_of_core(double in_core, double memory_units,
+                                     double out_of_core) {
+  if (!(in_core > 0.0) || !(out_of_core >= in_core) || !(memory_units > 0.0))
+    throw std::invalid_argument(
+        "ComputeTime: need 0 < in_core <= out_of_core and memory > 0");
+  return {{0.0, memory_units}, {in_core, out_of_core}};
+}
+
+double ComputeTime::seconds(double load) const {
+  assert(!knots.empty() && knots.size() == slopes.size());
+  double t = 0.0;
+  for (std::size_t k = 0; k < knots.size(); ++k) {
+    const double seg_lo = knots[k];
+    if (load <= seg_lo) break;
+    const double seg_hi =
+        k + 1 < knots.size() ? std::min(knots[k + 1], load) : load;
+    t += (seg_hi - seg_lo) * slopes[k];
+  }
+  return t;
+}
+
+double ComputeTime::invert(double seconds_avail) const {
+  assert(!knots.empty() && knots.size() == slopes.size());
+  if (seconds_avail <= 0.0) return 0.0;
+  double t = 0.0;
+  for (std::size_t k = 0; k < knots.size(); ++k) {
+    const double seg_lo = knots[k];
+    const bool last = k + 1 == knots.size();
+    const double seg_len =
+        last ? std::numeric_limits<double>::infinity() : knots[k + 1] - seg_lo;
+    const double seg_time = seg_len * slopes[k];
+    if (last || t + seg_time >= seconds_avail)
+      return seg_lo + (seconds_avail - t) / slopes[k];
+    t += seg_time;
+  }
+  return knots.back();  // unreachable
+}
+
+namespace {
+
+/// Total load distributable within makespan T: the forward recursion of
+/// the simultaneous-finish principle. Worker i receives its share after the
+/// cumulative communication C_{i-1}; its share is the largest load whose
+/// transfer plus computation fits in T - C_{i-1} - startup, solved on the
+/// convex compute-time curve, clamped by the memory bound.
+double total_within(std::span<const DltWorker> workers, double T,
+                    std::vector<double>* shares) {
+  double cumulative_comm = 0.0;
+  double total = 0.0;
+  if (shares) shares->assign(workers.size(), 0.0);
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const DltWorker& w = workers[i];
+    const double avail = T - cumulative_comm - w.startup_s;
+    if (avail <= 0.0) continue;  // no time left for this worker
+    // Solve compute.seconds(a) + z*a == avail for a: both addends increase
+    // in a, so bisect on a. Upper bound: avail/z or the pure-compute
+    // inverse, whichever is larger.
+    double hi = w.compute.invert(avail);
+    if (w.link_s_per_unit > 0.0)
+      hi = std::min(hi, avail / w.link_s_per_unit);
+    double lo = 0.0;
+    for (int it = 0; it < 100; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      if (mid <= lo || mid >= hi) break;
+      if (w.compute.seconds(mid) + w.link_s_per_unit * mid <= avail)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    double share = 0.5 * (lo + hi);
+    share = std::min(share, w.memory_limit);
+    if (shares) (*shares)[i] = share;
+    cumulative_comm += w.startup_s + w.link_s_per_unit * share;
+    total += share;
+  }
+  return total;
+}
+
+}  // namespace
+
+DltSchedule schedule_single_round(std::span<const DltWorker> workers,
+                                  double total_load) {
+  if (workers.empty())
+    throw std::invalid_argument("schedule_single_round: no workers");
+  if (total_load < 0.0)
+    throw std::invalid_argument("schedule_single_round: negative load");
+  DltSchedule result;
+  result.shares.assign(workers.size(), 0.0);
+  if (total_load == 0.0) return result;
+
+  // Feasibility: memory bounds cap the distributable volume.
+  double capacity = 0.0;
+  for (const DltWorker& w : workers) capacity += w.memory_limit;
+  if (capacity < total_load) {
+    result.feasible = false;
+    return result;
+  }
+
+  // Bracket the makespan: worker 0 handling everything alone is feasible
+  // when its memory allows; otherwise grow geometrically until the total
+  // fits (memory-capped totals still grow with T via later workers).
+  double t_hi = workers[0].startup_s +
+                workers[0].link_s_per_unit * total_load +
+                workers[0].compute.seconds(total_load);
+  for (int i = 0; i < 256 && total_within(workers, t_hi, nullptr) < total_load;
+       ++i)
+    t_hi *= 2.0;
+  double t_lo = 0.0;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (t_lo + t_hi);
+    if (mid <= t_lo || mid >= t_hi) break;
+    if (total_within(workers, mid, nullptr) >= total_load)
+      t_hi = mid;
+    else
+      t_lo = mid;
+  }
+  total_within(workers, t_hi, &result.shares);
+  // Scale the tiny bisection overshoot back onto the last non-zero share.
+  double sum = std::accumulate(result.shares.begin(), result.shares.end(), 0.0);
+  if (sum > 0.0) {
+    const double excess = sum - total_load;
+    if (excess > 0.0) {
+      for (std::size_t i = result.shares.size(); i-- > 0;) {
+        const double take = std::min(result.shares[i], excess);
+        result.shares[i] -= take;
+        if (take >= excess) break;
+      }
+    }
+  }
+  result.makespan_s = t_hi;
+  return result;
+}
+
+DltMultiSchedule schedule_multi_round(std::span<const DltWorker> workers,
+                                      double total_load, int rounds) {
+  if (rounds < 1)
+    throw std::invalid_argument("schedule_multi_round: rounds must be >= 1");
+  DltMultiSchedule result;
+  // Equal installments with single-round proportions per installment; the
+  // makespan comes from simulating the pipelined timeline (the master
+  // sends installment r+1 while workers compute installment r). Each
+  // installment is processed and retired before the next, so per-
+  // installment compute time uses the installment size — which is exactly
+  // how multi-installment processing sidesteps the out-of-core penalty.
+  const double per_round = total_load / rounds;
+  const DltSchedule base = schedule_single_round(workers, per_round);
+  result.feasible = base.feasible;
+  result.shares.assign(workers.size(), 0.0);
+  if (!base.feasible) return result;
+  for (std::size_t i = 0; i < workers.size(); ++i)
+    result.shares[i] = base.shares[i] * rounds;
+
+  double clock = 0.0;
+  std::vector<double> finish(workers.size(), 0.0);
+  for (int r = 0; r < rounds; ++r) {
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      const double share = base.shares[i];
+      if (share <= 0.0) continue;
+      clock += workers[i].startup_s + workers[i].link_s_per_unit * share;
+      const double start = std::max(clock, finish[i]);
+      finish[i] = start + workers[i].compute.seconds(share);
+    }
+  }
+  for (const double f : finish) result.makespan_s = std::max(result.makespan_s, f);
+  return result;
+}
+
+std::vector<std::size_t> optimize_order(std::span<const DltWorker> workers,
+                                        double total_load) {
+  std::vector<std::size_t> identity(workers.size());
+  std::iota(identity.begin(), identity.end(), std::size_t{0});
+
+  const auto evaluate = [&](const std::vector<std::size_t>& order) {
+    std::vector<DltWorker> permuted;
+    permuted.reserve(order.size());
+    for (const std::size_t i : order) permuted.push_back(workers[i]);
+    const DltSchedule s = schedule_single_round(permuted, total_load);
+    return s.feasible ? s.makespan_s
+                      : std::numeric_limits<double>::infinity();
+  };
+
+  std::vector<std::size_t> by_link = identity;
+  std::stable_sort(by_link.begin(), by_link.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return workers[a].link_s_per_unit <
+                            workers[b].link_s_per_unit;
+                   });
+  std::vector<std::size_t> by_compute = identity;
+  std::stable_sort(by_compute.begin(), by_compute.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return workers[a].compute.slopes.front() <
+                            workers[b].compute.slopes.front();
+                   });
+
+  std::vector<std::size_t> best = identity;
+  double best_t = evaluate(identity);
+  for (const auto* cand : {&by_link, &by_compute}) {
+    const double t = evaluate(*cand);
+    if (t < best_t) {
+      best_t = t;
+      best = *cand;
+    }
+  }
+  return best;
+}
+
+DltWorker worker_from_speed_function(const core::SpeedFunction& speed,
+                                     double memory_elements,
+                                     double flops_per_element,
+                                     double startup_s,
+                                     double link_s_per_unit) {
+  if (!(memory_elements > 0.0) || !(flops_per_element > 0.0))
+    throw std::invalid_argument("worker_from_speed_function: bad parameters");
+  DltWorker w;
+  w.startup_s = startup_s;
+  w.link_s_per_unit = link_s_per_unit;
+  // In-core rate: the speed at half the memory size; out-of-core rate: the
+  // speed at twice the memory size (deep enough that paging dominates).
+  const double s_in = speed.speed(memory_elements * 0.5);
+  const double s_out = speed.speed(memory_elements * 2.0);
+  const double in_core = flops_per_element / (s_in * 1e6);
+  const double out_core =
+      std::max(in_core, flops_per_element / (s_out * 1e6));
+  w.compute = ComputeTime::out_of_core(in_core, memory_elements, out_core);
+  return w;
+}
+
+}  // namespace fpm::dlt

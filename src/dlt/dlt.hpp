@@ -1,0 +1,102 @@
+// Divisible Load Theory (DLT) baselines — the scheduling-theory line of
+// work the paper positions itself against (its references [17] Bharadwaj et
+// al., [18] Drozdowski & Wolniewicz "Divisible Load Scheduling in Systems
+// with Limited Memory", [19] "Out-of-Core Divisible Load Processing").
+//
+// Model: a star network. The master holds V units of divisible load and
+// sends fraction alpha_i to worker i over a dedicated link, one worker
+// after another (single-installment, sequential distribution). Worker i
+// starts computing when its share has arrived. The classic optimality
+// principle — all workers finish simultaneously — yields a forward
+// recursion per candidate makespan T, and the total distributed load is
+// monotone in T, so the optimal T is found by bisection.
+//
+// Three model variants, matching the three references:
+//   * classic: constant compute rate w_i seconds/unit (flat memory model);
+//   * limited memory: a hard per-worker buffer bound B_i;
+//   * out-of-core: compute time piecewise-linear and convex in the share
+//     (the rate degrades once the share spills out of memory).
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/speed_function.hpp"
+
+namespace fpm::dlt {
+
+/// Piecewise-linear convex compute-time function: time(load) interpolates
+/// the breakpoints and extends the last slope beyond them. Breakpoints must
+/// start at (0, 0) implicitly; `slopes[k]` applies on [knots[k], knots[k+1])
+/// with knots[0] == 0 and knots.size() == slopes.size().
+struct ComputeTime {
+  std::vector<double> knots;   ///< load thresholds, knots[0] == 0
+  std::vector<double> slopes;  ///< seconds per unit on each segment, increasing
+
+  /// Constant-rate model (the classic flat-memory DLT).
+  static ComputeTime constant_rate(double seconds_per_unit);
+
+  /// Two-rate out-of-core model: `in_core` seconds/unit until
+  /// `memory_units`, `out_of_core` seconds/unit beyond.
+  static ComputeTime out_of_core(double in_core, double memory_units,
+                                 double out_of_core);
+
+  double seconds(double load) const;
+  /// Largest load finishing within `seconds_avail`; inverse of seconds().
+  double invert(double seconds_avail) const;
+};
+
+/// One worker of the star.
+struct DltWorker {
+  double startup_s = 0.0;        ///< link start-up cost per message
+  double link_s_per_unit = 0.0;  ///< z_i: transfer seconds per load unit
+  ComputeTime compute;           ///< compute-time model
+  double memory_limit =          ///< B_i: hard buffer bound (units)
+      std::numeric_limits<double>::infinity();
+};
+
+/// The resulting schedule.
+struct DltSchedule {
+  std::vector<double> shares;  ///< alpha_i, in load units; sums to V
+  double makespan_s = 0.0;
+  bool feasible = true;  ///< false when memory bounds cannot hold V
+};
+
+/// Optimal single-installment schedule for the given worker order.
+/// Workers receive their shares in index order. Requires V >= 0.
+DltSchedule schedule_single_round(std::span<const DltWorker> workers,
+                                  double total_load);
+
+/// Heuristic order optimization: evaluates the identity order, workers
+/// sorted by link rate, and workers sorted by compute rate, returning the
+/// permutation with the best makespan (ties keep the earlier candidate).
+std::vector<std::size_t> optimize_order(std::span<const DltWorker> workers,
+                                        double total_load);
+
+/// Multi-installment scheduling: the load is dispatched in `rounds`
+/// consecutive single-round schedules, so every worker starts computing
+/// after receiving only ~1/rounds of its total share — the classic remedy
+/// for the long initial distribution phase when links are slow relative to
+/// computation. Workers compute their installments back to back; the
+/// makespan is the completion of the last installment. Memory bounds apply
+/// per installment stock (conservatively: to each installment).
+/// Requires rounds >= 1; rounds == 1 reduces to schedule_single_round.
+struct DltMultiSchedule {
+  std::vector<double> shares;  ///< total per worker, sums to V
+  double makespan_s = 0.0;
+  bool feasible = true;
+};
+DltMultiSchedule schedule_multi_round(std::span<const DltWorker> workers,
+                                      double total_load, int rounds);
+
+/// Adapter from a functional performance model: derives an out-of-core
+/// two-rate DLT worker from a speed function by probing the in-core and
+/// deep-paging speeds around the given memory size.
+/// `flops_per_element` converts speeds (MFlops) into seconds per element.
+DltWorker worker_from_speed_function(const core::SpeedFunction& speed,
+                                     double memory_elements,
+                                     double flops_per_element,
+                                     double startup_s, double link_s_per_unit);
+
+}  // namespace fpm::dlt

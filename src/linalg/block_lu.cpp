@@ -1,0 +1,73 @@
+#include "linalg/block_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fpm::linalg {
+
+bool block_lu_factor(util::MatrixD& a, std::size_t b,
+                     std::vector<std::size_t>& pivots) {
+  if (b == 0) throw std::invalid_argument("block_lu_factor: block == 0");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const std::size_t steps = std::min(m, n);
+  pivots.assign(steps, 0);
+  bool nonsingular = true;
+
+  for (std::size_t k0 = 0; k0 < steps; k0 += b) {
+    const std::size_t kb = std::min(b, steps - k0);
+
+    // Panel factorization (unblocked, columns k0..k0+kb) with pivot search
+    // over the full trailing rows — identical choices to lu_factor.
+    for (std::size_t k = k0; k < k0 + kb; ++k) {
+      std::size_t piv = k;
+      double best = std::abs(a(k, k));
+      for (std::size_t i = k + 1; i < m; ++i) {
+        const double v = std::abs(a(i, k));
+        if (v > best) {
+          best = v;
+          piv = i;
+        }
+      }
+      pivots[k] = piv;
+      if (best == 0.0) {
+        nonsingular = false;
+        continue;
+      }
+      if (piv != k)  // swap whole rows: L history and the panel alike
+        for (std::size_t j = 0; j < n; ++j) std::swap(a(k, j), a(piv, j));
+      const double inv = 1.0 / a(k, k);
+      for (std::size_t i = k + 1; i < m; ++i) {
+        const double l = a(i, k) * inv;
+        a(i, k) = l;
+        // Update only within the panel; the block row/update below handles
+        // the rest of the matrix.
+        for (std::size_t j = k + 1; j < k0 + kb; ++j) a(i, j) -= l * a(k, j);
+      }
+    }
+    if (!nonsingular) return false;
+
+    const std::size_t j0 = k0 + kb;
+    if (j0 >= n) continue;
+
+    // Block row: A12 <- L11^{-1}·A12 (unit lower triangular solve).
+    for (std::size_t k = k0; k < k0 + kb; ++k)
+      for (std::size_t i = k + 1; i < k0 + kb; ++i) {
+        const double l = a(i, k);
+        if (l == 0.0) continue;
+        for (std::size_t j = j0; j < n; ++j) a(i, j) -= l * a(k, j);
+      }
+
+    // Trailing update: A22 <- A22 - L21·U12.
+    for (std::size_t i = j0; i < m; ++i)
+      for (std::size_t k = k0; k < k0 + kb; ++k) {
+        const double l = a(i, k);
+        if (l == 0.0) continue;
+        for (std::size_t j = j0; j < n; ++j) a(i, j) -= l * a(k, j);
+      }
+  }
+  return nonsingular;
+}
+
+}  // namespace fpm::linalg

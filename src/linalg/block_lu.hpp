@@ -1,0 +1,23 @@
+// Right-looking block LU factorization with partial pivoting — the serial
+// reference for the parallel algorithm the VGB distribution schedules
+// (paper Figure 17a): panel factorization, pivot application, triangular
+// solve of the block row, trailing-matrix update. Produces bit-identical
+// factors to the unblocked lu_factor (same pivot choices), which the test
+// suite verifies.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace fpm::linalg {
+
+/// In-place blocked LU with partial pivoting, block size `b`. Semantics
+/// match lu_factor: on return `a` packs L (unit diagonal) and U, and
+/// `pivots[k]` is the row swapped with row k at elimination step k.
+/// Returns false on an exactly singular pivot column.
+bool block_lu_factor(util::MatrixD& a, std::size_t b,
+                     std::vector<std::size_t>& pivots);
+
+}  // namespace fpm::linalg

@@ -1,0 +1,119 @@
+#include "linalg/cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/kernels.hpp"
+
+namespace fpm::linalg {
+
+bool cholesky_factor(util::MatrixD& a) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n)
+    throw std::invalid_argument("cholesky_factor: matrix must be square");
+  for (std::size_t k = 0; k < n; ++k) {
+    const double pivot = a(k, k);
+    if (!(pivot > 0.0)) return false;
+    const double root = std::sqrt(pivot);
+    a(k, k) = root;
+    for (std::size_t i = k + 1; i < n; ++i) a(i, k) /= root;
+    for (std::size_t j = k + 1; j < n; ++j) {
+      const double l_jk = a(j, k);
+      if (l_jk == 0.0) continue;
+      for (std::size_t i = j; i < n; ++i) a(i, j) -= a(i, k) * l_jk;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) a(i, j) = 0.0;
+  return true;
+}
+
+bool block_cholesky_factor(util::MatrixD& a, std::size_t b) {
+  if (b == 0) throw std::invalid_argument("block_cholesky_factor: block == 0");
+  const std::size_t n = a.rows();
+  if (a.cols() != n)
+    throw std::invalid_argument("block_cholesky_factor: matrix must be square");
+  for (std::size_t k0 = 0; k0 < n; k0 += b) {
+    const std::size_t kb = std::min(b, n - k0);
+    // Diagonal block: unblocked factorization restricted to the panel,
+    // updating only columns within it (trailing columns handled below).
+    for (std::size_t k = k0; k < k0 + kb; ++k) {
+      const double pivot = a(k, k);
+      if (!(pivot > 0.0)) return false;
+      const double root = std::sqrt(pivot);
+      a(k, k) = root;
+      for (std::size_t i = k + 1; i < n; ++i) a(i, k) /= root;
+      for (std::size_t j = k + 1; j < k0 + kb; ++j) {
+        const double l_jk = a(j, k);
+        if (l_jk == 0.0) continue;
+        for (std::size_t i = j; i < n; ++i) a(i, j) -= a(i, k) * l_jk;
+      }
+    }
+    // Trailing update: A22 -= L21·L21ᵀ (lower triangle only), with L21 the
+    // rows below the panel of the panel columns.
+    const std::size_t j0 = k0 + kb;
+    for (std::size_t j = j0; j < n; ++j)
+      for (std::size_t k = k0; k < k0 + kb; ++k) {
+        const double l_jk = a(j, k);
+        if (l_jk == 0.0) continue;
+        for (std::size_t i = j; i < n; ++i) a(i, j) -= a(i, k) * l_jk;
+      }
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) a(i, j) = 0.0;
+  return true;
+}
+
+std::vector<double> cholesky_solve(const util::MatrixD& l,
+                                   std::span<const double> rhs) {
+  const std::size_t n = l.rows();
+  if (l.cols() != n || rhs.size() != n)
+    throw std::invalid_argument("cholesky_solve: shape mismatch");
+  std::vector<double> x(rhs.begin(), rhs.end());
+  // Forward substitution: L·y = rhs.
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = x[i];
+    for (std::size_t j = 0; j < i; ++j) sum -= l(i, j) * x[j];
+    x[i] = sum / l(i, i);
+  }
+  // Backward substitution: Lᵀ·x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) sum -= l(j, ii) * x[j];
+    x[ii] = sum / l(ii, ii);
+  }
+  return x;
+}
+
+util::MatrixD cholesky_reconstruct(const util::MatrixD& l) {
+  const std::size_t n = l.rows();
+  util::MatrixD out(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      const std::size_t kmax = std::min(i, j) + 1;
+      for (std::size_t k = 0; k < kmax; ++k) sum += l(i, k) * l(j, k);
+      out(i, j) = sum;
+    }
+  return out;
+}
+
+util::MatrixD spd_matrix(std::size_t n, std::uint64_t seed) {
+  const util::MatrixD b = random_matrix(n, n, seed);
+  util::MatrixD a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = i == j ? static_cast<double>(n) : 0.0;
+      for (std::size_t k = 0; k < n; ++k) sum += b(k, i) * b(k, j);
+      a(i, j) = sum;
+    }
+  return a;
+}
+
+double cholesky_flops(std::int64_t n) {
+  const double nd = static_cast<double>(n);
+  return nd * nd * nd / 3.0 + 1.5 * nd * nd;
+}
+
+}  // namespace fpm::linalg

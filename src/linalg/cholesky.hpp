@@ -1,0 +1,42 @@
+// Cholesky factorization A = L·Lᵀ for symmetric positive-definite matrices
+// — the third dense factorization of the paper's "linear algebra
+// algorithms" workload class. Unblocked and right-looking blocked variants
+// produce bit-identical factors (same arithmetic, different owners), the
+// same property the LU pair has, so either can anchor a distributed
+// implementation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace fpm::linalg {
+
+/// In-place lower Cholesky of a symmetric positive-definite matrix: on
+/// success the lower triangle (including diagonal) holds L and the strict
+/// upper triangle is zeroed. Returns false when a non-positive pivot shows
+/// the matrix is not positive definite (contents then unspecified).
+bool cholesky_factor(util::MatrixD& a);
+
+/// Right-looking blocked variant with block size `b`; bit-identical to
+/// cholesky_factor.
+bool block_cholesky_factor(util::MatrixD& a, std::size_t b);
+
+/// Solves A·x = rhs given the Cholesky factor L (forward then backward
+/// substitution).
+std::vector<double> cholesky_solve(const util::MatrixD& l,
+                                   std::span<const double> rhs);
+
+/// L·Lᵀ, for verifying factors.
+util::MatrixD cholesky_reconstruct(const util::MatrixD& l);
+
+/// Deterministic symmetric positive-definite test matrix (Bᵀ·B + n·I).
+util::MatrixD spd_matrix(std::size_t n, std::uint64_t seed = 42);
+
+/// Flop count ~ n³/3 (multiply-add pairs counted as 2).
+double cholesky_flops(std::int64_t n);
+
+}  // namespace fpm::linalg

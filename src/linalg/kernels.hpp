@@ -1,0 +1,68 @@
+// Serial dense linear-algebra kernels.
+//
+// These are the real computations behind the paper's workloads: the naive
+// triple-loop matrix multiplication ("MatrixMult" — deliberately cache-
+// hostile), a blocked multiplication standing in for the ATLAS dgemm
+// ("MatrixMultATLAS"), LU factorization with partial pivoting, and the
+// ArrayOpsF streaming kernel. They serve three purposes: verifying the
+// numerics of the parallel algorithms on small sizes, grounding the flop
+// formulas (MF = 2 for MM, 2/3 for LU), and optionally measuring *real*
+// speed functions of the host machine.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace fpm::linalg {
+
+using util::MatrixD;
+
+/// C = A·B with the naive i-j-k triple loop. A is m x k, B is k x n.
+MatrixD matmul_naive(const MatrixD& a, const MatrixD& b);
+
+/// C = A·Bᵀ with the naive loop (the paper's application operates on
+/// horizontally striped A and B, computing A·Bᵀ). A is m x k, B is n x k.
+MatrixD matmul_abt_naive(const MatrixD& a, const MatrixD& b);
+
+/// C = A·B with square tiling of `block` (cache-friendly, ATLAS stand-in).
+MatrixD matmul_blocked(const MatrixD& a, const MatrixD& b,
+                       std::size_t block = 48);
+
+/// In-place LU factorization with partial (row) pivoting: on return `a`
+/// holds L (unit diagonal, below) and U (on/above the diagonal) and `pivots`
+/// the row swaps applied at each step. Works for rectangular m x n matrices
+/// (factorizes the first min(m,n) columns). Returns false when a pivot
+/// column is exactly singular.
+bool lu_factor(MatrixD& a, std::vector<std::size_t>& pivots);
+
+/// Solves A·x = b using the output of lu_factor (square A only).
+std::vector<double> lu_solve(const MatrixD& lu,
+                             std::span<const std::size_t> pivots,
+                             std::span<const double> b);
+
+/// Rebuilds P·A from the packed LU factors (square or rectangular), for
+/// verifying the factorization: returns L·U.
+MatrixD lu_reconstruct(const MatrixD& lu);
+
+/// Applies the pivot sequence to a copy of `a` (the P of P·A = L·U).
+MatrixD apply_pivots(const MatrixD& a, std::span<const std::size_t> pivots);
+
+/// ArrayOpsF: a streaming pass over `data` doing a fused multiply-add per
+/// element, repeated `sweeps` times. Returns the final checksum so the
+/// optimizer cannot delete the work.
+double array_ops(std::span<double> data, int sweeps);
+
+/// Flop counts matching the paper's conventions.
+double mm_flops(std::int64_t m, std::int64_t k, std::int64_t n);  // 2mkn
+double lu_flops(std::int64_t m, std::int64_t n);  // rectangular getrf
+double array_ops_flops(std::int64_t elements, int sweeps);
+
+/// Deterministically filled test matrix (values in [-1, 1], full rank with
+/// high probability for the given seed).
+MatrixD random_matrix(std::size_t rows, std::size_t cols,
+                      std::uint64_t seed = 42);
+
+}  // namespace fpm::linalg

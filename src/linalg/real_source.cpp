@@ -1,0 +1,101 @@
+#include "linalg/real_source.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/kernels.hpp"
+#include "util/timer.hpp"
+
+namespace fpm::linalg {
+namespace {
+
+// The checksum sink keeps the optimizer from deleting the measured work.
+volatile double g_sink = 0.0;
+
+}  // namespace
+
+double measure_mm_mflops(std::size_t n1, std::size_t n2, bool blocked) {
+  const MatrixD a = random_matrix(n1, n2, 7);
+  const MatrixD b = random_matrix(n2, n1, 11);
+  util::Timer timer;
+  const MatrixD c = blocked ? matmul_blocked(a, b) : matmul_naive(a, b);
+  const double secs = std::max(timer.seconds(), 1e-9);
+  g_sink = c(0, 0);
+  return mm_flops(static_cast<std::int64_t>(n1),
+                  static_cast<std::int64_t>(n2),
+                  static_cast<std::int64_t>(n1)) /
+         (secs * 1e6);
+}
+
+double measure_lu_mflops(std::size_t n1, std::size_t n2) {
+  MatrixD a = random_matrix(n1, n2, 13);
+  std::vector<std::size_t> pivots;
+  util::Timer timer;
+  lu_factor(a, pivots);
+  const double secs = std::max(timer.seconds(), 1e-9);
+  g_sink = a(0, 0);
+  return lu_flops(static_cast<std::int64_t>(n1),
+                  static_cast<std::int64_t>(n2)) /
+         (secs * 1e6);
+}
+
+RealKernelSource::RealKernelSource(Kernel kernel) : kernel_(kernel) {}
+
+std::string RealKernelSource::name() const {
+  switch (kernel_) {
+    case Kernel::MatMulNaive:
+      return "MatrixMult";
+    case Kernel::MatMulBlocked:
+      return "MatrixMultBlocked";
+    case Kernel::LuFactor:
+      return "LU";
+    case Kernel::Cholesky:
+      return "Cholesky";
+    case Kernel::ArrayOps:
+      return "ArrayOpsF";
+  }
+  return "unknown";
+}
+
+double RealKernelSource::measure(double size) {
+  const double x = std::max(size, 16.0);
+  switch (kernel_) {
+    case Kernel::MatMulNaive:
+    case Kernel::MatMulBlocked: {
+      const auto n = static_cast<std::size_t>(std::sqrt(x / 3.0));
+      return measure_mm_mflops(std::max<std::size_t>(n, 2),
+                               std::max<std::size_t>(n, 2),
+                               kernel_ == Kernel::MatMulBlocked);
+    }
+    case Kernel::LuFactor: {
+      const auto n = static_cast<std::size_t>(std::sqrt(x));
+      return measure_lu_mflops(std::max<std::size_t>(n, 2),
+                               std::max<std::size_t>(n, 2));
+    }
+    case Kernel::Cholesky: {
+      const auto n = std::max<std::size_t>(
+          static_cast<std::size_t>(std::sqrt(x)), 2);
+      util::MatrixD a = spd_matrix(n, 17);
+      util::Timer timer;
+      cholesky_factor(a);
+      const double secs = std::max(timer.seconds(), 1e-9);
+      g_sink = a(0, 0);
+      return cholesky_flops(static_cast<std::int64_t>(n)) / (secs * 1e6);
+    }
+    case Kernel::ArrayOps: {
+      const auto count = static_cast<std::size_t>(x);
+      std::vector<double> data(count, 1.0);
+      constexpr int kSweeps = 4;
+      util::Timer timer;
+      g_sink = array_ops(data, kSweeps);
+      const double secs = std::max(timer.seconds(), 1e-9);
+      return array_ops_flops(static_cast<std::int64_t>(count), kSweeps) /
+             (secs * 1e6);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace fpm::linalg

@@ -1,0 +1,47 @@
+// Real-machine measurement sources: build a functional model of the *host*
+// by actually running a kernel, exactly as the paper does on its testbed.
+// Sizes follow the library convention (elements stored and processed):
+// a matrix-multiplication problem of x elements runs the kernel on square
+// matrices with n = sqrt(x/3); an LU problem of x elements uses n = sqrt(x).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/builder.hpp"
+
+namespace fpm::linalg {
+
+/// Which kernel the source runs.
+enum class Kernel {
+  MatMulNaive,
+  MatMulBlocked,
+  LuFactor,
+  Cholesky,
+  ArrayOps,
+};
+
+/// core::MeasurementSource that executes the kernel and reports the
+/// observed MFlops. Each measure() call is one real run; keep sizes modest.
+class RealKernelSource final : public core::MeasurementSource {
+ public:
+  explicit RealKernelSource(Kernel kernel);
+
+  /// Runs the kernel at problem size `size` (elements) and returns MFlops.
+  double measure(double size) override;
+
+  /// Human-readable kernel name.
+  std::string name() const;
+
+ private:
+  Kernel kernel_;
+};
+
+/// One-shot measurement helper (used by the shape-invariance benches):
+/// multiplies an n1 x n2 by an n2 x n1 matrix and returns the MFlops.
+double measure_mm_mflops(std::size_t n1, std::size_t n2, bool blocked);
+
+/// LU-factorizes an n1 x n2 matrix and returns the MFlops.
+double measure_lu_mflops(std::size_t n1, std::size_t n2);
+
+}  // namespace fpm::linalg

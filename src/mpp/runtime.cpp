@@ -1,0 +1,146 @@
+#include "mpp/runtime.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <thread>
+#include <tuple>
+
+namespace fpm::mpp {
+namespace detail {
+
+/// Shared state of one run: mailboxes, the barrier, and the abort flag.
+/// One mutex guards everything — message rates in this runtime are far too
+/// low for lock contention to matter, and a single lock keeps the
+/// semantics easy to reason about.
+struct World {
+  explicit World(int ranks) : size(ranks) {}
+
+  const int size;
+  std::mutex mutex;
+  std::condition_variable cv;
+
+  /// Mailboxes keyed by (source, destination, tag); FIFO per key.
+  std::map<std::tuple<int, int, int>, std::deque<std::vector<double>>> mail;
+
+  /// Generation-counting barrier.
+  int barrier_waiting = 0;
+  std::uint64_t barrier_generation = 0;
+
+  bool aborted = false;
+
+  void abort_locked() {
+    aborted = true;
+    cv.notify_all();
+  }
+  void check_aborted_locked() const {
+    if (aborted) throw AbortedError();
+  }
+};
+
+}  // namespace detail
+
+int Communicator::size() const noexcept { return world_->size; }
+
+void Communicator::send(int dest, int tag, std::span<const double> data) {
+  if (dest < 0 || dest >= world_->size)
+    throw std::invalid_argument("mpp::send: destination out of range");
+  std::unique_lock lock(world_->mutex);
+  world_->check_aborted_locked();
+  world_->mail[{rank_, dest, tag}].emplace_back(data.begin(), data.end());
+  world_->cv.notify_all();
+}
+
+std::vector<double> Communicator::recv(int source, int tag) {
+  if (source < 0 || source >= world_->size)
+    throw std::invalid_argument("mpp::recv: source out of range");
+  std::unique_lock lock(world_->mutex);
+  const auto key = std::tuple{source, rank_, tag};
+  world_->cv.wait(lock, [&] {
+    if (world_->aborted) return true;
+    const auto it = world_->mail.find(key);
+    return it != world_->mail.end() && !it->second.empty();
+  });
+  world_->check_aborted_locked();
+  auto& queue = world_->mail[key];
+  std::vector<double> payload = std::move(queue.front());
+  queue.pop_front();
+  return payload;
+}
+
+void Communicator::barrier() {
+  std::unique_lock lock(world_->mutex);
+  world_->check_aborted_locked();
+  const std::uint64_t my_generation = world_->barrier_generation;
+  if (++world_->barrier_waiting == world_->size) {
+    world_->barrier_waiting = 0;
+    ++world_->barrier_generation;
+    world_->cv.notify_all();
+    return;
+  }
+  world_->cv.wait(lock, [&] {
+    return world_->aborted || world_->barrier_generation != my_generation;
+  });
+  world_->check_aborted_locked();
+}
+
+std::vector<double> Communicator::broadcast(int root,
+                                            std::span<const double> data) {
+  if (root < 0 || root >= world_->size)
+    throw std::invalid_argument("mpp::broadcast: root out of range");
+  constexpr int kBcastTag = -101;
+  if (rank_ == root) {
+    for (int r = 0; r < world_->size; ++r)
+      if (r != root) send(r, kBcastTag, data);
+    return {data.begin(), data.end()};
+  }
+  return recv(root, kBcastTag);
+}
+
+std::vector<std::vector<double>> Communicator::gather(
+    int root, std::span<const double> mine) {
+  if (root < 0 || root >= world_->size)
+    throw std::invalid_argument("mpp::gather: root out of range");
+  constexpr int kGatherTag = -102;
+  if (rank_ != root) {
+    send(root, kGatherTag, mine);
+    return {};
+  }
+  std::vector<std::vector<double>> all(static_cast<std::size_t>(world_->size));
+  all[static_cast<std::size_t>(root)] = {mine.begin(), mine.end()};
+  for (int r = 0; r < world_->size; ++r)
+    if (r != root) all[static_cast<std::size_t>(r)] = recv(r, kGatherTag);
+  return all;
+}
+
+void run_parallel(int ranks, const std::function<void(Communicator&)>& fn) {
+  if (ranks < 1) throw std::invalid_argument("run_parallel: ranks must be >= 1");
+  detail::World world(ranks);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(ranks));
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator comm(world, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        {
+          std::scoped_lock lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        std::scoped_lock lock(world.mutex);
+        world.abort_locked();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // first_error always holds the *original* failure: the thrower records
+  // it before raising the abort flag, and ranks woken by the abort can
+  // only record afterwards (and find the slot taken).
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace fpm::mpp

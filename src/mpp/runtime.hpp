@@ -1,0 +1,81 @@
+// A minimal in-process message-passing runtime (MPI-flavoured), so the
+// heterogeneous data-parallel algorithms can execute *really* distributed —
+// each rank on its own thread with private data, communicating only through
+// messages — rather than only through the makespan simulator. The API is a
+// deliberately small subset of the MPI concepts the algorithms need:
+// blocking tagged point-to-point, barrier, broadcast, and gather.
+//
+// Semantics
+//  * Payloads are vectors of double (all our kernels move dense data).
+//  * send() is asynchronous (buffered); recv() blocks until a message with
+//    the requested (source, tag) arrives. Messages between a fixed
+//    (source, destination, tag) triple are delivered in send order.
+//  * Collectives must be entered by every rank (as in MPI).
+//  * Any exception thrown by a rank aborts the run: run_parallel rethrows
+//    the first one after joining all threads (ranks blocked in recv or
+//    barrier are woken and receive an AbortedError).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace fpm::mpp {
+
+/// Thrown inside surviving ranks when another rank aborted the run.
+class AbortedError : public std::runtime_error {
+ public:
+  AbortedError() : std::runtime_error("mpp: a peer rank aborted the run") {}
+};
+
+namespace detail {
+struct World;
+}  // namespace detail
+
+/// Per-rank handle to the communication world. Valid only inside the
+/// function invoked by run_parallel; not copyable.
+class Communicator {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  /// Buffered asynchronous send of `data` to `dest` under `tag`.
+  void send(int dest, int tag, std::span<const double> data);
+
+  /// Blocks until a message from `source` with `tag` arrives; returns its
+  /// payload. FIFO per (source, this rank, tag).
+  std::vector<double> recv(int source, int tag);
+
+  /// Synchronizes all ranks.
+  void barrier();
+
+  /// Root's `data` is distributed to every rank (root included).
+  std::vector<double> broadcast(int root, std::span<const double> data);
+
+  /// Every rank contributes `mine`; root receives all payloads indexed by
+  /// rank (others receive an empty vector).
+  std::vector<std::vector<double>> gather(int root,
+                                          std::span<const double> mine);
+
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
+
+ private:
+  friend void run_parallel(int, const std::function<void(Communicator&)>&);
+  Communicator(detail::World& world, int rank) : world_(&world), rank_(rank) {}
+
+  detail::World* world_;
+  int rank_;
+};
+
+/// Spawns `ranks` threads, invokes `fn` on each with its Communicator, and
+/// joins. If any rank throws, every other rank is aborted and the first
+/// exception is rethrown to the caller. Requires ranks >= 1.
+void run_parallel(int ranks, const std::function<void(Communicator&)>& fn);
+
+}  // namespace fpm::mpp

@@ -1,0 +1,120 @@
+#include "simcluster/cluster.hpp"
+
+#include <stdexcept>
+
+namespace fpm::sim {
+
+void SimulatedMachine::register_app(
+    const AppProfile& profile,
+    std::optional<double> paging_onset_elements) {
+  apps[profile.name] = make_ground_truth(spec, profile, paging_onset_elements);
+  profiles[profile.name] = profile;
+}
+
+SimulatedCluster::SimulatedCluster(std::vector<SimulatedMachine> machines,
+                                   std::uint64_t seed)
+    : machines_(std::move(machines)) {
+  util::Rng master(seed);
+  streams_.reserve(machines_.size());
+  for (std::size_t i = 0; i < machines_.size(); ++i)
+    streams_.push_back(master.split());
+}
+
+const SimulatedMachine& SimulatedCluster::machine(std::size_t i) const {
+  if (i >= machines_.size())
+    throw std::out_of_range("SimulatedCluster: machine index");
+  return machines_[i];
+}
+
+const MachineSpeed& SimulatedCluster::ground_truth(
+    std::size_t i, const std::string& app) const {
+  const SimulatedMachine& m = machine(i);
+  const auto it = m.apps.find(app);
+  if (it == m.apps.end())
+    throw std::invalid_argument("SimulatedCluster: app '" + app +
+                                "' not registered on " + m.spec.name);
+  return *it->second;
+}
+
+core::SpeedList SimulatedCluster::ground_truth_list(
+    const std::string& app) const {
+  core::SpeedList list;
+  list.reserve(machines_.size());
+  for (std::size_t i = 0; i < machines_.size(); ++i)
+    list.push_back(&ground_truth(i, app));
+  return list;
+}
+
+void SimulatedCluster::set_load_shift(std::size_t i, double shift) {
+  if (i >= machines_.size())
+    throw std::out_of_range("SimulatedCluster: machine index");
+  if (!(shift >= 0.0) || !(shift < 1.0))
+    throw std::invalid_argument("SimulatedCluster: shift must be in [0, 1)");
+  machines_[i].fluctuation.load_shift = shift;
+}
+
+double SimulatedCluster::measure(std::size_t i, const std::string& app,
+                                 double x) {
+  const SimulatedMachine& m = machine(i);
+  return sample_speed(m.fluctuation, ground_truth(i, app), x, streams_[i]);
+}
+
+double SimulatedCluster::sampled_seconds(std::size_t i, const std::string& app,
+                                         double x, double flops_per_element) {
+  if (x <= 0.0) return 0.0;
+  const double mflops = measure(i, app, x);
+  return x * flops_per_element / (mflops * 1e6);
+}
+
+double SimulatedCluster::expected_seconds(std::size_t i,
+                                          const std::string& app, double x,
+                                          double flops_per_element) const {
+  if (x <= 0.0) return 0.0;
+  const SimulatedMachine& m = machine(i);
+  const double mflops =
+      ground_truth(i, app).speed(x) * (1.0 - m.fluctuation.load_shift);
+  return x * flops_per_element / (mflops * 1e6);
+}
+
+MachineMeasurement::MachineMeasurement(SimulatedCluster& cluster,
+                                       std::size_t machine, std::string app)
+    : cluster_(cluster), machine_(machine), app_(std::move(app)) {}
+
+double MachineMeasurement::measure(double size) {
+  return cluster_.measure(machine_, app_, size);
+}
+
+core::SpeedList ClusterModels::list() const {
+  core::SpeedList l;
+  l.reserve(curves.size());
+  for (const auto& c : curves) l.push_back(&c);
+  return l;
+}
+
+ClusterModels build_cluster_models(SimulatedCluster& cluster,
+                                   const std::string& app, double epsilon,
+                                   int samples_per_point, int max_probes) {
+  ClusterModels models;
+  models.curves.reserve(cluster.size());
+  models.probes.reserve(cluster.size());
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const MachineSpeed& truth = cluster.ground_truth(i, app);
+    core::BuilderOptions opts;
+    opts.epsilon = epsilon;
+    opts.samples_per_point = samples_per_point;
+    opts.max_probes = max_probes;
+    // a: comfortably in cache; b: deep into swap where speed is ~zero.
+    opts.min_size = truth.cache_capacity() * 0.25;
+    opts.max_size = truth.max_size();
+    // Termination is governed by the relative refinement floor (see
+    // BuilderOptions), which resolves the cache knee at small sizes and the
+    // paging knee at large sizes with logarithmic depth.
+    MachineMeasurement source(cluster, i, app);
+    core::BuiltModel built = core::build_speed_band(source, opts);
+    models.curves.push_back(built.band.center());
+    models.probes.push_back(built.probes);
+  }
+  return models;
+}
+
+}  // namespace fpm::sim

@@ -1,0 +1,114 @@
+// A simulated network of heterogeneous computers: the measurement and
+// execution substrate standing in for the paper's real testbeds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/builder.hpp"
+#include "core/speed_function.hpp"
+#include "simcluster/machine.hpp"
+#include "simcluster/workload.hpp"
+#include "util/rng.hpp"
+
+namespace fpm::sim {
+
+/// One machine of the simulated network: its spec, its fluctuation band,
+/// one ground-truth speed function per registered application, and the
+/// application profiles the curves were synthesized from (kept so cluster
+/// definitions can be saved and reloaded — see spec_io).
+struct SimulatedMachine {
+  MachineSpec spec;
+  FluctuationProfile fluctuation;
+  std::map<std::string, std::shared_ptr<const MachineSpeed>> apps;
+  std::map<std::string, AppProfile> profiles;
+
+  /// Registers an application: synthesizes the ground-truth curve and
+  /// remembers the profile. `paging_onset_elements` pins the onset.
+  void register_app(const AppProfile& profile,
+                    std::optional<double> paging_onset_elements = std::nullopt);
+};
+
+/// The simulated network. All observation noise is drawn from per-machine
+/// child streams of the constructor seed, so experiments are reproducible
+/// and machines are statistically independent.
+class SimulatedCluster {
+ public:
+  SimulatedCluster(std::vector<SimulatedMachine> machines,
+                   std::uint64_t seed);
+
+  std::size_t size() const noexcept { return machines_.size(); }
+  const SimulatedMachine& machine(std::size_t i) const;
+
+  /// Ground-truth curve of machine i for the named application; throws if
+  /// the application was not registered for that machine.
+  const MachineSpeed& ground_truth(std::size_t i,
+                                   const std::string& app) const;
+
+  /// Non-owning ground-truth list across all machines, ready for the
+  /// partitioning algorithms (an omniscient-model baseline).
+  core::SpeedList ground_truth_list(const std::string& app) const;
+
+  /// One noisy speed observation (a benchmark run) of machine i at size x.
+  double measure(std::size_t i, const std::string& app, double x);
+
+  /// Changes machine i's persistent external load mid-experiment (the
+  /// paper's observation: heavy load shifts the whole band down, width
+  /// unchanged). Used to study dynamic model maintenance.
+  void set_load_shift(std::size_t i, double shift);
+
+  /// Wall-clock seconds machine i needs for x elements at
+  /// `flops_per_element` useful flops each, with speeds in MFlops. Draws
+  /// the speed from the fluctuation band (`sampled`) or uses the curve
+  /// centre (`expected`).
+  double sampled_seconds(std::size_t i, const std::string& app, double x,
+                         double flops_per_element);
+  double expected_seconds(std::size_t i, const std::string& app, double x,
+                          double flops_per_element) const;
+
+ private:
+  std::vector<SimulatedMachine> machines_;
+  std::vector<util::Rng> streams_;
+};
+
+/// Adapter exposing one (machine, application) pair as a
+/// core::MeasurementSource for the model builder.
+class MachineMeasurement final : public core::MeasurementSource {
+ public:
+  MachineMeasurement(SimulatedCluster& cluster, std::size_t machine,
+                     std::string app);
+  double measure(double size) override;
+
+ private:
+  SimulatedCluster& cluster_;
+  std::size_t machine_;
+  std::string app_;
+};
+
+/// Builds a functional model (band centre curve) for every machine of the
+/// cluster with the §3.1 trisection procedure. `a_fraction`/`b_fraction`
+/// place the interval ends relative to each machine's cache capacity and
+/// modelled range. Returns one curve per machine plus the probe counts.
+struct ClusterModels {
+  std::vector<core::PiecewiseLinearSpeed> curves;
+  std::vector<int> probes;
+
+  /// Non-owning view for the partitioners.
+  core::SpeedList list() const;
+};
+/// Defaults: epsilon is set a little above the large-size fluctuation floor
+/// (the paper ties the acceptable deviation to "the inherent deviation of
+/// the performance of computers typically observed in the network");
+/// samples_per_point averages fluctuation noise down to that level; the
+/// probe budget keeps the experimental cost to a few dozen runs.
+ClusterModels build_cluster_models(SimulatedCluster& cluster,
+                                   const std::string& app,
+                                   double epsilon = 0.08,
+                                   int samples_per_point = 5,
+                                   int max_probes = 96);
+
+}  // namespace fpm::sim

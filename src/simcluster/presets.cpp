@@ -1,0 +1,201 @@
+#include "simcluster/presets.hpp"
+
+namespace fpm::sim {
+
+AppProfile arrayops_profile() {
+  AppProfile p;
+  p.name = kArrayOps;
+  p.pattern = MemoryPattern::Efficient;
+  p.bytes_per_element = 8.0;
+  p.efficiency = 0.55;
+  p.flops_per_element = 2.0;  // one multiply-add per array element
+  return p;
+}
+
+AppProfile mm_atlas_profile() {
+  AppProfile p;
+  p.name = kMatMulAtlas;
+  p.pattern = MemoryPattern::Efficient;
+  p.bytes_per_element = 8.0;
+  p.efficiency = 0.85;
+  p.flops_per_element = 1.0;  // the executor scales by 2n/3 per run
+  return p;
+}
+
+AppProfile mm_naive_profile() {
+  AppProfile p;
+  p.name = kMatMul;
+  p.pattern = MemoryPattern::Inefficient;
+  p.bytes_per_element = 8.0;
+  p.efficiency = 0.9;  // relative to the already-low inefficient peak
+  p.flops_per_element = 1.0;
+  return p;
+}
+
+AppProfile lu_profile() {
+  AppProfile p;
+  p.name = kLu;
+  p.pattern = MemoryPattern::Moderate;
+  p.bytes_per_element = 8.0;
+  p.efficiency = 0.75;
+  p.flops_per_element = 1.0;
+  return p;
+}
+
+double mm_problem_size(std::int64_t n) {
+  const double nd = static_cast<double>(n);
+  return 3.0 * nd * nd;
+}
+
+double lu_problem_size(std::int64_t n) {
+  const double nd = static_cast<double>(n);
+  return nd * nd;
+}
+
+namespace {
+
+/// Registers the Figure-1 applications on a Table-1 machine; paging onsets
+/// derive from free memory (Table 1 lists no measured onsets).
+SimulatedMachine make_table1_machine(MachineSpec spec,
+                                     FluctuationProfile fluctuation) {
+  SimulatedMachine m;
+  m.spec = std::move(spec);
+  m.fluctuation = fluctuation;
+  m.register_app(arrayops_profile());
+  m.register_app(mm_atlas_profile());
+  m.register_app(mm_naive_profile());
+  return m;
+}
+
+/// Registers the experiment applications on a Table-2 machine with the
+/// paging columns pinned: Paging(MM)=n_mm means the serial square matrix
+/// multiplication starts paging at matrix size n_mm, i.e. at 3·n_mm²
+/// elements; Paging(LU)=n_lu pins n_lu² elements.
+SimulatedMachine make_table2_machine(MachineSpec spec,
+                                     FluctuationProfile fluctuation,
+                                     std::int64_t paging_mm,
+                                     std::int64_t paging_lu) {
+  SimulatedMachine m;
+  m.spec = std::move(spec);
+  m.fluctuation = fluctuation;
+  m.register_app(mm_naive_profile(), mm_problem_size(paging_mm));
+  m.register_app(lu_profile(), lu_problem_size(paging_lu));
+  return m;
+}
+
+}  // namespace
+
+std::vector<SimulatedMachine> table1_machines() {
+  std::vector<SimulatedMachine> ms;
+  // Table 1 gives no free-memory column; assume the OS and routine
+  // background jobs hold ~25% of main memory.
+  const auto free_of = [](std::int64_t main_kb) {
+    return main_kb - main_kb / 4;
+  };
+  ms.push_back(make_table1_machine(
+      {"Comp1", "Linux 2.4.20-8", "Intel Pentium 4", 2793.0, 513304,
+       free_of(513304), 512},
+      {0.30, 0.08, 0.0}));  // Figure 2(a): ~30% shrinking to ~8%
+  ms.push_back(make_table1_machine(
+      {"Comp2", "SunOS 5.8", "sun4u sparc Ultra-5_10", 440.0, 524288,
+       free_of(524288), 2048},
+      {0.35, 0.07, 0.0}));  // Figure 2(b)
+  ms.push_back(make_table1_machine(
+      {"Comp3", "Windows XP", "x86", 3000.0, 1030388, free_of(1030388), 512},
+      FluctuationProfile::low_integration(0.06)));
+  ms.push_back(make_table1_machine(
+      {"Comp4", "Linux 2.4.7-10", "i686", 730.0, 254524, free_of(254524), 256},
+      {0.40, 0.05, 0.0}));  // Figure 2(c): ~40% shrinking to ~5%
+  return ms;
+}
+
+std::vector<SimulatedMachine> table2_machines() {
+  std::vector<SimulatedMachine> ms;
+  // Fluctuation levels: the X5-X9 lab machines are heavily integrated
+  // (shared interactive use), X1/X2 are desktops with moderate integration,
+  // the bigmem servers X3/X4 and the Solaris boxes X10-X12 are quiet.
+  ms.push_back(make_table2_machine({"X1", "Linux 2.4.20-20.9", "Pentium III",
+                                    997.0, 513304, 363264, 256},
+                                   {0.25, 0.06, 0.0}, 4500, 6000));
+  ms.push_back(make_table2_machine({"X2", "Linux 2.4.18-3", "Pentium III",
+                                    997.0, 254576, 65692, 256},
+                                   {0.25, 0.06, 0.0}, 4000, 5000));
+  ms.push_back(make_table2_machine({"X3", "Linux 2.4.20-20.9bigmem", "Xeon",
+                                    2783.0, 7933500, 2221436, 512},
+                                   FluctuationProfile::low_integration(0.07),
+                                   6400, 11000));
+  ms.push_back(make_table2_machine({"X4", "Linux 2.4.20-20.9bigmem", "Xeon",
+                                    2783.0, 7933500, 3073628, 512},
+                                   FluctuationProfile::low_integration(0.07),
+                                   6400, 11000));
+  ms.push_back(make_table2_machine({"X5", "Linux 2.4.18-10smp", "Xeon",
+                                    1977.0, 1030508, 415904, 512},
+                                   {0.40, 0.06, 0.0}, 6000, 8500));
+  ms.push_back(make_table2_machine({"X6", "Linux 2.4.18-10smp", "Xeon",
+                                    1977.0, 1030508, 364120, 512},
+                                   {0.40, 0.06, 0.0}, 6000, 8500));
+  ms.push_back(make_table2_machine({"X7", "Linux 2.4.18-10smp", "Xeon",
+                                    1977.0, 1030508, 215752, 512},
+                                   {0.40, 0.06, 0.0}, 6000, 8000));
+  ms.push_back(make_table2_machine({"X8", "Linux 2.4.18-10smp", "Xeon",
+                                    1977.0, 1030508, 134400, 512},
+                                   {0.40, 0.06, 0.0}, 5500, 6500));
+  ms.push_back(make_table2_machine({"X9", "Linux 2.4.18-10smp", "Xeon",
+                                    1977.0, 1030508, 134400, 512},
+                                   {0.40, 0.06, 0.0}, 5500, 6500));
+  ms.push_back(make_table2_machine({"X10", "SunOS 5.8", "sun4u Ultra-5_10",
+                                    440.0, 524288, 409600, 2048},
+                                   FluctuationProfile::low_integration(0.06),
+                                   4500, 5000));
+  ms.push_back(make_table2_machine({"X11", "SunOS 5.8", "sun4u Ultra-5_10",
+                                    440.0, 524288, 418816, 2048},
+                                   FluctuationProfile::low_integration(0.06),
+                                   4500, 5000));
+  ms.push_back(make_table2_machine({"X12", "SunOS 5.8", "sun4u Ultra-5_10",
+                                    440.0, 524288, 395264, 2048},
+                                   FluctuationProfile::low_integration(0.06),
+                                   4500, 5000));
+  return ms;
+}
+
+std::vector<SimulatedMachine> modern_machines() {
+  std::vector<SimulatedMachine> ms;
+  const auto add = [&ms](MachineSpec spec, FluctuationProfile fluct) {
+    SimulatedMachine m;
+    m.spec = std::move(spec);
+    m.fluctuation = fluct;
+    m.register_app(mm_naive_profile());
+    m.register_app(lu_profile());
+    ms.push_back(std::move(m));
+  };
+  // name, os, arch, MHz, main kB, free kB, cache kB (last level).
+  add({"epyc-server", "Linux 6.1", "EPYC 9354", 3250.0, 256 << 20,
+       192 << 20, 262144},
+      FluctuationProfile::low_integration(0.05));
+  add({"desktop-a", "Linux 6.1", "Ryzen 7700", 3800.0, 32 << 20, 20 << 20,
+       32768},
+      {0.20, 0.06, 0.0});
+  add({"desktop-b", "Windows 11", "Core i5-13400", 2500.0, 16 << 20,
+       9 << 20, 20480},
+      {0.25, 0.06, 0.0});
+  add({"laptop", "Linux 6.1", "mobile Ryzen", 3300.0, 16 << 20, 6 << 20,
+       16384},
+      {0.35, 0.08, 0.0});
+  add({"sbc", "Linux 6.1", "Cortex-A76", 2400.0, 8 << 20, 5 << 20, 2048},
+      FluctuationProfile::low_integration(0.06));
+  return ms;
+}
+
+SimulatedCluster make_table1_cluster(std::uint64_t seed) {
+  return SimulatedCluster(table1_machines(), seed);
+}
+
+SimulatedCluster make_modern_cluster(std::uint64_t seed) {
+  return SimulatedCluster(modern_machines(), seed);
+}
+
+SimulatedCluster make_table2_cluster(std::uint64_t seed) {
+  return SimulatedCluster(table2_machines(), seed);
+}
+
+}  // namespace fpm::sim

@@ -1,0 +1,178 @@
+#include "simcluster/spec_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace fpm::sim {
+namespace {
+
+[[noreturn]] void parse_error(int line, const std::string& what) {
+  throw std::runtime_error("fpm-cluster parse error at line " +
+                           std::to_string(line) + ": " + what);
+}
+
+/// Reads the rest of the line (for fields with embedded spaces).
+std::string rest_of(std::istringstream& ss) {
+  std::string rest;
+  std::getline(ss, rest);
+  const std::size_t start = rest.find_first_not_of(" \t");
+  return start == std::string::npos ? std::string() : rest.substr(start);
+}
+
+}  // namespace
+
+std::string to_string(MemoryPattern pattern) {
+  switch (pattern) {
+    case MemoryPattern::Efficient:
+      return "efficient";
+    case MemoryPattern::Moderate:
+      return "moderate";
+    case MemoryPattern::Inefficient:
+      return "inefficient";
+  }
+  return "moderate";
+}
+
+MemoryPattern pattern_from_string(const std::string& name) {
+  if (name == "efficient") return MemoryPattern::Efficient;
+  if (name == "moderate") return MemoryPattern::Moderate;
+  if (name == "inefficient") return MemoryPattern::Inefficient;
+  throw std::runtime_error("unknown memory pattern '" + name + "'");
+}
+
+void save_cluster(std::ostream& os,
+                  const std::vector<SimulatedMachine>& machines) {
+  os << "# fpm-cluster v1\n";
+  os << std::setprecision(17);
+  for (const SimulatedMachine& m : machines) {
+    if (m.spec.name.empty() ||
+        m.spec.name.find_first_of(" \t\n") != std::string::npos)
+      throw std::runtime_error(
+          "save_cluster: machine names must be non-empty without whitespace");
+    os << "machine " << m.spec.name << "\n";
+    os << "os " << m.spec.os << "\n";
+    os << "arch " << m.spec.arch << "\n";
+    os << "cpu_mhz " << m.spec.cpu_mhz << "\n";
+    os << "main_kb " << m.spec.main_memory_kb << "\n";
+    os << "free_kb " << m.spec.free_memory_kb << "\n";
+    os << "cache_kb " << m.spec.cache_kb << "\n";
+    os << "fluctuation " << m.fluctuation.width_small << ' '
+       << m.fluctuation.width_large << ' ' << m.fluctuation.load_shift << "\n";
+    for (const auto& [name, profile] : m.profiles) {
+      const auto it = m.apps.find(name);
+      if (it == m.apps.end())
+        throw std::runtime_error("save_cluster: profile without curve: " +
+                                 name);
+      os << "app " << name << ' ' << to_string(profile.pattern) << ' '
+         << profile.bytes_per_element << ' ' << profile.efficiency << ' '
+         << profile.flops_per_element << ' ' << it->second->paging_onset()
+         << "\n";
+    }
+    os << "end\n";
+  }
+}
+
+std::vector<SimulatedMachine> load_cluster(std::istream& is) {
+  std::vector<SimulatedMachine> machines;
+  SimulatedMachine current;
+  struct PendingApp {
+    AppProfile profile;
+    double onset = 0.0;
+  };
+  std::vector<PendingApp> pending;
+  bool in_machine = false;
+  bool have_fluctuation = false;
+  std::string line;
+  int line_no = 0;
+
+  const auto finish = [&](int at_line) {
+    if (current.spec.name.empty()) parse_error(at_line, "machine lacks name");
+    if (!have_fluctuation) parse_error(at_line, "machine lacks fluctuation");
+    if (pending.empty()) parse_error(at_line, "machine has no apps");
+    for (const PendingApp& app : pending) {
+      try {
+        current.register_app(app.profile, app.onset);
+      } catch (const std::invalid_argument& err) {
+        parse_error(at_line, std::string("invalid machine/app: ") + err.what());
+      }
+    }
+    machines.push_back(std::move(current));
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ss(line);
+    std::string keyword;
+    if (!(ss >> keyword) || keyword[0] == '#') continue;
+    if (keyword == "machine") {
+      if (in_machine) parse_error(line_no, "nested 'machine'");
+      current = SimulatedMachine{};
+      pending.clear();
+      have_fluctuation = false;
+      if (!(ss >> current.spec.name))
+        parse_error(line_no, "missing machine name");
+      in_machine = true;
+      continue;
+    }
+    if (!in_machine) parse_error(line_no, "'" + keyword + "' outside machine");
+    if (keyword == "os") {
+      current.spec.os = rest_of(ss);
+    } else if (keyword == "arch") {
+      current.spec.arch = rest_of(ss);
+    } else if (keyword == "cpu_mhz") {
+      if (!(ss >> current.spec.cpu_mhz)) parse_error(line_no, "bad cpu_mhz");
+    } else if (keyword == "main_kb") {
+      if (!(ss >> current.spec.main_memory_kb))
+        parse_error(line_no, "bad main_kb");
+    } else if (keyword == "free_kb") {
+      if (!(ss >> current.spec.free_memory_kb))
+        parse_error(line_no, "bad free_kb");
+    } else if (keyword == "cache_kb") {
+      if (!(ss >> current.spec.cache_kb)) parse_error(line_no, "bad cache_kb");
+    } else if (keyword == "fluctuation") {
+      FluctuationProfile& f = current.fluctuation;
+      if (!(ss >> f.width_small >> f.width_large >> f.load_shift))
+        parse_error(line_no, "bad fluctuation");
+      have_fluctuation = true;
+    } else if (keyword == "app") {
+      PendingApp app;
+      std::string pattern;
+      if (!(ss >> app.profile.name >> pattern >>
+            app.profile.bytes_per_element >> app.profile.efficiency >>
+            app.profile.flops_per_element >> app.onset))
+        parse_error(line_no, "bad app line");
+      try {
+        app.profile.pattern = pattern_from_string(pattern);
+      } catch (const std::runtime_error& err) {
+        parse_error(line_no, err.what());
+      }
+      pending.push_back(std::move(app));
+    } else if (keyword == "end") {
+      finish(line_no);
+      in_machine = false;
+    } else {
+      parse_error(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (in_machine) parse_error(line_no, "unterminated machine (missing 'end')");
+  return machines;
+}
+
+void save_cluster_file(const std::string& path,
+                       const std::vector<SimulatedMachine>& machines) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_cluster_file: cannot open " + path);
+  save_cluster(os, machines);
+  if (!os)
+    throw std::runtime_error("save_cluster_file: write failed: " + path);
+}
+
+std::vector<SimulatedMachine> load_cluster_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_cluster_file: cannot open " + path);
+  return load_cluster(is);
+}
+
+}  // namespace fpm::sim

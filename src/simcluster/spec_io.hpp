@@ -1,0 +1,51 @@
+// Persistence for simulated-cluster definitions: a line-oriented text
+// format describing machines, their fluctuation profiles, and the
+// applications registered on each (with optional pinned paging onsets).
+// Lets users define their own heterogeneous networks for fpmtool and the
+// library without recompiling.
+//
+//   # fpm-cluster v1
+//   machine X1
+//   os Linux 2.4.20-20.9
+//   arch Pentium III
+//   cpu_mhz 997
+//   main_kb 513304
+//   free_kb 363264
+//   cache_kb 256
+//   fluctuation 0.25 0.06 0.0        ; width_small width_large load_shift
+//   app MatrixMult inefficient 8 0.9 60750000   ; name pattern bytes eff [onset]
+//   app LU moderate 8 0.75                      ; onset derived from free_kb
+//   end
+//
+// Lines starting with '#' are comments; fields may appear in any order
+// between `machine` and `end`, except that every field must be present.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "simcluster/cluster.hpp"
+
+namespace fpm::sim {
+
+/// Writes the machines in the fpm-cluster format. App entries carry their
+/// ground-truth paging onsets explicitly, so a round trip is faithful even
+/// for onsets that were pinned rather than derived.
+void save_cluster(std::ostream& os,
+                  const std::vector<SimulatedMachine>& machines);
+
+/// Parses machines from the fpm-cluster format. Throws std::runtime_error
+/// with a line number on malformed input.
+std::vector<SimulatedMachine> load_cluster(std::istream& is);
+
+/// File-path wrappers; throw std::runtime_error on I/O failure.
+void save_cluster_file(const std::string& path,
+                       const std::vector<SimulatedMachine>& machines);
+std::vector<SimulatedMachine> load_cluster_file(const std::string& path);
+
+/// Pattern-name round trip helpers (used by the format and fpmtool).
+std::string to_string(MemoryPattern pattern);
+MemoryPattern pattern_from_string(const std::string& name);
+
+}  // namespace fpm::sim

@@ -1,0 +1,54 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fpm::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv,
+                 std::vector<std::string> switches, int first)
+    : switches_(std::move(switches)) {
+  for (int i = first; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key.rfind("--", 0) != 0)
+      throw std::invalid_argument("expected --flag, got '" + key + "'");
+    const bool is_switch =
+        std::find(switches_.begin(), switches_.end(), key) != switches_.end();
+    if (is_switch) {
+      values_[key] = "1";
+    } else {
+      if (i + 1 >= argc)
+        throw std::invalid_argument("missing value for " + key);
+      values_[key] = argv[++i];
+    }
+  }
+}
+
+std::optional<std::string> CliArgs::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? std::nullopt
+                             : std::optional<std::string>(it->second);
+}
+
+std::string CliArgs::require(const std::string& key) const {
+  const auto v = get(key);
+  if (!v) throw std::invalid_argument("missing required flag " + key);
+  return *v;
+}
+
+double CliArgs::number(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(*v, &consumed);
+    if (consumed != v->size())
+      throw std::invalid_argument("trailing characters");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag " + key + " expects a number, got '" +
+                                *v + "'");
+  }
+}
+
+}  // namespace fpm::util

@@ -1,0 +1,40 @@
+// Minimal --flag command-line parsing used by fpmtool: every flag takes
+// exactly one value except declared boolean switches; flags may appear in
+// any order. Kept deliberately tiny — the tool has four subcommands, not a
+// framework's worth of options.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fpm::util {
+
+class CliArgs {
+ public:
+  /// Parses argv[first..argc): tokens must alternate --flag value, except
+  /// flags listed in `switches` which take no value. Throws
+  /// std::invalid_argument on malformed input.
+  CliArgs(int argc, const char* const* argv,
+          std::vector<std::string> switches = {}, int first = 2);
+
+  /// Value of a flag, if present.
+  std::optional<std::string> get(const std::string& key) const;
+
+  /// Value of a required flag; throws std::invalid_argument when missing.
+  std::string require(const std::string& key) const;
+
+  /// Numeric flag with a fallback; throws std::invalid_argument when the
+  /// value is present but not a number.
+  double number(const std::string& key, double fallback) const;
+
+  /// True when a switch (or any flag) was given.
+  bool flag(const std::string& key) const { return get(key).has_value(); }
+
+ private:
+  std::vector<std::string> switches_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace fpm::util

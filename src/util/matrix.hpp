@@ -1,0 +1,115 @@
+// Dense row-major matrix container used by the linear-algebra kernels and
+// the example applications. Deliberately minimal: the library's contribution
+// is the partitioning algorithms, not a BLAS; this container only needs to
+// support the serial verification kernels and striped slicing.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace fpm::util {
+
+/// Dense rows x cols matrix of T stored row-major in one contiguous vector.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, value-initialized (zero for arithmetic T).
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+  /// rows x cols matrix filled with `init`.
+  Matrix(std::size_t rows, std::size_t cols, T init)
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Mutable / const view of row r.
+  std::span<T> row(std::size_t r) noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const T> row(std::size_t r) const noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Whole storage as a flat span (row-major).
+  std::span<T> flat() noexcept { return data_; }
+  std::span<const T> flat() const noexcept { return data_; }
+
+  T* data() noexcept { return data_.data(); }
+  const T* data() const noexcept { return data_.data(); }
+
+  /// Copies rows [first, first+count) into a new count x cols matrix.
+  Matrix slice_rows(std::size_t first, std::size_t count) const {
+    assert(first + count <= rows_);
+    Matrix out(count, cols_);
+    for (std::size_t r = 0; r < count; ++r) {
+      const auto src = row(first + r);
+      auto dst = out.row(r);
+      for (std::size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+    }
+    return out;
+  }
+
+  /// Writes `block` into rows [first, first+block.rows()).
+  void paste_rows(std::size_t first, const Matrix& block) {
+    assert(block.cols() == cols_ && first + block.rows() <= rows_);
+    for (std::size_t r = 0; r < block.rows(); ++r) {
+      const auto src = block.row(r);
+      auto dst = row(first + r);
+      for (std::size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+    }
+  }
+
+  /// Returns the transpose (cols x rows).
+  Matrix transposed() const {
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+    return out;
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatrixD = Matrix<double>;
+
+/// Max |a(i,j) - b(i,j)|; matrices must have identical shape.
+template <typename T>
+T max_abs_diff(const Matrix<T>& a, const Matrix<T>& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  T worst{};
+  for (std::size_t i = 0; i < a.flat().size(); ++i) {
+    const T d = a.flat()[i] < b.flat()[i] ? b.flat()[i] - a.flat()[i]
+                                          : a.flat()[i] - b.flat()[i];
+    if (d > worst) worst = d;
+  }
+  return worst;
+}
+
+}  // namespace fpm::util

@@ -1,0 +1,103 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace fpm::util {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// SplitMix64: expands a 64-bit seed into well-distributed state words.
+struct SplitMix64 {
+  std::uint64_t x;
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  SplitMix64 sm{seed};
+  for (auto& s : state_) s = sm.next();
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 top bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Debiased modulo via rejection (Lemire-style threshold).
+  const std::uint64_t threshold = (~range + 1) % range;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return lo + static_cast<std::int64_t>(r % range);
+  }
+}
+
+double Rng::normal() noexcept {
+  // Box–Muller; draws two uniforms per call (the second variate is
+  // discarded to keep the generator state a pure function of call count).
+  const double u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(1.0 - u1));
+  return r * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+void Rng::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> s{};
+  for (const std::uint64_t j : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (j & (std::uint64_t{1} << b)) {
+        s[0] ^= state_[0];
+        s[1] ^= state_[1];
+        s[2] ^= state_[2];
+        s[3] ^= state_[3];
+      }
+      (*this)();
+    }
+  }
+  state_ = s;
+}
+
+Rng Rng::split() noexcept {
+  Rng child = *this;
+  child.jump();
+  // Advance the parent so successive split() calls yield distinct children.
+  (*this)();
+  return child;
+}
+
+}  // namespace fpm::util

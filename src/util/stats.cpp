@@ -1,0 +1,93 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fpm::util {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (const double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double min_of(std::span<const double> xs) noexcept {
+  assert(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) noexcept {
+  assert(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double median(std::span<const double> xs) {
+  assert(!xs.empty());
+  std::vector<double> v(xs.begin(), xs.end());
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  if (v.size() % 2 == 1) return v[mid];
+  const double hi = v[mid];
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid) - 1,
+                   v.end());
+  return 0.5 * (v[mid - 1] + hi);
+}
+
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size() && xs.size() >= 2);
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  LinearFit f;
+  f.slope = (sxx > 0.0) ? sxy / sxx : 0.0;
+  f.intercept = my - f.slope * mx;
+  f.r2 = (sxx > 0.0 && syy > 0.0) ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return f;
+}
+
+double rel_diff(double a, double b) noexcept {
+  const double denom = std::max(std::abs(a), std::abs(b));
+  return denom == 0.0 ? 0.0 : std::abs(a - b) / denom;
+}
+
+double geometric_mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double x : xs) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t count) {
+  std::vector<double> v;
+  if (count == 0) return v;
+  v.reserve(count);
+  if (count == 1) {
+    v.push_back(lo);
+    return v;
+  }
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i)
+    v.push_back(lo + step * static_cast<double>(i));
+  v.back() = hi;  // avoid accumulated round-off on the endpoint
+  return v;
+}
+
+}  // namespace fpm::util

@@ -1,0 +1,44 @@
+// Small statistics helpers used by the model builder, the workload
+// simulator, and the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fpm::util {
+
+/// Arithmetic mean; returns 0 for an empty range.
+double mean(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation (n-1 denominator); returns 0 for n < 2.
+double stddev(std::span<const double> xs) noexcept;
+
+/// Minimum / maximum; both require a non-empty range.
+double min_of(std::span<const double> xs) noexcept;
+double max_of(std::span<const double> xs) noexcept;
+
+/// Median (copies and partially sorts); requires a non-empty range.
+double median(std::span<const double> xs);
+
+/// Least-squares straight-line fit y = a + b*x.
+struct LinearFit {
+  double intercept = 0.0;  ///< a
+  double slope = 0.0;      ///< b
+  double r2 = 0.0;         ///< coefficient of determination
+};
+
+/// Fits a line to (xs[i], ys[i]); requires xs.size() == ys.size() >= 2.
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+/// Relative difference |a-b| / max(|a|,|b|); 0 when both are 0.
+double rel_diff(double a, double b) noexcept;
+
+/// Geometric mean of strictly positive values; returns 0 for empty input.
+double geometric_mean(std::span<const double> xs);
+
+/// Evenly spaced grid of `count` points covering [lo, hi] inclusive.
+/// Requires count >= 2 (or 1, returning {lo}).
+std::vector<double> linspace(double lo, double hi, std::size_t count);
+
+}  // namespace fpm::util

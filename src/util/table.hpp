@@ -1,0 +1,48 @@
+// Plain-text table and CSV emission for the benchmark harness. Every bench
+// binary prints the rows/series of the paper table or figure it regenerates;
+// this keeps that output aligned and machine-parsable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fpm::util {
+
+/// Column-aligned text table with an optional title, plus CSV export.
+///
+/// Usage:
+///   Table t{"Figure 22(a)", {"n", "speedup_500", "speedup_4000"}};
+///   t.add_row({fmt(n), fmt(s1), fmt(s2)});
+///   t.print(std::cout);
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly one cell per header.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Writes the aligned table (title, header, separator, rows).
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting helpers for table cells.
+std::string fmt(double v, int precision = 3);
+std::string fmt(long long v);
+std::string fmt(unsigned long long v);
+std::string fmt(long v);
+std::string fmt(unsigned long v);
+std::string fmt(int v);
+std::string fmt(unsigned v);
+
+}  // namespace fpm::util

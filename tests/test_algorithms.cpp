@@ -1,0 +1,315 @@
+// Integration & property tests for the three partitioning algorithms
+// (basic, modified, combined): invariants (sum == n, non-negative counts),
+// optimality against the exact integer optimum, mutual agreement, and the
+// complexity behaviour the paper claims (modified beats basic on the
+// exponential family; basic is cheap on polynomial-slope families).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/fpm.hpp"
+#include "helpers.hpp"
+
+namespace fpm::core {
+namespace {
+
+using fpm::test::Ensemble;
+
+void expect_valid(const Distribution& d, std::int64_t n,
+                  const std::string& context) {
+  std::int64_t sum = 0;
+  for (const std::int64_t c : d.counts) {
+    EXPECT_GE(c, 0) << context;
+    sum += c;
+  }
+  EXPECT_EQ(sum, n) << context;
+}
+
+/// The partitioned makespan must match the exact optimum to within the
+/// tolerance implied by integer granularity: we allow the cost of one extra
+/// element on the bottleneck processor.
+void expect_near_optimal(const SpeedList& speeds, const Distribution& got,
+                         std::int64_t n, const std::string& context) {
+  const Distribution best = exact_optimum(speeds, n);
+  const double t_got = makespan(speeds, got);
+  const double t_best = makespan(speeds, best);
+  // One-element slack on the bottleneck: t(x+1) - t(x) at the bottleneck
+  // size, which the fine-tuning greedy can differ by.
+  double slack = 0.0;
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
+    const double x = static_cast<double>(best.counts[i]);
+    slack = std::max(slack, speeds[i]->time(x + 1.0) - speeds[i]->time(x));
+  }
+  EXPECT_LE(t_got, t_best + slack + 1e-9 * t_best) << context;
+  EXPECT_GE(t_got, t_best * (1.0 - 1e-12)) << context << " (oracle beaten?!)";
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized sweep: every family x processor count x problem size.
+// ---------------------------------------------------------------------------
+
+class AlgorithmSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::int64_t>> {};
+
+TEST_P(AlgorithmSweep, BasicMatchesExactOptimum) {
+  const auto [p, n] = GetParam();
+  for (const Ensemble& e : fpm::test::all_ensembles(p)) {
+    const SpeedList speeds = e.list();
+    const PartitionResult r = partition_basic(speeds, n);
+    expect_valid(r.distribution, n, e.name);
+    expect_near_optimal(speeds, r.distribution, n, "basic/" + e.name);
+  }
+}
+
+TEST_P(AlgorithmSweep, ModifiedMatchesExactOptimum) {
+  const auto [p, n] = GetParam();
+  for (const Ensemble& e : fpm::test::all_ensembles(p)) {
+    const SpeedList speeds = e.list();
+    const PartitionResult r = partition_modified(speeds, n);
+    expect_valid(r.distribution, n, e.name);
+    expect_near_optimal(speeds, r.distribution, n, "modified/" + e.name);
+  }
+}
+
+TEST_P(AlgorithmSweep, CombinedMatchesExactOptimum) {
+  const auto [p, n] = GetParam();
+  for (const Ensemble& e : fpm::test::all_ensembles(p)) {
+    const SpeedList speeds = e.list();
+    const PartitionResult r = partition_combined(speeds, n);
+    expect_valid(r.distribution, n, e.name);
+    expect_near_optimal(speeds, r.distribution, n, "combined/" + e.name);
+  }
+}
+
+TEST_P(AlgorithmSweep, InterpolationMatchesExactOptimum) {
+  const auto [p, n] = GetParam();
+  for (const Ensemble& e : fpm::test::all_ensembles(p)) {
+    const SpeedList speeds = e.list();
+    const PartitionResult r = partition_interpolation(speeds, n);
+    expect_valid(r.distribution, n, e.name);
+    expect_near_optimal(speeds, r.distribution, n, "interpolation/" + e.name);
+  }
+}
+
+TEST_P(AlgorithmSweep, AlgorithmsAgreeOnMakespan) {
+  const auto [p, n] = GetParam();
+  for (const Ensemble& e : fpm::test::all_ensembles(p)) {
+    const SpeedList speeds = e.list();
+    const double tb = makespan(speeds, partition_basic(speeds, n).distribution);
+    const double tm =
+        makespan(speeds, partition_modified(speeds, n).distribution);
+    const double tc =
+        makespan(speeds, partition_combined(speeds, n).distribution);
+    // All three complete the same bracket with the same greedy; any residual
+    // difference is bounded by the one-element slack tested above, so here
+    // a relative agreement check suffices.
+    EXPECT_NEAR(tb, tm, 0.02 * tb) << e.name;
+    EXPECT_NEAR(tb, tc, 0.02 * tb) << e.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesByPandN, AlgorithmSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 13),
+                       ::testing::Values<std::int64_t>(1, 2, 17, 1000, 123457,
+                                                       20000000)),
+    [](const auto& suffix) {
+      return "p" + std::to_string(std::get<0>(suffix.param)) + "_n" +
+             std::to_string(std::get<1>(suffix.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Directed cases.
+// ---------------------------------------------------------------------------
+
+TEST(PartitionBasic, SingleProcessorTakesAll) {
+  const auto e = fpm::test::unimodal_ensemble(1);
+  const PartitionResult r = partition_basic(e.list(), 54321);
+  ASSERT_EQ(r.distribution.counts.size(), 1u);
+  EXPECT_EQ(r.distribution.counts[0], 54321);
+}
+
+TEST(PartitionBasic, ZeroElementsYieldsAllZeros) {
+  const auto e = fpm::test::linear_ensemble(4);
+  const PartitionResult r = partition_basic(e.list(), 0);
+  for (const std::int64_t c : r.distribution.counts) EXPECT_EQ(c, 0);
+}
+
+TEST(PartitionBasic, FewerElementsThanProcessors) {
+  const auto e = fpm::test::mixed_ensemble();
+  const PartitionResult r = partition_basic(e.list(), 3);
+  expect_valid(r.distribution, 3, "n<p");
+}
+
+TEST(PartitionBasic, ThrowsOnEmptySpeedList) {
+  EXPECT_THROW(partition_basic({}, 10), std::invalid_argument);
+  EXPECT_THROW(partition_modified({}, 10), std::invalid_argument);
+  EXPECT_THROW(partition_combined({}, 10), std::invalid_argument);
+}
+
+TEST(PartitionBasic, ConstantSpeedsReduceToProportional) {
+  // With constant speeds the functional partitioning must coincide with the
+  // classic proportional distribution.
+  const auto e = fpm::test::constant_ensemble(5);
+  const SpeedList speeds = e.list();
+  const std::int64_t n = 1000003;
+  const PartitionResult r = partition_basic(speeds, n);
+  std::vector<double> constants;
+  for (const SpeedFunction* f : speeds) constants.push_back(f->speed(1.0));
+  const Distribution prop = partition_single_number(n, constants);
+  EXPECT_EQ(makespan(speeds, r.distribution), makespan(speeds, prop));
+}
+
+TEST(PartitionBasic, TangentOptionConverges) {
+  BasicBisectionOptions opts;
+  opts.bisect_angles = false;  // the paper's practical shortcut
+  const auto e = fpm::test::power_ensemble(6);
+  const PartitionResult r = partition_basic(e.list(), 999983, opts);
+  expect_valid(r.distribution, 999983, "tangent");
+  expect_near_optimal(e.list(), r.distribution, 999983, "tangent");
+}
+
+TEST(PartitionBasic, AngleAndTangentVariantsAgree) {
+  const auto e = fpm::test::unimodal_ensemble(4);
+  BasicBisectionOptions tangent;
+  tangent.bisect_angles = false;
+  const double ta =
+      makespan(e.list(), partition_basic(e.list(), 777777).distribution);
+  const double tt = makespan(
+      e.list(), partition_basic(e.list(), 777777, tangent).distribution);
+  EXPECT_NEAR(ta, tt, 0.01 * ta);
+}
+
+TEST(PartitionProportionality, CountsTrackSpeedAtOwnSize) {
+  // The defining property (Figure 4): x_i / s_i(x_i) equalizes across
+  // processors, up to integer granularity.
+  const auto e = fpm::test::power_ensemble(6);
+  const SpeedList speeds = e.list();
+  const std::int64_t n = 5000011;
+  const PartitionResult r = partition_combined(speeds, n);
+  double t_min = std::numeric_limits<double>::infinity();
+  double t_max = 0.0;
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
+    const double x = static_cast<double>(r.distribution.counts[i]);
+    ASSERT_GT(x, 0.0);
+    const double t = x / speeds[i]->speed(x);
+    t_min = std::min(t_min, t);
+    t_max = std::max(t_max, t);
+  }
+  // Times agree to within the cost of a couple of elements.
+  EXPECT_LT((t_max - t_min) / t_max, 1e-4);
+}
+
+TEST(Complexity, ModifiedBeatsBasicOnExponentialFamily) {
+  // Paper §2: with theta_opt(n) = O(e^-n) the basic algorithm degrades to
+  // O(n)-ish step counts while the modified one stays O(p·log n). At
+  // n = 1e8 on this family the gap is an order of magnitude.
+  const auto e = fpm::test::exponential_ensemble(4);
+  const std::int64_t n = 100000000;
+  const PartitionResult basic = partition_basic(e.list(), n);
+  const PartitionResult modified = partition_modified(e.list(), n);
+  expect_valid(basic.distribution, n, "basic/exp");
+  expect_valid(modified.distribution, n, "modified/exp");
+  EXPECT_GT(basic.stats.iterations, 5 * modified.stats.iterations);
+}
+
+TEST(Complexity, BasicIterationsScaleSuperlogOnExponentialFamily) {
+  // The same pathology seen as scaling: growing n by 100x grows the basic
+  // iteration count far faster than the logarithmic growth seen on
+  // well-behaved families, while the modified count barely moves.
+  const auto e = fpm::test::exponential_ensemble(4);
+  const int basic_small = partition_basic(e.list(), 1000000).stats.iterations;
+  const int basic_large =
+      partition_basic(e.list(), 100000000).stats.iterations;
+  const int modified_small =
+      partition_modified(e.list(), 1000000).stats.iterations;
+  const int modified_large =
+      partition_modified(e.list(), 100000000).stats.iterations;
+  EXPECT_GT(basic_large, basic_small * 10);
+  EXPECT_LT(modified_large, modified_small + 16);
+}
+
+TEST(Complexity, BasicIsCheapOnPolynomialFamilies) {
+  // O(log n)-ish iteration counts on the well-behaved families.
+  const auto e = fpm::test::power_ensemble(8);
+  const PartitionResult r = partition_basic(e.list(), 100000000);
+  EXPECT_LT(r.stats.iterations, 200);
+}
+
+TEST(Complexity, ModifiedIterationsWithinGuaranteedBound) {
+  for (const Ensemble& e : fpm::test::all_ensembles(6)) {
+    const std::int64_t n = 10000019;
+    const PartitionResult r = partition_modified(e.list(), n);
+    const double bound =
+        6.0 * (std::log2(static_cast<double>(n) * 6.0) + 4.0) + 64.0;
+    EXPECT_LE(r.stats.iterations, static_cast<int>(bound)) << e.name;
+  }
+}
+
+TEST(Complexity, CombinedSwitchesOnExponentialFamilyOnly) {
+  const auto exp_e = fpm::test::exponential_ensemble(4);
+  const PartitionResult r_exp = partition_combined(exp_e.list(), 100000000);
+  EXPECT_TRUE(r_exp.stats.switched_to_modified);
+
+  const auto poly_e = fpm::test::power_ensemble(4);
+  const PartitionResult r_poly = partition_combined(poly_e.list(), 100000000);
+  EXPECT_FALSE(r_poly.stats.switched_to_modified);
+}
+
+TEST(Complexity, CombinedStaysNearModifiedOnPathologicalFamily) {
+  // The point of the hybrid: on the bad family it must track the modified
+  // algorithm's cost, not the basic one's.
+  const auto e = fpm::test::exponential_ensemble(4);
+  const std::int64_t n = 100000000;
+  const int basic = partition_basic(e.list(), n).stats.iterations;
+  const int combined = partition_combined(e.list(), n).stats.iterations;
+  EXPECT_LT(combined, basic / 5);
+}
+
+TEST(Complexity, InterpolationStaysFlatOnExponentialFamily) {
+  // The candidate answer to the paper's "ideal algorithm" challenge: the
+  // safeguarded log-log secant search must not inherit basic bisection's
+  // linear-in-n degradation on the exponential family.
+  const auto e = fpm::test::exponential_ensemble(4);
+  const int small = partition_interpolation(e.list(), 1000000).stats.iterations;
+  const int large =
+      partition_interpolation(e.list(), 100000000).stats.iterations;
+  const int basic_large = partition_basic(e.list(), 100000000).stats.iterations;
+  EXPECT_LT(large, small + 32);           // near-flat growth
+  EXPECT_LT(large * 5, basic_large);      // an order of magnitude below basic
+}
+
+TEST(Complexity, InterpolationCompetitiveOnBenignFamilies) {
+  for (const Ensemble& e : fpm::test::all_ensembles(6)) {
+    const int interp =
+        partition_interpolation(e.list(), 10000019).stats.iterations;
+    const int basic = partition_basic(e.list(), 10000019).stats.iterations;
+    EXPECT_LE(interp, 2 * basic + 8) << e.name;
+  }
+}
+
+TEST(Determinism, RepeatedRunsIdentical) {
+  const auto e = fpm::test::mixed_ensemble();
+  const PartitionResult a = partition_combined(e.list(), 31415926);
+  const PartitionResult b = partition_combined(e.list(), 31415926);
+  EXPECT_EQ(a.distribution.counts, b.distribution.counts);
+  EXPECT_EQ(a.stats.iterations, b.stats.iterations);
+}
+
+TEST(Stats, ReportsAlgorithmNames) {
+  const auto e = fpm::test::linear_ensemble(3);
+  EXPECT_EQ(partition_basic(e.list(), 100).stats.algorithm, "basic");
+  EXPECT_EQ(partition_modified(e.list(), 100).stats.algorithm, "modified");
+  EXPECT_EQ(partition_combined(e.list(), 100).stats.algorithm, "combined");
+}
+
+TEST(Stats, IntersectionCountsAreConsistent) {
+  const auto e = fpm::test::power_ensemble(5);
+  const PartitionResult r = partition_basic(e.list(), 1000000);
+  // Two bracket lines plus one line per iteration, each solving p curves.
+  EXPECT_EQ(r.stats.intersections, 5 * (r.stats.iterations + 2));
+}
+
+}  // namespace
+}  // namespace fpm::core

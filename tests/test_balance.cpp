@@ -1,0 +1,228 @@
+// Tests for the dynamic load-balancing subsystem: the online model's
+// learning and repair behaviour, the rebalancer's policy (threshold,
+// warm-up, migration cost), and end-to-end iterative simulations with
+// background-load drift.
+#include <gtest/gtest.h>
+
+#include "balance/iterative_sim.hpp"
+#include "balance/online_model.hpp"
+#include "balance/rebalancer.hpp"
+#include "simcluster/presets.hpp"
+
+namespace fpm::balance {
+namespace {
+
+OnlineModelOptions small_model() {
+  OnlineModelOptions o;
+  o.min_size = 10.0;
+  o.max_size = 1e6;
+  o.buckets = 16;
+  return o;
+}
+
+TEST(OnlineModel, StartsEmptyAndBecomesReady) {
+  OnlineModel m(small_model());
+  EXPECT_FALSE(m.ready());
+  EXPECT_FALSE(m.estimate(100.0).has_value());
+  m.observe(100.0, 50.0);
+  EXPECT_TRUE(m.ready());
+  EXPECT_EQ(m.observations(), 1u);
+  EXPECT_NEAR(*m.estimate(100.0), 50.0, 1e-9);
+}
+
+TEST(OnlineModel, IgnoresGarbageObservations) {
+  OnlineModel m(small_model());
+  m.observe(-5.0, 10.0);
+  m.observe(100.0, 0.0);
+  m.observe(100.0, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(m.ready());
+}
+
+TEST(OnlineModel, EwmaTracksAStepChange) {
+  OnlineModelOptions o = small_model();
+  o.learning_rate = 0.5;
+  OnlineModel m(o);
+  for (int i = 0; i < 20; ++i) m.observe(1000.0, 100.0);
+  EXPECT_NEAR(*m.estimate(1000.0), 100.0, 1e-6);
+  for (int i = 0; i < 20; ++i) m.observe(1000.0, 40.0);  // load arrives
+  EXPECT_NEAR(*m.estimate(1000.0), 40.0, 0.5);
+}
+
+TEST(OnlineModel, LearnsADecreasingCurve) {
+  OnlineModel m(small_model());
+  // Feed a paging-like truth: fast when small, slow when large.
+  for (double x = 20.0; x < 1e6; x *= 1.6)
+    m.observe(x, x < 1e4 ? 200.0 : 20.0);
+  const core::PiecewiseLinearSpeed curve = m.curve();
+  EXPECT_GT(curve.speed(1000.0), curve.speed(5e5));
+  EXPECT_TRUE(core::satisfies_shape_requirement(curve));
+}
+
+TEST(OnlineModel, CurveAlwaysSatisfiesShapeRequirement) {
+  // Even adversarial observations (speed rising with size) export a valid
+  // model thanks to the monotone-ratio repair.
+  OnlineModel m(small_model());
+  for (double x = 20.0; x < 1e6; x *= 2.0) m.observe(x, x);  // absurd
+  EXPECT_TRUE(core::satisfies_shape_requirement(m.curve()));
+}
+
+TEST(OnlineModel, RejectsBadOptions) {
+  OnlineModelOptions o = small_model();
+  o.buckets = 1;
+  EXPECT_THROW(OnlineModel{o}, std::invalid_argument);
+  o = small_model();
+  o.learning_rate = 0.0;
+  EXPECT_THROW(OnlineModel{o}, std::invalid_argument);
+  o = small_model();
+  o.max_size = o.min_size;
+  EXPECT_THROW(OnlineModel{o}, std::invalid_argument);
+}
+
+TEST(OnlineModel, PersistsAndRestoresThroughModelIo) {
+  OnlineModel original(small_model());
+  for (double x = 20.0; x < 1e6; x *= 2.5)
+    original.observe(x, 500.0 / (1.0 + x / 1e4));
+  const core::NamedModel saved = original.to_named_model("worker-3");
+  EXPECT_EQ(saved.name, "worker-3");
+
+  OnlineModel restored(small_model());
+  restored.restore(saved);
+  ASSERT_TRUE(restored.ready());
+  const auto a = original.curve();
+  const auto b = restored.curve();
+  for (double x = 50.0; x < 1e6; x *= 3.0)
+    EXPECT_NEAR(a.speed(x), b.speed(x), 1e-9 * a.speed(x)) << x;
+
+  // And the restored model keeps adapting.
+  for (int i = 0; i < 30; ++i) restored.observe(1000.0, 9999.0);
+  EXPECT_GT(*restored.estimate(1000.0), *original.estimate(1000.0));
+}
+
+TEST(OnlineModel, ToNamedModelRequiresObservations) {
+  const OnlineModel empty(small_model());
+  EXPECT_THROW((void)empty.to_named_model("x"), std::logic_error);
+}
+
+TEST(Rebalancer, StartsEvenAndHonoursWarmup) {
+  RebalancerOptions opts;
+  opts.warmup_iterations = 3;
+  Rebalancer rb(4, 1000, small_model(), opts);
+  EXPECT_EQ(rb.distribution().counts, (std::vector<std::int64_t>{250, 250, 250, 250}));
+  // Heavily imbalanced observations during warm-up must not repartition.
+  const std::vector<double> times{10.0, 1.0, 1.0, 1.0};
+  EXPECT_FALSE(rb.step(times));
+  EXPECT_FALSE(rb.step(times));
+  EXPECT_FALSE(rb.step(times));
+  EXPECT_EQ(rb.repartitions(), 0);
+  // After warm-up the same signal triggers a repartition.
+  EXPECT_TRUE(rb.step(times));
+  EXPECT_EQ(rb.repartitions(), 1);
+  EXPECT_EQ(rb.distribution().total(), 1000);
+  // The slow processor 0 must now hold fewer elements.
+  EXPECT_LT(rb.distribution().counts[0], 250);
+}
+
+TEST(Rebalancer, QuietWhenBalanced) {
+  RebalancerOptions opts;
+  opts.warmup_iterations = 0;
+  opts.imbalance_threshold = 0.10;
+  Rebalancer rb(3, 999, small_model(), opts);
+  const std::vector<double> even_times{1.0, 1.02, 0.99};
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(rb.step(even_times));
+  EXPECT_EQ(rb.repartitions(), 0);
+  EXPECT_NEAR(rb.last_imbalance(), 0.0294, 0.01);
+}
+
+TEST(Rebalancer, MigrationCostVetoesMarginalMoves) {
+  RebalancerOptions cheap;
+  cheap.warmup_iterations = 0;
+  cheap.imbalance_threshold = 0.05;
+  RebalancerOptions expensive = cheap;
+  expensive.migration_cost_per_element_s = 1.0;  // absurdly expensive moves
+  Rebalancer rb_cheap(2, 1000, small_model(), cheap);
+  Rebalancer rb_expensive(2, 1000, small_model(), expensive);
+  const std::vector<double> times{2.0, 1.0};
+  EXPECT_TRUE(rb_cheap.step(times));
+  EXPECT_FALSE(rb_expensive.step(times));
+}
+
+TEST(Rebalancer, RejectsBadInput) {
+  EXPECT_THROW(Rebalancer(core::Distribution{}, small_model(), {}),
+               std::invalid_argument);
+  Rebalancer rb(2, 100, small_model(), {});
+  EXPECT_THROW(rb.step(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Rebalancer, ConvergesToSpeedProportionalShares) {
+  // Two processors, hidden constant speeds 300 and 100 elem/s: after a few
+  // iterations the shares should approach 3:1.
+  RebalancerOptions opts;
+  opts.warmup_iterations = 0;
+  opts.imbalance_threshold = 0.02;
+  Rebalancer rb(2, 4000, small_model(), opts);
+  for (int it = 0; it < 12; ++it) {
+    const auto& d = rb.distribution();
+    const std::vector<double> times{static_cast<double>(d.counts[0]) / 300.0,
+                                    static_cast<double>(d.counts[1]) / 100.0};
+    rb.step(times);
+  }
+  EXPECT_NEAR(static_cast<double>(rb.distribution().counts[0]), 3000.0, 150.0);
+}
+
+TEST(IterativeSim, OnlineBeatsStaticEvenOnHeterogeneousCluster) {
+  auto c1 = sim::make_table2_cluster(5);
+  auto c2 = sim::make_table2_cluster(5);
+  IterativeOptions opts;
+  opts.n = 3'000'000;
+  opts.iterations = 30;
+  opts.policy = BalancePolicy::StaticEven;
+  const IterativeResult even = simulate_iterative(c1, sim::kMatMul, opts);
+  opts.policy = BalancePolicy::Online;
+  opts.rebalance.warmup_iterations = 1;
+  const IterativeResult online = simulate_iterative(c2, sim::kMatMul, opts);
+  EXPECT_LT(online.total_seconds, even.total_seconds);
+  EXPECT_GE(online.repartitions, 1);
+}
+
+TEST(IterativeSim, OnlineRecoversFromLoadDrift) {
+  // A heavy external job lands on the fast X3 mid-run: the static
+  // functional distribution keeps overloading it; the online policy
+  // re-learns and repartitions.
+  const std::vector<DriftEvent> drift{{10, 2, 0.8}};
+  IterativeOptions opts;
+  opts.n = 3'000'000;
+  opts.iterations = 60;
+
+  auto c1 = sim::make_table2_cluster(7);
+  opts.policy = BalancePolicy::StaticFunctional;
+  const IterativeResult fixed =
+      simulate_iterative(c1, sim::kMatMul, opts, drift);
+
+  auto c2 = sim::make_table2_cluster(7);
+  opts.policy = BalancePolicy::Online;
+  const IterativeResult online =
+      simulate_iterative(c2, sim::kMatMul, opts, drift);
+
+  EXPECT_LT(online.total_seconds, fixed.total_seconds);
+  EXPECT_GE(online.repartitions, 2);  // once at start, once after the drift
+}
+
+TEST(IterativeSim, ResultBookkeepingConsistent) {
+  auto cluster = sim::make_table2_cluster(9);
+  IterativeOptions opts;
+  opts.n = 1'000'000;
+  opts.iterations = 5;
+  const IterativeResult r = simulate_iterative(cluster, sim::kMatMul, opts);
+  ASSERT_EQ(r.iteration_seconds.size(), 5u);
+  double sum = 0.0;
+  for (const double t : r.iteration_seconds) {
+    EXPECT_GT(t, 0.0);
+    sum += t;
+  }
+  EXPECT_NEAR(sum, r.total_seconds, 1e-9 * sum);
+  EXPECT_THROW(simulate_iterative(cluster, sim::kMatMul, IterativeOptions{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fpm::balance

@@ -1,0 +1,220 @@
+// Tests for the §3.1 model builder: trisection refinement, band acceptance,
+// probe accounting, and accuracy of the built model against ground truth —
+// both noise-free and under simulated fluctuation bands.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/builder.hpp"
+#include "core/speed_function.hpp"
+#include "helpers.hpp"
+#include "util/rng.hpp"
+
+namespace fpm::core {
+namespace {
+
+/// Noise-free source reading straight off a ground-truth curve.
+class TruthSource final : public MeasurementSource {
+ public:
+  explicit TruthSource(const SpeedFunction& f) : f_(&f) {}
+  double measure(double size) override {
+    ++calls;
+    return f_->speed(size);
+  }
+  int calls = 0;
+
+ private:
+  const SpeedFunction* f_;
+};
+
+/// Source with multiplicative uniform noise of the given half-width.
+class NoisySource final : public MeasurementSource {
+ public:
+  NoisySource(const SpeedFunction& f, double half_width, std::uint64_t seed)
+      : f_(&f), half_(half_width), rng_(seed) {}
+  double measure(double size) override {
+    return f_->speed(size) * (1.0 + rng_.uniform(-half_, half_));
+  }
+
+ private:
+  const SpeedFunction* f_;
+  double half_;
+  util::Rng rng_;
+};
+
+BuilderOptions default_opts(const SpeedFunction& f) {
+  BuilderOptions opts;
+  opts.min_size = f.max_size() * 1e-4;
+  opts.max_size = f.max_size();
+  return opts;
+}
+
+TEST(Builder, ConstantCurveAcceptedWithFourProbes) {
+  // A constant-speed curve: the initial chord misses (it runs to zero at
+  // b), so refinement happens, but a constant function needs few probes.
+  const ConstantSpeed f(100.0, 1e6);
+  TruthSource src(f);
+  const BuiltModel m = build_speed_band(src, default_opts(f));
+  EXPECT_EQ(m.probes, src.calls);
+  EXPECT_GE(m.probes, 3);  // s(a) plus at least one trisection pair
+}
+
+TEST(Builder, RejectsBadOptions) {
+  const ConstantSpeed f(100.0, 1e6);
+  TruthSource src(f);
+  BuilderOptions opts = default_opts(f);
+  opts.epsilon = 0.0;
+  EXPECT_THROW(build_speed_band(src, opts), std::invalid_argument);
+  opts = default_opts(f);
+  opts.min_size = opts.max_size;
+  EXPECT_THROW(build_speed_band(src, opts), std::invalid_argument);
+  opts = default_opts(f);
+  opts.samples_per_point = 0;
+  EXPECT_THROW(build_speed_band(src, opts), std::invalid_argument);
+}
+
+TEST(Builder, CenterCurveTracksGroundTruthWithinEpsilon) {
+  // Noise-free build: between the probe anchors the centre curve must stay
+  // within a small multiple of epsilon of the truth over the bulk of the
+  // modelled range (the band guarantees epsilon at accepted probes; linear
+  // interpolation adds bounded error on smooth curves).
+  for (const auto& e : fpm::test::all_ensembles(2)) {
+    if (e.name == "exp-decay") continue;  // reaches ~0 early; ratios explode
+    // The paper's §3.1 procedure assumes a chord crosses the curve at most
+    // once between its endpoints (Figure 19a/b); the rise-then-fall
+    // unimodal family violates that, so the trisection acceptance test can
+    // legitimately accept a coarse band there — excluded from the strict
+    // accuracy check (covered by UnimodalStillYieldsValidModel below).
+    if (e.name == "unimodal") continue;
+    const SpeedFunction& f = *e.owned[0];
+    TruthSource src(f);
+    BuilderOptions opts = default_opts(f);
+    opts.epsilon = 0.05;
+    const BuiltModel m = build_speed_band(src, opts);
+    const PiecewiseLinearSpeed centre = m.band.center();
+    int checked = 0, within = 0;
+    for (double x = opts.min_size * 2.0; x < f.max_size() * 0.8; x *= 1.3) {
+      ++checked;
+      const double truth = f.speed(x);
+      if (std::abs(centre.speed(x) - truth) <= 0.15 * truth) ++within;
+    }
+    EXPECT_GE(within, checked * 8 / 10) << e.name;
+  }
+}
+
+TEST(Builder, UnimodalStillYieldsValidModel) {
+  // Outside the §3.1 chord assumption the band may be coarse, but the
+  // output must still be a well-formed model usable by the partitioners.
+  const auto e = fpm::test::unimodal_ensemble(1);
+  TruthSource src(*e.owned[0]);
+  const BuiltModel m = build_speed_band(src, default_opts(*e.owned[0]));
+  const PiecewiseLinearSpeed centre = m.band.center();
+  EXPECT_TRUE(satisfies_shape_requirement(centre));
+  EXPECT_GT(m.probes, 0);
+}
+
+TEST(Builder, MoreProbesForSharperCurves) {
+  // A stepped (cliffy) curve needs more experimental points than a linear
+  // one over the same range.
+  const LinearDecaySpeed smooth(200.0, 1e7);
+  std::vector<SteppedSpeed::Step> steps;
+  steps.push_back({1e5, 150.0, 1e4});
+  steps.push_back({5e6, 8.0, 2e5});
+  const SteppedSpeed cliffy(200.0, std::move(steps), 1e7);
+
+  TruthSource s1(smooth), s2(cliffy);
+  BuilderOptions o1 = default_opts(smooth);
+  BuilderOptions o2 = default_opts(cliffy);
+  const int p_smooth = build_speed_band(s1, o1).probes;
+  const int p_cliffy = build_speed_band(s2, o2).probes;
+  EXPECT_GT(p_cliffy, p_smooth);
+}
+
+TEST(Builder, RespectsProbeBudget) {
+  std::vector<SteppedSpeed::Step> steps;
+  steps.push_back({1e5, 150.0, 1e4});
+  steps.push_back({5e6, 8.0, 2e5});
+  const SteppedSpeed f(200.0, std::move(steps), 1e7);
+  TruthSource src(f);
+  BuilderOptions opts = default_opts(f);
+  opts.max_probes = 9;
+  const BuiltModel m = build_speed_band(src, opts);
+  EXPECT_LE(m.probes, 9);
+}
+
+TEST(Builder, SamplesPerPointMultipliesProbes) {
+  const LinearDecaySpeed f(200.0, 1e7);
+  TruthSource s1(f), s3(f);
+  BuilderOptions o1 = default_opts(f);
+  BuilderOptions o3 = default_opts(f);
+  o3.samples_per_point = 3;
+  const BuiltModel m1 = build_speed_band(s1, o1);
+  const BuiltModel m3 = build_speed_band(s3, o3);
+  EXPECT_EQ(m3.probes, 3 * m1.probes);
+}
+
+TEST(Builder, ProbeLogMatchesCount) {
+  const LinearDecaySpeed f(150.0, 1e6);
+  TruthSource src(f);
+  const BuiltModel m = build_speed_band(src, default_opts(f));
+  EXPECT_EQ(static_cast<int>(m.probed.size()),
+            m.probes);  // one log entry per call with samples_per_point == 1
+  for (const SpeedPoint& p : m.probed) {
+    EXPECT_GE(p.size, default_opts(f).min_size * (1.0 - 1e-12));
+    EXPECT_LE(p.size, f.max_size());
+  }
+}
+
+TEST(Builder, NoisyMeasurementsStillProduceUsableModel) {
+  // Noise within the epsilon band: the built centre curve must still be a
+  // valid model (construction succeeds => shape requirement holds) and
+  // roughly track the truth.
+  const PowerDecaySpeed f(180.0, 1e5, 1.0, 1e7);
+  NoisySource src(f, 0.04, 99);
+  BuilderOptions opts = default_opts(f);
+  opts.samples_per_point = 3;
+  const BuiltModel m = build_speed_band(src, opts);
+  const PiecewiseLinearSpeed centre = m.band.center();
+  // Mid-range agreement within 25% (noise + interpolation).
+  const double x = 3e5;
+  EXPECT_NEAR(centre.speed(x), f.speed(x), 0.25 * f.speed(x));
+}
+
+TEST(Builder, BuiltModelPartitionsCloseToGroundTruth) {
+  // End-to-end property: partitioning with built models must yield a
+  // makespan (evaluated on the TRUE curves) within a few percent of
+  // partitioning with the true curves themselves.
+  const auto e = fpm::test::power_ensemble(4);
+  std::vector<PiecewiseLinearSpeed> built;
+  for (const auto& f : e.owned) {
+    TruthSource src(*f);
+    BuilderOptions opts = default_opts(*f);
+    built.push_back(build_speed_band(src, opts).band.center());
+  }
+  SpeedList built_list;
+  for (const auto& b : built) built_list.push_back(&b);
+  const SpeedList truth_list = e.list();
+
+  const std::int64_t n = 2000003;
+  const Distribution with_built =
+      partition_combined(built_list, n).distribution;
+  const Distribution with_truth =
+      partition_combined(truth_list, n).distribution;
+  const double t_built = makespan(truth_list, with_built);
+  const double t_truth = makespan(truth_list, with_truth);
+  EXPECT_LE(t_built, t_truth * 1.10);
+}
+
+TEST(Builder, CenterModelConvenienceMatchesBandCenter) {
+  const LinearDecaySpeed f(150.0, 1e6);
+  TruthSource s1(f), s2(f);
+  const BuilderOptions opts = default_opts(f);
+  const PiecewiseLinearSpeed a = build_speed_model(s1, opts);
+  const PiecewiseLinearSpeed b = build_speed_band(s2, opts).band.center();
+  for (double x = 200.0; x < 1e6; x *= 2.0)
+    EXPECT_DOUBLE_EQ(a.speed(x), b.speed(x));
+}
+
+}  // namespace
+}  // namespace fpm::core

@@ -1,0 +1,90 @@
+// Tests for the Cholesky kernels: reconstruction, blocked/unblocked
+// bit-identity, solves, SPD detection, and flop accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/kernels.hpp"
+
+namespace fpm::linalg {
+namespace {
+
+TEST(Cholesky, ReconstructsTheMatrix) {
+  for (const std::size_t n : {1u, 2u, 7u, 24u, 50u}) {
+    const util::MatrixD a = spd_matrix(n, 100 + n);
+    util::MatrixD l = a;
+    ASSERT_TRUE(cholesky_factor(l)) << n;
+    EXPECT_LT(util::max_abs_diff(cholesky_reconstruct(l), a), 1e-8 * n)
+        << n;
+    // Strict upper triangle zeroed.
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        EXPECT_DOUBLE_EQ(l(i, j), 0.0);
+  }
+}
+
+TEST(Cholesky, BlockedBitIdenticalToUnblocked) {
+  for (const std::size_t n : {1u, 8u, 17u, 33u, 64u}) {
+    for (const std::size_t b : {1u, 4u, 8u, 16u}) {
+      util::MatrixD a1 = spd_matrix(n, 300 + n);
+      util::MatrixD a2 = a1;
+      ASSERT_TRUE(cholesky_factor(a1));
+      ASSERT_TRUE(block_cholesky_factor(a2, b));
+      EXPECT_DOUBLE_EQ(util::max_abs_diff(a1, a2), 0.0)
+          << "n=" << n << " b=" << b;
+    }
+  }
+}
+
+TEST(Cholesky, SolveRecoversKnownSolution) {
+  const std::size_t n = 30;
+  const util::MatrixD a = spd_matrix(n, 7);
+  std::vector<double> x_true(n);
+  for (std::size_t i = 0; i < n; ++i) x_true[i] = std::cos(double(i));
+  std::vector<double> rhs(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) rhs[i] += a(i, j) * x_true[j];
+  util::MatrixD l = a;
+  ASSERT_TRUE(cholesky_factor(l));
+  const std::vector<double> x = cholesky_solve(l, rhs);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-7);
+}
+
+TEST(Cholesky, RejectsNonPositiveDefinite) {
+  util::MatrixD indefinite(2, 2);
+  indefinite(0, 0) = 1.0;
+  indefinite(0, 1) = indefinite(1, 0) = 5.0;
+  indefinite(1, 1) = 1.0;  // eigenvalues 6 and -4
+  EXPECT_FALSE(cholesky_factor(indefinite));
+  util::MatrixD zero(3, 3);  // all-zero: first pivot not positive
+  EXPECT_FALSE(block_cholesky_factor(zero, 2));
+}
+
+TEST(Cholesky, ValidatesArguments) {
+  util::MatrixD rect = random_matrix(3, 4, 1);
+  EXPECT_THROW(cholesky_factor(rect), std::invalid_argument);
+  util::MatrixD sq = spd_matrix(4, 1);
+  EXPECT_THROW(block_cholesky_factor(sq, 0), std::invalid_argument);
+  util::MatrixD l = spd_matrix(4, 2);
+  ASSERT_TRUE(cholesky_factor(l));
+  EXPECT_THROW(cholesky_solve(l, std::vector<double>(3)),
+               std::invalid_argument);
+}
+
+TEST(Cholesky, FlopsCubeOverThree) {
+  const double n = 600.0;
+  EXPECT_NEAR(cholesky_flops(600), n * n * n / 3.0, 0.02 * n * n * n / 3.0);
+}
+
+TEST(Cholesky, SpdMatrixIsSymmetricAndFactorable) {
+  const util::MatrixD a = spd_matrix(20, 9);
+  for (std::size_t i = 0; i < 20; ++i)
+    for (std::size_t j = 0; j < 20; ++j)
+      EXPECT_DOUBLE_EQ(a(i, j), a(j, i));
+  util::MatrixD l = a;
+  EXPECT_TRUE(cholesky_factor(l));
+}
+
+}  // namespace
+}  // namespace fpm::linalg

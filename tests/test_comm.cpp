@@ -1,0 +1,268 @@
+// Tests for the communication extension: the two-parameter link model,
+// serialized collectives, and communication-aware partitioning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "comm/model.hpp"
+#include "helpers.hpp"
+
+namespace fpm::comm {
+namespace {
+
+TEST(CommModel, PointToPointCost) {
+  const CommModel m = CommModel::uniform(3, {1e-4, 12.5e6});  // 100 Mbit
+  // 1 MB: 1e6 / 12.5e6 = 0.08 s plus startup.
+  EXPECT_NEAR(m.send_seconds(0, 1, 1e6), 0.0801, 1e-6);
+  EXPECT_DOUBLE_EQ(m.send_seconds(1, 1, 1e6), 0.0);  // self-send is free
+  EXPECT_DOUBLE_EQ(m.send_seconds(0, 2, 0.0), 0.0);  // empty message
+}
+
+TEST(CommModel, RejectsBadParameters) {
+  EXPECT_THROW(CommModel::uniform(0, {0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(CommModel::uniform(2, {0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(CommModel::uniform(2, {-1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(CommModel({{LinkParams{}}, {LinkParams{}}}),
+               std::invalid_argument);  // non-square
+}
+
+TEST(CommModel, HeterogeneousLinksAreDirectional) {
+  std::vector<std::vector<LinkParams>> links(2, std::vector<LinkParams>(2));
+  links[0][1] = {0.0, 1e6};
+  links[1][0] = {0.0, 2e6};
+  const CommModel m(links);
+  EXPECT_DOUBLE_EQ(m.send_seconds(0, 1, 1e6), 1.0);
+  EXPECT_DOUBLE_EQ(m.send_seconds(1, 0, 1e6), 0.5);
+}
+
+TEST(CommModel, SerializedCollectivesSumSends) {
+  const CommModel m = CommModel::uniform(3, {0.01, 1e6});
+  const std::vector<double> bytes{0.0, 1e6, 2e6};  // root sends to 1 and 2
+  // scatter: (0.01 + 1) + (0.01 + 2); the root's own share is free.
+  EXPECT_NEAR(m.scatter_seconds(0, bytes), 3.02, 1e-9);
+  EXPECT_NEAR(m.gather_seconds(0, bytes), 3.02, 1e-9);
+  EXPECT_NEAR(m.broadcast_seconds(0, 1e6), 2.02, 1e-9);
+}
+
+TEST(CommModel, IndexBoundsChecked) {
+  const CommModel m = CommModel::uniform(2, {0.0, 1e6});
+  EXPECT_THROW(m.send_seconds(0, 5, 10.0), std::out_of_range);
+}
+
+TEST(PartitionCommAware, ZeroCommMatchesComputeOnlyOptimum) {
+  const auto e = fpm::test::power_ensemble(4);
+  const core::SpeedList speeds = e.list();
+  // Effectively free network: the result must match the compute optimum.
+  const CommModel free_net = CommModel::uniform(4, {0.0, 1e18});
+  CommAwareProblem prob;
+  prob.flops_per_element = 1.0;
+  const std::int64_t n = 100000;
+  const auto r = partition_comm_aware(speeds, n, free_net, prob);
+  const auto best = core::exact_optimum(speeds, n);
+  EXPECT_EQ(r.distribution.total(), n);
+  EXPECT_NEAR(core::makespan(speeds, r.distribution),
+              core::makespan(speeds, best),
+              0.01 * core::makespan(speeds, best));
+}
+
+TEST(PartitionCommAware, ExpensiveLinksShiftWorkToRoot) {
+  // Identical processors, but only the root avoids the receive cost: with
+  // an expensive network the root must receive a strictly larger share.
+  const core::ConstantSpeed f(100.0, 1e9);
+  const core::SpeedList speeds{&f, &f, &f};
+  const CommModel slow_net = CommModel::uniform(3, {0.0, 1e3});
+  CommAwareProblem prob;
+  prob.root = 0;
+  prob.bytes_per_element = 8.0;
+  prob.flops_per_element = 1.0;
+  const std::int64_t n = 30000;
+  const auto r = partition_comm_aware(speeds, n, slow_net, prob);
+  EXPECT_EQ(r.distribution.total(), n);
+  EXPECT_GT(r.distribution.counts[0], r.distribution.counts[1]);
+  EXPECT_GT(r.distribution.counts[0], n / 3);
+}
+
+TEST(PartitionCommAware, ValidatesArguments) {
+  const core::ConstantSpeed f(100.0, 1e9);
+  const core::SpeedList speeds{&f, &f};
+  const CommModel net = CommModel::uniform(3, {0.0, 1e6});
+  CommAwareProblem prob;
+  EXPECT_THROW(partition_comm_aware(speeds, 10, net, prob),
+               std::invalid_argument);  // p mismatch
+  const CommModel net2 = CommModel::uniform(2, {0.0, 1e6});
+  prob.root = 7;
+  EXPECT_THROW(partition_comm_aware(speeds, 10, net2, prob),
+               std::invalid_argument);
+}
+
+class CommSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(CommSweep, CommAwareInvariantsAcrossNetworks) {
+  const auto [startup, rate] = GetParam();
+  const auto e = fpm::test::power_ensemble(5);
+  const core::SpeedList speeds = e.list();
+  const CommModel net = CommModel::uniform(5, {startup, rate});
+  CommAwareProblem prob;
+  prob.root = 2;
+  prob.flops_per_element = 60.0;
+  const std::int64_t n = 123457;
+  const auto r = partition_comm_aware(speeds, n, net, prob);
+  EXPECT_EQ(r.distribution.total(), n);
+  for (const std::int64_t c : r.distribution.counts) EXPECT_GE(c, 0);
+  // The root's share never shrinks when the network gets slower with
+  // everything else fixed — checked against the near-free baseline.
+  const CommModel free_net = CommModel::uniform(5, {0.0, 1e18});
+  const auto baseline = partition_comm_aware(speeds, n, free_net, prob);
+  EXPECT_GE(r.distribution.counts[prob.root] + 2,
+            baseline.distribution.counts[prob.root]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Networks, CommSweep,
+    ::testing::Combine(::testing::Values(0.0, 1e-4, 1e-2),
+                       ::testing::Values(1e4, 1e6, 1e9)),
+    [](const auto& suffix) {
+      return "s" + std::to_string(static_cast<int>(
+                       std::get<0>(suffix.param) * 10000)) +
+             "_r" + std::to_string(static_cast<long long>(
+                        std::get<1>(suffix.param)));
+    });
+
+TEST(PartitionCommAware, HandlesZeroElements) {
+  const core::ConstantSpeed f(100.0, 1e9);
+  const core::SpeedList speeds{&f, &f};
+  const CommModel net = CommModel::uniform(2, {0.0, 1e6});
+  const auto r = partition_comm_aware(speeds, 0, net, CommAwareProblem{});
+  EXPECT_EQ(r.distribution.total(), 0);
+}
+
+TEST(SerializedMakespan, AccountsForStaggeredStarts) {
+  // Two identical processors, root = 0. Processor 1's compute starts only
+  // after its receive completes.
+  const core::ConstantSpeed f(1.0, 1e9);  // speed 1 => seconds = x*fpe/1e6
+  const core::SpeedList speeds{&f, &f};
+  const CommModel net = CommModel::uniform(2, {0.0, 1e6});  // 1 B/us
+  CommAwareProblem prob;
+  prob.bytes_per_element = 1.0;
+  prob.flops_per_element = 1.0;
+  core::Distribution d;
+  d.counts = {1000000, 1000000};
+  // Root computes immediately: 1e6*1/(1*1e6) = 1 s. Peer receives 1e6 B in
+  // 1 s, then computes 1 s => finishes at 2 s.
+  EXPECT_NEAR(serialized_makespan_seconds(speeds, d, net, prob), 2.0, 1e-9);
+}
+
+TEST(SerializedMakespan, OrderedVariantMatchesIdentityOrder) {
+  const auto e = fpm::test::linear_ensemble(3);
+  const core::SpeedList speeds = e.list();
+  const CommModel net = CommModel::uniform(3, {1e-4, 1e6});
+  CommAwareProblem prob;
+  core::Distribution d;
+  d.counts = {1000, 2000, 3000};
+  const std::vector<std::size_t> identity{0, 1, 2};
+  EXPECT_DOUBLE_EQ(
+      serialized_makespan_seconds(speeds, d, net, prob),
+      serialized_makespan_seconds_ordered(speeds, d, net, prob, identity));
+}
+
+TEST(SerializedMakespan, SendOrderChangesTheMakespan) {
+  // One slow-computing and one fast-computing worker: serving the slow one
+  // first overlaps its long computation with the other send.
+  const core::ConstantSpeed slow(10.0, 1e9);
+  const core::ConstantSpeed fast(1000.0, 1e9);
+  const core::SpeedList speeds{&slow, &fast};
+  const CommModel net = CommModel::uniform(2, {0.0, 1e3});
+  CommAwareProblem prob;
+  prob.root = 0;  // the *slow* machine holds the data...
+  core::Distribution d;
+  d.counts = {0, 10000};
+  // ...so ordering is trivial here; use a 3-proc case instead.
+  const core::ConstantSpeed mid(100.0, 1e9);
+  const core::SpeedList speeds3{&fast, &slow, &mid};
+  const CommModel net3 = CommModel::uniform(3, {0.0, 1e4});
+  CommAwareProblem prob3;
+  prob3.root = 0;
+  core::Distribution d3;
+  d3.counts = {100, 5000, 5000};
+  const std::vector<std::size_t> slow_first{1, 2, 0};
+  const std::vector<std::size_t> slow_last{2, 1, 0};
+  EXPECT_LT(serialized_makespan_seconds_ordered(speeds3, d3, net3, prob3,
+                                                slow_first),
+            serialized_makespan_seconds_ordered(speeds3, d3, net3, prob3,
+                                                slow_last));
+}
+
+TEST(SerializedMakespan, OptimizedOrderNeverWorseThanIdentity) {
+  const auto e = fpm::test::power_ensemble(5);
+  const core::SpeedList speeds = e.list();
+  const CommModel net = CommModel::uniform(5, {1e-3, 1e5});
+  CommAwareProblem prob;
+  prob.root = 1;
+  prob.flops_per_element = 50.0;
+  const auto aware = partition_comm_aware(speeds, 100000, net, prob);
+  const auto order = optimize_send_order(speeds, aware.distribution, net, prob);
+  EXPECT_LE(serialized_makespan_seconds_ordered(speeds, aware.distribution,
+                                                net, prob, order),
+            serialized_makespan_seconds(speeds, aware.distribution, net, prob) *
+                (1.0 + 1e-12));
+  // The root appears last in the optimized order.
+  EXPECT_EQ(order.back(), prob.root);
+  // And it is a permutation.
+  std::vector<std::size_t> sorted(order.begin(), order.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RefineSerialized, NeverWorseThanSeedAndPreservesTotal) {
+  const auto e = fpm::test::power_ensemble(5);
+  const core::SpeedList speeds = e.list();
+  const CommModel net = CommModel::uniform(5, {1e-3, 2e5});
+  CommAwareProblem prob;
+  prob.root = 0;
+  prob.flops_per_element = 80.0;
+  const std::int64_t n = 300000;
+  const auto seed = partition_comm_aware(speeds, n, net, prob);
+  const core::Distribution refined =
+      refine_serialized(speeds, seed.distribution, net, prob);
+  EXPECT_EQ(refined.total(), n);
+  for (const std::int64_t c : refined.counts) EXPECT_GE(c, 0);
+  const auto eval = [&](const core::Distribution& d) {
+    const auto order = optimize_send_order(speeds, d, net, prob);
+    return serialized_makespan_seconds_ordered(speeds, d, net, prob, order);
+  };
+  EXPECT_LE(eval(refined), eval(seed.distribution) * (1.0 + 1e-12));
+}
+
+TEST(RefineSerialized, DeterministicAcrossRuns) {
+  const auto e = fpm::test::linear_ensemble(4);
+  const core::SpeedList speeds = e.list();
+  const CommModel net = CommModel::uniform(4, {1e-4, 1e5});
+  CommAwareProblem prob;
+  const auto seed = partition_comm_aware(speeds, 50000, net, prob);
+  const core::Distribution a =
+      refine_serialized(speeds, seed.distribution, net, prob);
+  const core::Distribution b =
+      refine_serialized(speeds, seed.distribution, net, prob);
+  EXPECT_EQ(a.counts, b.counts);
+}
+
+TEST(SerializedMakespan, CommAwarePlanBeatsNaiveUnderSerialization) {
+  // Sanity: with a costly serialized network, the comm-aware plan's
+  // serialized makespan is no worse than the compute-only plan's.
+  const auto e = fpm::test::linear_ensemble(4);
+  const core::SpeedList speeds = e.list();
+  const CommModel net = CommModel::uniform(4, {1e-3, 1e5});
+  CommAwareProblem prob;
+  prob.bytes_per_element = 8.0;
+  prob.flops_per_element = 100.0;
+  const std::int64_t n = 200000;
+  const auto aware = partition_comm_aware(speeds, n, net, prob);
+  const auto naive = core::exact_optimum(speeds, n);
+  EXPECT_LE(serialized_makespan_seconds(speeds, aware.distribution, net, prob),
+            serialized_makespan_seconds(speeds, naive, net, prob) * 1.25);
+}
+
+}  // namespace
+}  // namespace fpm::comm

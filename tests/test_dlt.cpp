@@ -1,0 +1,262 @@
+// Tests for the Divisible Load Theory baselines: compute-time curves,
+// the simultaneous-finish schedule, memory limits, order optimization, and
+// the adapter from functional performance models.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "dlt/dlt.hpp"
+#include "helpers.hpp"
+
+namespace fpm::dlt {
+namespace {
+
+TEST(ComputeTime, ConstantRate) {
+  const ComputeTime c = ComputeTime::constant_rate(2.0);
+  EXPECT_DOUBLE_EQ(c.seconds(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.seconds(5.0), 10.0);
+  EXPECT_DOUBLE_EQ(c.invert(10.0), 5.0);
+  EXPECT_THROW(ComputeTime::constant_rate(0.0), std::invalid_argument);
+}
+
+TEST(ComputeTime, OutOfCoreKinksAtMemory) {
+  // 1 s/unit in core up to 10 units, 5 s/unit beyond.
+  const ComputeTime c = ComputeTime::out_of_core(1.0, 10.0, 5.0);
+  EXPECT_DOUBLE_EQ(c.seconds(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(c.seconds(12.0), 20.0);
+  EXPECT_DOUBLE_EQ(c.invert(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(c.invert(20.0), 12.0);
+  EXPECT_THROW(ComputeTime::out_of_core(2.0, 10.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(ComputeTime, InvertIsSecondsInverse) {
+  const ComputeTime c = ComputeTime::out_of_core(0.5, 100.0, 3.0);
+  for (const double load : {1.0, 50.0, 100.0, 150.0, 1000.0})
+    EXPECT_NEAR(c.invert(c.seconds(load)), load, 1e-9);
+}
+
+TEST(Dlt, TwoIdenticalWorkersSplitEvenlyWithFreeLinks) {
+  const DltWorker w{0.0, 0.0, ComputeTime::constant_rate(1.0), 1e18};
+  const std::vector<DltWorker> workers{w, w};
+  const DltSchedule s = schedule_single_round(workers, 100.0);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_NEAR(s.shares[0], 50.0, 1e-6);
+  EXPECT_NEAR(s.shares[1], 50.0, 1e-6);
+  EXPECT_NEAR(s.makespan_s, 50.0, 1e-6);
+}
+
+TEST(Dlt, ClassicTwoWorkerClosedForm) {
+  // Textbook single-installment: w1 = w2 = 1 s/unit, z = 1 s/unit, no
+  // startup, V = 1. Simultaneous finish: a1(z + w) = T and the second
+  // worker starts after a1*z: a1*z + a2*(z + w) = T. With z = w = 1:
+  // 2*a1 = a1 + 2*a2 => a1 = 2*a2, so a1 = 2/3, a2 = 1/3, T = 4/3.
+  const DltWorker w{0.0, 1.0, ComputeTime::constant_rate(1.0), 1e18};
+  const std::vector<DltWorker> workers{w, w};
+  const DltSchedule s = schedule_single_round(workers, 1.0);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_NEAR(s.shares[0], 2.0 / 3.0, 1e-6);
+  EXPECT_NEAR(s.shares[1], 1.0 / 3.0, 1e-6);
+  EXPECT_NEAR(s.makespan_s, 4.0 / 3.0, 1e-6);
+}
+
+TEST(Dlt, SharesSumToLoad) {
+  std::vector<DltWorker> workers;
+  for (int i = 0; i < 5; ++i)
+    workers.push_back({0.01 * i, 0.1 + 0.05 * i,
+                       ComputeTime::constant_rate(1.0 + 0.3 * i), 1e18});
+  const DltSchedule s = schedule_single_round(workers, 1234.5);
+  ASSERT_TRUE(s.feasible);
+  const double sum =
+      std::accumulate(s.shares.begin(), s.shares.end(), 0.0);
+  EXPECT_NEAR(sum, 1234.5, 1e-6 * 1234.5);
+}
+
+TEST(Dlt, AllWorkersFinishTogetherWithoutMemoryBinding) {
+  std::vector<DltWorker> workers;
+  for (int i = 0; i < 4; ++i)
+    workers.push_back(
+        {0.0, 0.2 + 0.1 * i, ComputeTime::constant_rate(2.0 - 0.3 * i), 1e18});
+  const double V = 500.0;
+  const DltSchedule s = schedule_single_round(workers, V);
+  ASSERT_TRUE(s.feasible);
+  // Reconstruct per-worker finish times.
+  double clock = 0.0;
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    clock += workers[i].startup_s + workers[i].link_s_per_unit * s.shares[i];
+    const double finish = clock + workers[i].compute.seconds(s.shares[i]);
+    EXPECT_NEAR(finish, s.makespan_s, 1e-5 * s.makespan_s) << i;
+  }
+}
+
+TEST(Dlt, MemoryLimitCapsAShare) {
+  const DltWorker fast{0.0, 0.0, ComputeTime::constant_rate(1.0), 10.0};
+  const DltWorker slow{0.0, 0.0, ComputeTime::constant_rate(4.0), 1e18};
+  const std::vector<DltWorker> workers{fast, slow};
+  const DltSchedule s = schedule_single_round(workers, 100.0);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_NEAR(s.shares[0], 10.0, 1e-6);  // clamped at the buffer
+  EXPECT_NEAR(s.shares[1], 90.0, 1e-6);
+}
+
+TEST(Dlt, InfeasibleWhenMemoryCannotHoldLoad) {
+  const DltWorker w{0.0, 0.0, ComputeTime::constant_rate(1.0), 10.0};
+  const std::vector<DltWorker> workers{w, w};
+  const DltSchedule s = schedule_single_round(workers, 100.0);
+  EXPECT_FALSE(s.feasible);
+}
+
+TEST(Dlt, RejectsBadArguments) {
+  EXPECT_THROW(schedule_single_round({}, 10.0), std::invalid_argument);
+  const DltWorker w{0.0, 0.0, ComputeTime::constant_rate(1.0), 1e18};
+  const std::vector<DltWorker> workers{w};
+  EXPECT_THROW(schedule_single_round(workers, -1.0), std::invalid_argument);
+  EXPECT_EQ(schedule_single_round(workers, 0.0).makespan_s, 0.0);
+}
+
+TEST(Dlt, OutOfCoreRatePenalizesOverfilling) {
+  // Same workers, but one pays 10x beyond 30 units: the schedule keeps its
+  // share near the memory knee.
+  const DltWorker healthy{0.0, 0.0, ComputeTime::constant_rate(1.0), 1e18};
+  const DltWorker paging{0.0, 0.0, ComputeTime::out_of_core(1.0, 30.0, 10.0),
+                         1e18};
+  const std::vector<DltWorker> workers{healthy, paging};
+  const DltSchedule s = schedule_single_round(workers, 100.0);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_GT(s.shares[0], 60.0);
+  EXPECT_LT(s.shares[1], 40.0);
+}
+
+TEST(Dlt, OptimizeOrderNeverHurts) {
+  std::vector<DltWorker> workers;
+  for (int i = 0; i < 5; ++i)
+    workers.push_back({0.005, 0.5 - 0.08 * i,
+                       ComputeTime::constant_rate(0.5 + 0.4 * i), 1e18});
+  const double V = 200.0;
+  const double t_id = schedule_single_round(workers, V).makespan_s;
+  const auto order = optimize_order(workers, V);
+  std::vector<DltWorker> permuted;
+  for (const std::size_t i : order) permuted.push_back(workers[i]);
+  const double t_opt = schedule_single_round(permuted, V).makespan_s;
+  EXPECT_LE(t_opt, t_id * (1.0 + 1e-9));
+  // The permutation is a valid ordering of all workers.
+  std::vector<std::size_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(MultiRound, OneRoundMatchesSingleRoundShares) {
+  std::vector<DltWorker> workers;
+  for (int i = 0; i < 3; ++i)
+    workers.push_back({0.01, 0.2 + 0.1 * i,
+                       ComputeTime::constant_rate(1.0 + 0.4 * i), 1e18});
+  const DltSchedule single = schedule_single_round(workers, 500.0);
+  const DltMultiSchedule multi = schedule_multi_round(workers, 500.0, 1);
+  ASSERT_TRUE(multi.feasible);
+  for (std::size_t i = 0; i < workers.size(); ++i)
+    EXPECT_NEAR(multi.shares[i], single.shares[i], 1e-6);
+  EXPECT_NEAR(multi.makespan_s, single.makespan_s, 0.02 * single.makespan_s);
+}
+
+TEST(MultiRound, PipeliningHelpsWithSlowStartupFreeLinks) {
+  // Slow links, no startup: installments overlap communication with
+  // computation, so more rounds must not hurt (and should clearly help).
+  std::vector<DltWorker> workers;
+  for (int i = 0; i < 3; ++i)
+    workers.push_back({0.0, 1.0, ComputeTime::constant_rate(2.0), 1e18});
+  const double V = 300.0;
+  const double t1 = schedule_multi_round(workers, V, 1).makespan_s;
+  const double t4 = schedule_multi_round(workers, V, 4).makespan_s;
+  const double t16 = schedule_multi_round(workers, V, 16).makespan_s;
+  EXPECT_LT(t4, t1);
+  EXPECT_LE(t16, t4 * 1.05);
+}
+
+TEST(MultiRound, StartupCostsPunishExcessiveRounds) {
+  std::vector<DltWorker> workers;
+  for (int i = 0; i < 3; ++i)
+    workers.push_back({5.0, 0.01, ComputeTime::constant_rate(0.1), 1e18});
+  const double V = 100.0;
+  const double t2 = schedule_multi_round(workers, V, 2).makespan_s;
+  const double t50 = schedule_multi_round(workers, V, 50).makespan_s;
+  EXPECT_GT(t50, t2);  // 50 startups per worker dominate
+}
+
+TEST(MultiRound, InstallmentsSidestepOutOfCorePenalty) {
+  // One worker whose memory holds 40 units: a single 100-unit share pays
+  // the 10x out-of-core rate; four 25-unit installments stay in core.
+  const DltWorker w{0.0, 0.05, ComputeTime::out_of_core(1.0, 40.0, 10.0),
+                    1e18};
+  const std::vector<DltWorker> workers{w};
+  const double t1 = schedule_multi_round(workers, 100.0, 1).makespan_s;
+  const double t4 = schedule_multi_round(workers, 100.0, 4).makespan_s;
+  EXPECT_LT(t4, 0.5 * t1);
+}
+
+TEST(MultiRound, SharesSumToLoadAndValidate) {
+  std::vector<DltWorker> workers{
+      {0.0, 0.1, ComputeTime::constant_rate(1.0), 1e18},
+      {0.0, 0.2, ComputeTime::constant_rate(2.0), 1e18}};
+  const DltMultiSchedule s = schedule_multi_round(workers, 777.0, 7);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_NEAR(std::accumulate(s.shares.begin(), s.shares.end(), 0.0), 777.0,
+              1e-6 * 777.0);
+  EXPECT_THROW(schedule_multi_round(workers, 10.0, 0), std::invalid_argument);
+}
+
+TEST(Dlt, OptimizeOrderNearBruteForceOnSmallInstances) {
+  // p = 4: enumerate all 24 permutations and confirm the heuristic's order
+  // lands within 10% of the true best makespan.
+  std::vector<DltWorker> workers;
+  workers.push_back({0.02, 0.5, ComputeTime::constant_rate(1.2), 1e18});
+  workers.push_back({0.01, 0.1, ComputeTime::constant_rate(2.5), 1e18});
+  workers.push_back({0.03, 0.3, ComputeTime::constant_rate(0.6), 1e18});
+  workers.push_back({0.00, 0.9, ComputeTime::constant_rate(1.9), 1e18});
+  const double V = 150.0;
+
+  std::vector<std::size_t> perm{0, 1, 2, 3};
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    std::vector<DltWorker> arranged;
+    for (const std::size_t i : perm) arranged.push_back(workers[i]);
+    best = std::min(best, schedule_single_round(arranged, V).makespan_s);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  const auto order = optimize_order(workers, V);
+  std::vector<DltWorker> chosen;
+  for (const std::size_t i : order) chosen.push_back(workers[i]);
+  const double got = schedule_single_round(chosen, V).makespan_s;
+  EXPECT_LE(got, best * 1.10);
+}
+
+TEST(Dlt, WorkerFromSpeedFunctionEncodesPaging) {
+  const auto e = fpm::test::stepped_ensemble(1);
+  const core::SpeedFunction& f = *e.owned[0];
+  const double memory = f.max_size() * 0.1;  // the curve's paging knee area
+  const DltWorker w = worker_from_speed_function(f, memory, 2.0, 1e-4, 1e-7);
+  ASSERT_EQ(w.compute.knots.size(), 2u);
+  EXPECT_DOUBLE_EQ(w.compute.knots[1], memory);
+  EXPECT_GE(w.compute.slopes[1], w.compute.slopes[0]);
+  EXPECT_THROW(worker_from_speed_function(f, 0.0, 1.0, 0.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Dlt, FunctionalModelAndDltAgreeOnComputeBoundStar) {
+  // With free links and no memory pressure within the shares, DLT's
+  // simultaneous-finish solution and the FPM partitioner coincide (both
+  // equalize x_i / speed_i).
+  const auto e = fpm::test::constant_ensemble(3);  // speeds 100,150,200
+  std::vector<DltWorker> workers;
+  for (const auto& f : e.owned)
+    workers.push_back({0.0, 0.0,
+                       ComputeTime::constant_rate(1.0 / f->speed(1.0)), 1e18});
+  const DltSchedule s = schedule_single_round(workers, 9000.0);
+  const core::Distribution d =
+      core::partition_combined(e.list(), 9000).distribution;
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(s.shares[i], static_cast<double>(d.counts[i]), 1.5) << i;
+}
+
+}  // namespace
+}  // namespace fpm::dlt

@@ -1,0 +1,149 @@
+// Seeded fuzzing of the application layer over randomly generated
+// simulated clusters: VGB, striped MM, stencil and weighted-search
+// invariants must hold for any machine mix, and every "functional beats
+// naive" claim is checked across random topologies where the mechanism
+// (paging heterogeneity) is present.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "apps/stencil.hpp"
+#include "apps/striped_mm.hpp"
+#include "apps/textsearch.hpp"
+#include "apps/vgb.hpp"
+#include "core/rect2d.hpp"
+#include "simcluster/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace fpm {
+namespace {
+
+/// Random but valid simulated cluster: 2-8 machines with random clocks,
+/// memory sizes, cache sizes, OSes and fluctuation levels, all registering
+/// one application with a random memory pattern.
+sim::SimulatedCluster random_cluster(std::uint64_t seed) {
+  util::Rng rng(seed);
+  const int p = static_cast<int>(rng.uniform_int(2, 8));
+  std::vector<sim::SimulatedMachine> machines;
+  const char* oses[] = {"Linux 2.4", "SunOS 5.8", "Windows XP"};
+  for (int i = 0; i < p; ++i) {
+    sim::SimulatedMachine m;
+    m.spec.name = "M" + std::to_string(i);
+    m.spec.os = oses[rng.uniform_int(0, 2)];
+    m.spec.arch = "fuzz";
+    m.spec.cpu_mhz = rng.uniform(200.0, 4000.0);
+    m.spec.cache_kb = 1 << rng.uniform_int(7, 11);       // 128 KiB .. 2 MiB
+    m.spec.free_memory_kb = 1 << rng.uniform_int(16, 22);  // 64 MiB .. 4 GiB
+    m.spec.main_memory_kb = m.spec.free_memory_kb * 2;
+    m.fluctuation = {rng.uniform(0.05, 0.4), 0.05, 0.0};
+    sim::AppProfile app;
+    app.name = "Fuzz";
+    app.pattern = static_cast<sim::MemoryPattern>(rng.uniform_int(0, 2));
+    app.bytes_per_element = 8.0;
+    app.efficiency = rng.uniform(0.3, 0.9);
+    m.register_app(app);
+    machines.push_back(std::move(m));
+  }
+  return sim::SimulatedCluster(std::move(machines), seed ^ 0xbeef);
+}
+
+class FuzzApps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzApps, StripedMmInvariants) {
+  auto cluster = random_cluster(GetParam());
+  const core::SpeedList models = cluster.ground_truth_list("Fuzz");
+  util::Rng rng(GetParam() * 31);
+  const std::int64_t n = rng.uniform_int(1, 20000);
+  for (const apps::ModelKind kind :
+       {apps::ModelKind::Functional, apps::ModelKind::Even}) {
+    const apps::StripedMmPlan plan = apps::plan_striped_mm(models, n, kind);
+    EXPECT_EQ(std::accumulate(plan.rows.begin(), plan.rows.end(),
+                              std::int64_t{0}),
+              n)
+        << "seed " << GetParam();
+    for (const std::int64_t r : plan.rows) ASSERT_GE(r, 0);
+    const double t =
+        apps::simulate_striped_mm_seconds(cluster, "Fuzz", plan, n, true);
+    EXPECT_GE(t, 0.0);
+    EXPECT_TRUE(std::isfinite(t)) << "seed " << GetParam();
+  }
+}
+
+TEST_P(FuzzApps, VgbInvariants) {
+  auto cluster = random_cluster(GetParam());
+  const core::SpeedList models = cluster.ground_truth_list("Fuzz");
+  util::Rng rng(GetParam() * 37);
+  apps::VgbOptions opts;
+  opts.block = rng.uniform_int(1, 200);
+  const std::int64_t n = rng.uniform_int(1, 30000);
+  const apps::VgbDistribution d =
+      apps::variable_group_block(models, n, opts);
+  EXPECT_EQ(d.total_blocks(), (n + opts.block - 1) / opts.block)
+      << "seed " << GetParam();
+  std::int64_t group_sum = 0;
+  for (const std::int64_t g : d.group_sizes) {
+    ASSERT_GE(g, 1);
+    group_sum += g;
+  }
+  EXPECT_EQ(group_sum, d.total_blocks());
+  for (const int owner : d.block_owner) {
+    ASSERT_GE(owner, 0);
+    ASSERT_LT(owner, static_cast<int>(cluster.size()));
+  }
+}
+
+TEST_P(FuzzApps, StencilNumericsExactOnRandomLayouts) {
+  auto cluster = random_cluster(GetParam());
+  const core::SpeedList models = cluster.ground_truth_list("Fuzz");
+  util::Rng rng(GetParam() * 41);
+  const std::int64_t rows = rng.uniform_int(3, 60);
+  const std::int64_t cols = rng.uniform_int(3, 40);
+  const apps::StencilPlan plan = apps::plan_stencil(models, rows, cols);
+  util::MatrixD grid(static_cast<std::size_t>(rows),
+                     static_cast<std::size_t>(cols));
+  for (double& v : grid.flat()) v = rng.uniform(-1.0, 1.0);
+  EXPECT_DOUBLE_EQ(
+      util::max_abs_diff(apps::striped_jacobi_sweep(grid, plan),
+                         apps::jacobi_sweep(grid)),
+      0.0)
+      << "seed " << GetParam();
+}
+
+TEST_P(FuzzApps, SearchPlansCoverRandomCorpora) {
+  auto cluster = random_cluster(GetParam());
+  const core::SpeedList models = cluster.ground_truth_list("Fuzz");
+  util::Rng rng(GetParam() * 43);
+  const apps::Corpus corpus = apps::make_corpus(
+      static_cast<std::size_t>(rng.uniform_int(1, 200)),
+      static_cast<std::size_t>(rng.uniform_int(64, 4000)), "zz",
+      GetParam());
+  const apps::SearchPlan plan = apps::plan_search(models, corpus);
+  EXPECT_EQ(plan.boundaries.back(), corpus.documents.size());
+  std::size_t serial = 0;
+  for (const std::string& d : corpus.documents)
+    serial += apps::count_occurrences(d, "zz");
+  EXPECT_EQ(apps::run_search(corpus, plan, "zz"), serial)
+      << "seed " << GetParam();
+}
+
+TEST_P(FuzzApps, RectanglesTileRandomGrids) {
+  auto cluster = random_cluster(GetParam());
+  const core::SpeedList models = cluster.ground_truth_list("Fuzz");
+  util::Rng rng(GetParam() * 47);
+  const std::int64_t rows = rng.uniform_int(1, 500);
+  const std::int64_t cols = rng.uniform_int(1, 500);
+  const core::RectPartition part =
+      core::partition_rectangles(models, rows, cols);
+  EXPECT_TRUE(core::is_exact_tiling(part))
+      << "seed " << GetParam() << " grid " << rows << "x" << cols;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzApps,
+                         ::testing::Range<std::uint64_t>(100, 120),
+                         [](const auto& suffix) {
+                           return "seed" + std::to_string(suffix.param);
+                         });
+
+}  // namespace
+}  // namespace fpm

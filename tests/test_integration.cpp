@@ -1,0 +1,149 @@
+// End-to-end integration tests: the full pipelines a user of the library
+// runs, crossing module boundaries — measure → build → persist → load →
+// partition → simulate — plus cross-seed stability of the headline
+// comparisons that the benches print.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+#include "apps/lu_app.hpp"
+#include "apps/striped_mm.hpp"
+#include "apps/vgb.hpp"
+#include "core/combined.hpp"
+#include "core/model_io.hpp"
+#include "simcluster/presets.hpp"
+
+namespace fpm {
+namespace {
+
+TEST(Integration, BuildPersistReloadPartitionSimulate) {
+  // The fpmtool round trip, in-process.
+  auto cluster = sim::make_table2_cluster(99);
+  const sim::ClusterModels built =
+      sim::build_cluster_models(cluster, sim::kMatMul);
+
+  // Persist all twelve models and reload them.
+  std::vector<core::NamedModel> named;
+  for (std::size_t i = 0; i < built.curves.size(); ++i)
+    named.push_back(core::make_named_model(cluster.machine(i).spec.name,
+                                           built.curves[i], 0.08));
+  std::stringstream file;
+  core::save_models(file, named);
+  const auto loaded = core::load_models(file);
+  ASSERT_EQ(loaded.size(), 12u);
+
+  std::vector<core::PiecewiseLinearSpeed> curves;
+  for (const auto& m : loaded) curves.push_back(m.curve());
+  core::SpeedList speeds;
+  for (const auto& c : curves) speeds.push_back(&c);
+
+  // Partitioning with the reloaded models matches the in-memory models.
+  const std::int64_t n = 50'000'000;
+  const core::Distribution from_loaded =
+      core::partition_combined(speeds, n).distribution;
+  const core::Distribution from_built =
+      core::partition_combined(built.list(), n).distribution;
+  EXPECT_EQ(from_loaded.counts, from_built.counts);
+
+  // And the distribution is usable for simulation.
+  apps::StripedMmPlan plan;
+  plan.rows.assign(12, 0);
+  plan.rows[0] = 1;  // trivial smoke plan
+  EXPECT_GE(apps::simulate_striped_mm_seconds(cluster, sim::kMatMul, plan, 12,
+                                              false),
+            0.0);
+}
+
+class HeadlineAcrossSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeadlineAcrossSeeds, FunctionalModelWinsForPagingSizes) {
+  // The paper's core claim must hold for any measurement-noise seed, not
+  // just the bench default: at sizes past the paging knees, the functional
+  // distribution beats the single-number one for striped MM.
+  auto cluster = sim::make_table2_cluster(GetParam());
+  const sim::ClusterModels models =
+      sim::build_cluster_models(cluster, sim::kMatMul);
+  const std::int64_t n = 25000;
+  const auto func =
+      apps::plan_striped_mm(models.list(), n, apps::ModelKind::Functional);
+  const auto single = apps::plan_striped_mm(
+      models.list(), n, apps::ModelKind::SingleNumber, 500);
+  const double tf =
+      apps::simulate_striped_mm_seconds(cluster, sim::kMatMul, func, n, false);
+  const double ts = apps::simulate_striped_mm_seconds(cluster, sim::kMatMul,
+                                                      single, n, false);
+  EXPECT_LT(tf, ts) << "seed " << GetParam();
+}
+
+TEST_P(HeadlineAcrossSeeds, VgbWinsForPagingSizes) {
+  auto cluster = sim::make_table2_cluster(GetParam());
+  const sim::ClusterModels models =
+      sim::build_cluster_models(cluster, sim::kLu);
+  const std::int64_t n = 24576;
+  apps::VgbOptions func;
+  func.block = 128;
+  apps::VgbOptions single = func;
+  single.model = apps::VgbModel::SingleNumber;
+  single.reference_n = 2000;
+  const auto df = apps::variable_group_block(models.list(), n, func);
+  const auto ds = apps::variable_group_block(models.list(), n, single);
+  EXPECT_LT(apps::simulate_lu_seconds(cluster, sim::kLu, df, false),
+            apps::simulate_lu_seconds(cluster, sim::kLu, ds, false))
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeadlineAcrossSeeds,
+                         ::testing::Values(1u, 17u, 333u, 4444u),
+                         [](const auto& suffix) {
+                           return "seed" + std::to_string(suffix.param);
+                         });
+
+TEST(Integration, BuiltModelsTrackPagingOnsets) {
+  // The built curves must place their speed collapse near the Table-2
+  // paging onsets: speed at 2x the onset far below speed at half of it.
+  auto cluster = sim::make_table2_cluster(3);
+  const sim::ClusterModels models =
+      sim::build_cluster_models(cluster, sim::kMatMul);
+  for (std::size_t i = 0; i < models.curves.size(); ++i) {
+    const double onset = cluster.ground_truth(i, sim::kMatMul).paging_onset();
+    const double healthy = models.curves[i].speed(onset * 0.5);
+    const double paging = models.curves[i].speed(onset * 2.0);
+    EXPECT_LT(paging, 0.3 * healthy) << cluster.machine(i).spec.name;
+  }
+}
+
+TEST(Integration, GroundTruthVsBuiltPartitionsAgree) {
+  // Partitioning with built models must land close to partitioning with
+  // the hidden ground truth: makespans (on the truth) within 15%.
+  auto cluster = sim::make_table2_cluster(21);
+  const sim::ClusterModels models =
+      sim::build_cluster_models(cluster, sim::kMatMul);
+  const core::SpeedList truth = cluster.ground_truth_list(sim::kMatMul);
+  for (const std::int64_t n : {10'000'000LL, 300'000'000LL}) {
+    const core::Distribution with_built =
+        core::partition_combined(models.list(), n).distribution;
+    const core::Distribution with_truth =
+        core::partition_combined(truth, n).distribution;
+    const double t_built = core::makespan(truth, with_built);
+    const double t_truth = core::makespan(truth, with_truth);
+    EXPECT_LE(t_built, t_truth * 1.15) << n;
+  }
+}
+
+TEST(Integration, VgbAndStripedPlansAreSeedStable) {
+  // Determinism across identical clusters (same seed).
+  auto c1 = sim::make_table2_cluster(5);
+  auto c2 = sim::make_table2_cluster(5);
+  const auto m1 = sim::build_cluster_models(c1, sim::kLu);
+  const auto m2 = sim::build_cluster_models(c2, sim::kLu);
+  apps::VgbOptions opts;
+  opts.block = 64;
+  const auto d1 = apps::variable_group_block(m1.list(), 8192, opts);
+  const auto d2 = apps::variable_group_block(m2.list(), 8192, opts);
+  EXPECT_EQ(d1.block_owner, d2.block_owner);
+  EXPECT_EQ(d1.group_sizes, d2.group_sizes);
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,143 @@
+// Unit tests for the partitioning common layer: bracket detection
+// (Figure 18), the single-number baseline, even distribution, and makespan
+// evaluation.
+#include <gtest/gtest.h>
+
+#include "core/partition.hpp"
+#include "helpers.hpp"
+
+namespace fpm::core {
+namespace {
+
+TEST(DetectBracket, StraddlesTheProblemSize) {
+  for (const auto& e : fpm::test::all_ensembles(5)) {
+    const SpeedList speeds = e.list();
+    for (const std::int64_t n : {100L, 100000L, 50000000L}) {
+      const SlopeBracket br = detect_bracket(speeds, n);
+      EXPECT_LE(br.lo_slope, br.hi_slope) << e.name;
+      EXPECT_LE(total_size_at(speeds, br.hi_slope),
+                static_cast<double>(n) * (1.0 + 1e-12))
+          << e.name << " n=" << n;
+      EXPECT_GE(total_size_at(speeds, br.lo_slope),
+                static_cast<double>(n) * (1.0 - 1e-12))
+          << e.name << " n=" << n;
+    }
+  }
+}
+
+TEST(DetectBracket, RejectsBadInput) {
+  EXPECT_THROW(detect_bracket({}, 10), std::invalid_argument);
+  const auto e = fpm::test::constant_ensemble(2);
+  EXPECT_THROW(detect_bracket(e.list(), 0), std::invalid_argument);
+}
+
+TEST(DetectBracket, HandlesOverCapacityProblems) {
+  // n far beyond the modelled ranges: intersections extend, so the shallow
+  // line must still reach the sum.
+  const auto e = fpm::test::stepped_ensemble(3);
+  double capacity = 0.0;
+  for (const auto& f : e.owned) capacity += f->max_size();
+  const auto n = static_cast<std::int64_t>(capacity * 3.0);
+  const SlopeBracket br = detect_bracket(e.list(), n);
+  EXPECT_GE(total_size_at(e.list(), br.lo_slope), static_cast<double>(n));
+}
+
+TEST(TotalSizeAt, StrictlyDecreasingInSlope) {
+  const auto e = fpm::test::mixed_ensemble();
+  const SpeedList speeds = e.list();
+  double prev = std::numeric_limits<double>::infinity();
+  for (double c = 1e-7; c < 1.0; c *= 5.0) {
+    const double s = total_size_at(speeds, c);
+    EXPECT_LT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(SizesAt, OneCoordinatePerProcessor) {
+  const auto e = fpm::test::linear_ensemble(4);
+  const auto xs = sizes_at(e.list(), 1e-4);
+  ASSERT_EQ(xs.size(), 4u);
+  for (const double x : xs) EXPECT_GT(x, 0.0);
+}
+
+TEST(PartitionEven, SpreadsRemainder) {
+  const Distribution d = partition_even(10, 3);
+  EXPECT_EQ(d.counts, (std::vector<std::int64_t>{4, 3, 3}));
+  EXPECT_EQ(d.total(), 10);
+}
+
+TEST(PartitionEven, HandlesZeroAndRejectsNoProcessors) {
+  EXPECT_EQ(partition_even(0, 4).total(), 0);
+  EXPECT_THROW(partition_even(10, 0), std::invalid_argument);
+}
+
+TEST(PartitionSingleNumber, ProportionalForExactRatios) {
+  const std::vector<double> speeds{1.0, 2.0, 3.0};
+  const Distribution d = partition_single_number(60, speeds);
+  EXPECT_EQ(d.counts, (std::vector<std::int64_t>{10, 20, 30}));
+}
+
+TEST(PartitionSingleNumber, SumsExactlyDespiteRounding) {
+  const std::vector<double> speeds{1.0, 1.0, 1.0};
+  for (std::int64_t n = 0; n <= 17; ++n)
+    EXPECT_EQ(partition_single_number(n, speeds).total(), n);
+}
+
+TEST(PartitionSingleNumber, RoundingMinimizesCompletionTime) {
+  // 7 elements over speeds {3, 1}: floor gives {5, 1}; the leftover element
+  // must go to the fast processor (time 2 vs 2.333... wait: (5+1)/3 = 2.0
+  // vs (1+1)/1 = 2.0 — tie; then the next tick matters). Use a sharper
+  // case: speeds {10, 1}, n = 12: floor {10, 1}, leftover to the fast one.
+  const Distribution d = partition_single_number(12, std::vector<double>{10.0, 1.0});
+  EXPECT_EQ(d.counts[0], 11);
+  EXPECT_EQ(d.counts[1], 1);
+}
+
+TEST(PartitionSingleNumber, RejectsBadSpeeds) {
+  EXPECT_THROW(partition_single_number(10, std::vector<double>{}),
+               std::invalid_argument);
+  EXPECT_THROW(partition_single_number(10, std::vector<double>{1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(partition_single_number(10, std::vector<double>{1.0, -2.0}),
+               std::invalid_argument);
+}
+
+TEST(PartitionSingleNumberAt, ReadsSpeedsAtReferenceSize) {
+  const auto e = fpm::test::linear_ensemble(3);
+  const SpeedList speeds = e.list();
+  const double ref = 1e6;
+  const Distribution a = partition_single_number_at(speeds, 1000, ref);
+  std::vector<double> constants;
+  for (const SpeedFunction* f : speeds) constants.push_back(f->speed(ref));
+  const Distribution b = partition_single_number(1000, constants);
+  EXPECT_EQ(a.counts, b.counts);
+}
+
+TEST(Makespan, MaxOfPerProcessorTimes) {
+  const auto e = fpm::test::constant_ensemble(2);  // speeds 100 and 150
+  Distribution d;
+  d.counts = {100, 300};
+  // times: 1.0 and 2.0.
+  EXPECT_DOUBLE_EQ(makespan(e.list(), d), 2.0);
+  const auto ts = execution_times(e.list(), d);
+  EXPECT_DOUBLE_EQ(ts[0], 1.0);
+  EXPECT_DOUBLE_EQ(ts[1], 2.0);
+}
+
+TEST(Makespan, ZeroCountsContributeNothing) {
+  const auto e = fpm::test::constant_ensemble(2);
+  Distribution d;
+  d.counts = {0, 150};
+  EXPECT_DOUBLE_EQ(makespan(e.list(), d), 1.0);
+  EXPECT_DOUBLE_EQ(execution_times(e.list(), d)[0], 0.0);
+}
+
+TEST(Distribution, TotalSums) {
+  Distribution d;
+  d.counts = {1, 2, 3};
+  EXPECT_EQ(d.total(), 6);
+  EXPECT_EQ(d.processors(), 3u);
+}
+
+}  // namespace
+}  // namespace fpm::core

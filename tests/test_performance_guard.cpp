@@ -1,0 +1,67 @@
+// Coarse performance guards: the library's headline complexity claims,
+// asserted with wall-clock bounds generous enough for slow CI machines but
+// tight enough to catch accidental quadratic or worse regressions.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/fpm.hpp"
+#include "util/timer.hpp"
+
+namespace fpm::core {
+namespace {
+
+std::vector<std::shared_ptr<const SpeedFunction>> big_pool(std::size_t p) {
+  std::vector<std::shared_ptr<const SpeedFunction>> pool;
+  pool.reserve(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    std::vector<SpeedPoint> pts;
+    const double scale = 1.0 + 0.3 * static_cast<double>(i % 11);
+    pts.push_back({1e4, 300.0 * scale});
+    pts.push_back({1e7, 250.0 * scale});
+    pts.push_back({5e7 * scale, 200.0 * scale});
+    pts.push_back({4e8 * scale, 2.0});
+    pool.push_back(std::make_shared<PiecewiseLinearSpeed>(std::move(pts)));
+  }
+  return pool;
+}
+
+TEST(PerformanceGuard, ThousandProcessorsBillionsOfElements) {
+  // The Figure-21 regime: the full partition (search + fine-tuning) at
+  // p = 1080, n = 2e9 must complete in well under a second. The bound is
+  // ~20x the typical time to stay robust on loaded machines.
+  const auto pool = big_pool(1080);
+  const SpeedList speeds = make_speed_list(pool);
+  util::Timer timer;
+  const PartitionResult r = partition_combined(speeds, 2'000'000'000);
+  const double secs = timer.seconds();
+  EXPECT_EQ(r.distribution.total(), 2'000'000'000);
+  EXPECT_LT(secs, 2.0) << "partitioning took " << secs << " s";
+}
+
+TEST(PerformanceGuard, IterationCountsStayLogarithmic) {
+  // Iteration counts (not wall time) are the portable complexity signal:
+  // growing n by 1000x on well-behaved curves must add only a bounded
+  // number of bisection steps.
+  const auto pool = big_pool(64);
+  const SpeedList speeds = make_speed_list(pool);
+  const int small = partition_combined(speeds, 1'000'000).stats.iterations;
+  const int large =
+      partition_combined(speeds, 1'000'000'000).stats.iterations;
+  EXPECT_LT(large, small + 40);
+}
+
+TEST(PerformanceGuard, FineTuneDeficitStaysSmall) {
+  // The bisection should hand fine_tune a near-complete allocation: the
+  // number of greedily awarded elements is bounded by ~2p, not by n.
+  // Verified indirectly: total intersections stay proportional to
+  // p * iterations (no hidden per-element work).
+  const auto pool = big_pool(256);
+  const SpeedList speeds = make_speed_list(pool);
+  const PartitionResult r = partition_combined(speeds, 500'000'000);
+  EXPECT_LE(r.stats.intersections,
+            static_cast<int>(pool.size()) * (r.stats.iterations + 2));
+}
+
+}  // namespace
+}  // namespace fpm::core

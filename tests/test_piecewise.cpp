@@ -1,0 +1,158 @@
+// Unit tests for the piece-wise-linear speed function, the shape-requirement
+// validation/repair, and the performance band.
+#include <gtest/gtest.h>
+
+#include "core/piecewise.hpp"
+
+namespace fpm::core {
+namespace {
+
+std::vector<SpeedPoint> good_points() {
+  return {{100.0, 200.0}, {1000.0, 180.0}, {10000.0, 90.0}, {50000.0, 5.0}};
+}
+
+TEST(PiecewiseLinearSpeed, FlatHeadBelowFirstPoint) {
+  const PiecewiseLinearSpeed f(good_points());
+  EXPECT_DOUBLE_EQ(f.speed(0.0), 200.0);
+  EXPECT_DOUBLE_EQ(f.speed(50.0), 200.0);
+  EXPECT_DOUBLE_EQ(f.speed(100.0), 200.0);
+}
+
+TEST(PiecewiseLinearSpeed, LinearInterpolationBetweenPoints) {
+  const PiecewiseLinearSpeed f(good_points());
+  EXPECT_DOUBLE_EQ(f.speed(550.0), 190.0);   // halfway 200 -> 180
+  EXPECT_DOUBLE_EQ(f.speed(5500.0), 135.0);  // halfway 180 -> 90
+}
+
+TEST(PiecewiseLinearSpeed, ContinuesTrendBeyondLastPoint) {
+  const PiecewiseLinearSpeed f(good_points());
+  // Last segment slope: (5-90)/(50000-10000) per element.
+  const double m = (5.0 - 90.0) / 40000.0;
+  EXPECT_NEAR(f.speed(52000.0), 5.0 + m * 2000.0, 1e-9);
+  // Far beyond, the positive floor takes over.
+  EXPECT_GT(f.speed(1e9), 0.0);
+}
+
+TEST(PiecewiseLinearSpeed, MaxSizeIsLastBreakpoint) {
+  const PiecewiseLinearSpeed f(good_points());
+  EXPECT_DOUBLE_EQ(f.max_size(), 50000.0);
+}
+
+TEST(PiecewiseLinearSpeed, SinglePointActsAsConstant) {
+  const PiecewiseLinearSpeed f({{100.0, 42.0}});
+  EXPECT_DOUBLE_EQ(f.speed(1.0), 42.0);
+  EXPECT_DOUBLE_EQ(f.speed(1e6), 42.0);
+  EXPECT_NEAR(f.intersect(1.0), 42.0, 1e-9);
+}
+
+TEST(PiecewiseLinearSpeed, IntersectOnFlatHead) {
+  const PiecewiseLinearSpeed f(good_points());
+  // Steep line crosses the flat 200-speed head: x = 200/c.
+  EXPECT_NEAR(f.intersect(10.0), 20.0, 1e-9);
+}
+
+TEST(PiecewiseLinearSpeed, IntersectOnInteriorSegments) {
+  const PiecewiseLinearSpeed f(good_points());
+  for (const double c : {1.0, 0.1, 0.02, 0.005, 0.0002}) {
+    const double x = f.intersect(c);
+    EXPECT_NEAR(c * x, f.speed(x), 1e-9 * std::max(1.0, f.speed(x)))
+        << "slope " << c;
+  }
+}
+
+TEST(PiecewiseLinearSpeed, IntersectBeyondLastPoint) {
+  const PiecewiseLinearSpeed f(good_points());
+  // Shallow enough that the crossing lies past 50000 on the extended trend.
+  const double c = 1e-5;
+  const double x = f.intersect(c);
+  EXPECT_GT(x, 50000.0);
+  EXPECT_NEAR(c * x, f.speed(x), 1e-6 * f.speed(x));
+}
+
+TEST(PiecewiseLinearSpeed, RejectsBadInput) {
+  EXPECT_THROW(PiecewiseLinearSpeed({}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinearSpeed({{0.0, 10.0}}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinearSpeed({{10.0, 5.0}, {10.0, 4.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinearSpeed({{10.0, -1.0}}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinearSpeed({{10.0, 0.0}, {20.0, 0.0}}),
+               std::invalid_argument);
+}
+
+TEST(PiecewiseLinearSpeed, RejectsShapeViolation) {
+  // Ratio rises from 1.0 at x=100 to 2.0 at x=200: two intersections with
+  // some lines — must be rejected.
+  EXPECT_THROW(PiecewiseLinearSpeed({{100.0, 100.0}, {200.0, 400.0}}),
+               std::invalid_argument);
+}
+
+TEST(RepairShapeRequirement, LeavesValidPointsUnchanged) {
+  const auto pts = good_points();
+  const auto repaired = repair_shape_requirement(pts);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(repaired[i].size, pts[i].size);
+    EXPECT_DOUBLE_EQ(repaired[i].speed, pts[i].speed);
+  }
+}
+
+TEST(RepairShapeRequirement, LowersViolatingPoints) {
+  const auto repaired = repair_shape_requirement(
+      {{100.0, 100.0}, {200.0, 400.0}, {400.0, 100.0}});
+  // After repair the points must construct successfully.
+  EXPECT_NO_THROW((void)PiecewiseLinearSpeed{repaired});
+  EXPECT_LT(repaired[1].speed, 400.0);
+  // Untouched points keep their values.
+  EXPECT_DOUBLE_EQ(repaired[0].speed, 100.0);
+}
+
+TEST(RepairShapeRequirement, HandlesNoisyMeasurements) {
+  // A realistic noisy curve: overall decreasing with a bump.
+  std::vector<SpeedPoint> pts;
+  for (int i = 1; i <= 20; ++i) {
+    const double x = 1000.0 * i;
+    double s = 300.0 - 10.0 * i;
+    if (i == 7) s += 90.0;  // a fluctuation spike
+    pts.push_back({x, s});
+  }
+  EXPECT_NO_THROW((void)PiecewiseLinearSpeed{repair_shape_requirement(pts)});
+}
+
+TEST(PerformanceBand, CenterBisectsEnvelopes) {
+  std::vector<SpeedPoint> lo{{100.0, 90.0}, {1000.0, 40.0}};
+  std::vector<SpeedPoint> hi{{100.0, 110.0}, {1000.0, 60.0}};
+  const PerformanceBand band(lo, hi);
+  const PiecewiseLinearSpeed centre = band.center();
+  EXPECT_DOUBLE_EQ(centre.speed(100.0), 100.0);
+  EXPECT_DOUBLE_EQ(centre.speed(1000.0), 50.0);
+}
+
+TEST(PerformanceBand, RelativeWidth) {
+  std::vector<SpeedPoint> lo{{100.0, 90.0}, {1000.0, 45.0}};
+  std::vector<SpeedPoint> hi{{100.0, 110.0}, {1000.0, 55.0}};
+  const PerformanceBand band(lo, hi);
+  EXPECT_NEAR(band.relative_width(100.0), 0.2, 1e-9);
+  EXPECT_NEAR(band.relative_width(1000.0), 0.2, 1e-9);
+}
+
+TEST(PerformanceBand, RejectsMismatchedEnvelopes) {
+  EXPECT_THROW(
+      PerformanceBand({{100.0, 90.0}}, {{100.0, 110.0}, {200.0, 80.0}}),
+      std::invalid_argument);
+  EXPECT_THROW(PerformanceBand({{100.0, 120.0}}, {{100.0, 110.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(PerformanceBand({{100.0, 90.0}}, {{150.0, 110.0}}),
+               std::invalid_argument);
+}
+
+TEST(PerformanceBand, EnvelopeCurvesAreOrdered) {
+  std::vector<SpeedPoint> lo{{100.0, 90.0}, {1000.0, 40.0}, {5000.0, 10.0}};
+  std::vector<SpeedPoint> hi{{100.0, 110.0}, {1000.0, 60.0}, {5000.0, 14.0}};
+  const PerformanceBand band(lo, hi);
+  const auto lower = band.lower_curve();
+  const auto upper = band.upper_curve();
+  for (double x = 100.0; x <= 5000.0; x *= 1.7)
+    EXPECT_LE(lower.speed(x), upper.speed(x) + 1e-12) << x;
+}
+
+}  // namespace
+}  // namespace fpm::core

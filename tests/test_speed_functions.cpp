@@ -1,0 +1,192 @@
+// Unit tests for the analytic speed-function families: construction
+// contracts, the single-intersection shape requirement, and intersection
+// solving.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/speed_function.hpp"
+#include "helpers.hpp"
+
+namespace fpm::core {
+namespace {
+
+TEST(ConstantSpeed, ReturnsConstantEverywhere) {
+  const ConstantSpeed f(120.0, 1e6);
+  EXPECT_DOUBLE_EQ(f.speed(0.0), 120.0);
+  EXPECT_DOUBLE_EQ(f.speed(1.0), 120.0);
+  EXPECT_DOUBLE_EQ(f.speed(1e6), 120.0);
+}
+
+TEST(ConstantSpeed, RejectsNonPositiveParameters) {
+  EXPECT_THROW(ConstantSpeed(0.0, 1e6), std::invalid_argument);
+  EXPECT_THROW(ConstantSpeed(-5.0, 1e6), std::invalid_argument);
+  EXPECT_THROW(ConstantSpeed(10.0, 0.0), std::invalid_argument);
+}
+
+TEST(ConstantSpeed, IntersectSolvesClosedForm) {
+  const ConstantSpeed f(100.0, 1e9);
+  // c*x = 100 => x = 100/c.
+  EXPECT_DOUBLE_EQ(f.intersect(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(f.intersect(0.5), 200.0);
+}
+
+TEST(ConstantSpeed, IntersectExtendsBeyondModelledRange) {
+  // max_size is modelled-range metadata, not a wall: a shallow line crosses
+  // the constant graph beyond it.
+  const ConstantSpeed f(100.0, 50.0);
+  EXPECT_DOUBLE_EQ(f.intersect(1e-2), 1e4);
+}
+
+TEST(LinearDecaySpeed, MatchesClosedForm) {
+  const LinearDecaySpeed f(100.0, 1000.0);
+  EXPECT_DOUBLE_EQ(f.speed(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(f.speed(500.0), 50.0);
+  EXPECT_NEAR(f.speed(1000.0), 0.1, 1e-12);  // the 1e-3 floor
+}
+
+TEST(LinearDecaySpeed, IntersectSatisfiesLineEquation) {
+  const LinearDecaySpeed f(100.0, 1e6);
+  for (const double c : {1e-3, 0.01, 0.1, 1.0, 10.0}) {
+    const double x = f.intersect(c);
+    EXPECT_NEAR(c * x, f.speed(x), 1e-6 * f.speed(x)) << "slope " << c;
+  }
+}
+
+TEST(PowerDecaySpeed, HalvesAtScaleSize) {
+  const PowerDecaySpeed f(200.0, 1e4, 2.0, 1e8);
+  EXPECT_DOUBLE_EQ(f.speed(0.0), 200.0);
+  EXPECT_DOUBLE_EQ(f.speed(1e4), 100.0);  // (x/x0)^k == 1 halves the speed
+}
+
+TEST(UnimodalSpeed, RisesThenFalls) {
+  const UnimodalSpeed f(50.0, 200.0, 1e5, 1e6, 3.0, 1e8);
+  EXPECT_LT(f.speed(10.0), f.speed(1e5));       // rising part
+  EXPECT_GT(f.speed(1e5), f.speed(5e6));        // falling part
+  EXPECT_GT(f.speed(5e6), f.speed(5e7));        // monotone decay
+}
+
+TEST(UnimodalSpeed, PeakNearConfiguredLocation) {
+  const UnimodalSpeed f(50.0, 200.0, 1e5, 1e6, 3.0, 1e8);
+  // The decay term barely bites at x_peak when decay_x0 >> x_peak.
+  EXPECT_NEAR(f.speed(1e5), 200.0, 2.0);
+}
+
+TEST(SteppedSpeed, PlateausAndCliffs) {
+  std::vector<SteppedSpeed::Step> steps;
+  steps.push_back({1e4, 80.0, 1e3});
+  steps.push_back({1e6, 5.0, 1e5});
+  const SteppedSpeed f(100.0, std::move(steps), 1e7);
+  EXPECT_NEAR(f.speed(100.0), 100.0, 1.0);   // first plateau
+  EXPECT_NEAR(f.speed(2e5), 80.0, 1.0);      // second plateau
+  EXPECT_NEAR(f.speed(5e6), 5.0, 0.5);       // after the paging cliff
+}
+
+TEST(SteppedSpeed, RejectsUnorderedSteps) {
+  std::vector<SteppedSpeed::Step> rising;
+  rising.push_back({1e4, 80.0, 1e3});
+  rising.push_back({1e6, 90.0, 1e5});  // plateau rises: invalid
+  EXPECT_THROW(SteppedSpeed(100.0, std::move(rising), 1e7),
+               std::invalid_argument);
+  std::vector<SteppedSpeed::Step> backwards;
+  backwards.push_back({1e6, 80.0, 1e3});
+  backwards.push_back({1e4, 40.0, 1e3});  // positions out of order
+  EXPECT_THROW(SteppedSpeed(100.0, std::move(backwards), 1e7),
+               std::invalid_argument);
+}
+
+TEST(ExpDecaySpeed, MatchesExponential) {
+  const ExpDecaySpeed f(100.0, 1000.0, 1e5);
+  EXPECT_DOUBLE_EQ(f.speed(0.0), 100.0);
+  EXPECT_NEAR(f.speed(1000.0), 100.0 / std::exp(1.0), 1e-9);
+}
+
+TEST(ScaledSpeed, ScalesUniformly) {
+  auto base = std::make_shared<LinearDecaySpeed>(100.0, 1e6);
+  const ScaledSpeed half(base, 0.5);
+  EXPECT_DOUBLE_EQ(half.speed(0.0), 50.0);
+  EXPECT_DOUBLE_EQ(half.speed(5e5), 25.0);
+  EXPECT_DOUBLE_EQ(half.max_size(), 1e6);
+}
+
+TEST(GranularSpeed, PreservesExecutionTime) {
+  auto base = std::make_shared<PowerDecaySpeed>(150.0, 1e5, 1.2, 1e8);
+  const double k = 3000.0;  // elements per row
+  const GranularSpeed rows(base, k);
+  for (const double r : {1.0, 10.0, 500.0, 2e4}) {
+    EXPECT_NEAR(rows.time(r), base->time(r * k), 1e-9 * base->time(r * k));
+  }
+  EXPECT_DOUBLE_EQ(rows.max_size(), base->max_size() / k);
+}
+
+TEST(GranularSpeedView, MatchesOwningWrapper) {
+  const PowerDecaySpeed base(150.0, 1e5, 1.2, 1e8);
+  const GranularSpeedView view(base, 128.0);
+  EXPECT_DOUBLE_EQ(view.speed(100.0), base.speed(12800.0) / 128.0);
+}
+
+TEST(ShapeRequirement, HoldsForEveryFamilyInstance) {
+  for (const auto& ensemble : fpm::test::all_ensembles(4)) {
+    for (std::size_t i = 0; i < ensemble.owned.size(); ++i) {
+      EXPECT_TRUE(satisfies_shape_requirement(*ensemble.owned[i]))
+          << ensemble.name << " curve " << i;
+    }
+  }
+}
+
+TEST(ShapeRequirement, DetectsViolations) {
+  // A superlinearly growing speed has an increasing ratio, so some lines
+  // through the origin cross the graph twice — the check must fail.
+  class Violator final : public SpeedFunction {
+   public:
+    double speed(double x) const override { return 1.0 + x * x; }
+    double max_size() const override { return 1e6; }
+  } v;
+  EXPECT_FALSE(satisfies_shape_requirement(v));
+}
+
+TEST(DefaultIntersect, AgreesWithClosedFormsAcrossFamilies) {
+  // The generic ratio-bisection must match each family's own geometry:
+  // verify c·x == speed(x) at the returned point.
+  for (const auto& ensemble : fpm::test::all_ensembles(3)) {
+    for (const auto& f : ensemble.owned) {
+      for (const double frac : {0.9, 0.5, 0.1, 0.01}) {
+        // A slope that crosses inside the range: pick from the ratio at a
+        // point well inside the domain.
+        const double x_ref = f->max_size() * frac;
+        const double c = f->ratio(x_ref);
+        const double x = f->intersect(c);
+        EXPECT_NEAR(c * x, f->speed(x),
+                    1e-6 * std::max(1.0, f->speed(x)))
+            << ensemble.name;
+      }
+    }
+  }
+}
+
+TEST(DefaultIntersect, MonotoneInSlope) {
+  const UnimodalSpeed f(50.0, 200.0, 1e5, 1e6, 3.0, 1e8);
+  double prev = f.intersect(1e-6);
+  for (double c = 1e-5; c < 1.0; c *= 10.0) {
+    const double x = f.intersect(c);
+    EXPECT_LE(x, prev) << "slope " << c;
+    prev = x;
+  }
+}
+
+TEST(ExecutionTime, NonDecreasingUnderShapeRequirement) {
+  for (const auto& ensemble : fpm::test::all_ensembles(3)) {
+    for (const auto& f : ensemble.owned) {
+      double prev = 0.0;
+      for (double x = 1.0; x < f->max_size(); x *= 4.0) {
+        const double t = f->time(x);
+        EXPECT_GE(t, prev) << ensemble.name << " at x=" << x;
+        prev = t;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fpm::core

@@ -1,0 +1,121 @@
+// Tests for the Jacobi stencil application: planning, serial/striped
+// numeric equivalence, and the halo-aware simulation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/stencil.hpp"
+#include "linalg/kernels.hpp"
+#include "simcluster/presets.hpp"
+
+namespace fpm::apps {
+namespace {
+
+TEST(StencilPlan, CoversAllRows) {
+  auto cluster = sim::make_table2_cluster();
+  const core::SpeedList models = cluster.ground_truth_list(sim::kMatMul);
+  for (const std::int64_t rows : {12L, 100L, 5000L}) {
+    const StencilPlan plan = plan_stencil(models, rows, 4096);
+    EXPECT_EQ(std::accumulate(plan.rows.begin(), plan.rows.end(),
+                              std::int64_t{0}),
+              rows);
+    for (const std::int64_t r : plan.rows) EXPECT_GE(r, 0);
+  }
+}
+
+TEST(StencilPlan, RejectsBadArguments) {
+  auto cluster = sim::make_table2_cluster();
+  const core::SpeedList models = cluster.ground_truth_list(sim::kMatMul);
+  EXPECT_THROW(plan_stencil({}, 10, 10), std::invalid_argument);
+  EXPECT_THROW(plan_stencil(models, 0, 10), std::invalid_argument);
+  EXPECT_THROW(plan_stencil(models, 10, 0), std::invalid_argument);
+}
+
+TEST(JacobiSweep, AveragesNeighbours) {
+  util::MatrixD g(3, 3, 0.0);
+  g(0, 1) = 4.0;
+  g(2, 1) = 8.0;
+  g(1, 0) = 12.0;
+  g(1, 2) = 16.0;
+  const util::MatrixD out = jacobi_sweep(g);
+  EXPECT_DOUBLE_EQ(out(1, 1), 10.0);
+  // Boundaries unchanged.
+  EXPECT_DOUBLE_EQ(out(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(out(2, 1), 8.0);
+}
+
+TEST(JacobiSweep, TinyGridsPassThrough) {
+  const util::MatrixD g = linalg::random_matrix(2, 5, 3);
+  EXPECT_DOUBLE_EQ(util::max_abs_diff(jacobi_sweep(g), g), 0.0);
+}
+
+TEST(StripedJacobi, BitIdenticalToSerialSweep) {
+  auto cluster = sim::make_table2_cluster();
+  const core::SpeedList models = cluster.ground_truth_list(sim::kMatMul);
+  for (const std::size_t rows : {13u, 40u, 97u}) {
+    const StencilPlan plan =
+        plan_stencil(models, static_cast<std::int64_t>(rows), 24);
+    const util::MatrixD g = linalg::random_matrix(rows, 24, 11);
+    EXPECT_DOUBLE_EQ(
+        util::max_abs_diff(striped_jacobi_sweep(g, plan), jacobi_sweep(g)),
+        0.0)
+        << rows;
+  }
+}
+
+TEST(StripedJacobi, RejectsMismatchedPlan) {
+  auto cluster = sim::make_table2_cluster();
+  const core::SpeedList models = cluster.ground_truth_list(sim::kMatMul);
+  const StencilPlan plan = plan_stencil(models, 20, 24);
+  const util::MatrixD g = linalg::random_matrix(21, 24, 1);
+  EXPECT_THROW(striped_jacobi_sweep(g, plan), std::invalid_argument);
+}
+
+TEST(StencilSimulation, PositiveAndScalesWithIterations) {
+  auto cluster = sim::make_table2_cluster();
+  const core::SpeedList models = cluster.ground_truth_list(sim::kMatMul);
+  const StencilPlan plan = plan_stencil(models, 8000, 8000);
+  const comm::CommModel net =
+      comm::CommModel::uniform(cluster.size(), {1e-4, 12.5e6});
+  const double t10 =
+      simulate_stencil_seconds(cluster, sim::kMatMul, plan, 10, net, false);
+  const double t20 =
+      simulate_stencil_seconds(cluster, sim::kMatMul, plan, 20, net, false);
+  EXPECT_GT(t10, 0.0);
+  EXPECT_NEAR(t20, 2.0 * t10, 1e-9 * t20);
+  EXPECT_DOUBLE_EQ(
+      simulate_stencil_seconds(cluster, sim::kMatMul, plan, 0, net, false),
+      0.0);
+}
+
+TEST(StencilSimulation, SlowerNetworkCostsMore) {
+  auto cluster = sim::make_table2_cluster();
+  const core::SpeedList models = cluster.ground_truth_list(sim::kMatMul);
+  const StencilPlan plan = plan_stencil(models, 8000, 8000);
+  const comm::CommModel fast =
+      comm::CommModel::uniform(cluster.size(), {1e-5, 1.25e9});
+  const comm::CommModel slow =
+      comm::CommModel::uniform(cluster.size(), {1e-3, 1.25e6});
+  EXPECT_LT(
+      simulate_stencil_seconds(cluster, sim::kMatMul, plan, 5, fast, false),
+      simulate_stencil_seconds(cluster, sim::kMatMul, plan, 5, slow, false));
+}
+
+TEST(StencilSimulation, FunctionalPlanBeatsEvenRows) {
+  auto cluster = sim::make_table2_cluster();
+  const core::SpeedList models = cluster.ground_truth_list(sim::kMatMul);
+  const std::int64_t rows = 10000, cols = 10000;
+  const StencilPlan functional = plan_stencil(models, rows, cols);
+  StencilPlan even = functional;
+  const core::Distribution d = core::partition_even(rows, cluster.size());
+  even.rows = d.counts;
+  const comm::CommModel net =
+      comm::CommModel::uniform(cluster.size(), {1e-4, 12.5e6});
+  EXPECT_LT(simulate_stencil_seconds(cluster, sim::kMatMul, functional, 3,
+                                     net, false),
+            simulate_stencil_seconds(cluster, sim::kMatMul, even, 3, net,
+                                     false));
+}
+
+}  // namespace
+}  // namespace fpm::apps

@@ -1,0 +1,84 @@
+// Tests for the two-parameter problem-size reduction (paper §3.1): speed
+// surfaces, shape invariance, and the fixed-parameter reduction the striped
+// applications rely on.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/surface.hpp"
+#include "core/speed_function.hpp"
+#include "core/combined.hpp"
+#include "core/partition.hpp"
+
+namespace fpm::core {
+namespace {
+
+std::shared_ptr<const SpeedFunction> base_curve() {
+  return std::make_shared<PowerDecaySpeed>(200.0, 1e6, 1.0, 1e9);
+}
+
+TEST(ShapeInvariantSurface, DependsOnlyOnElementCount) {
+  const ShapeInvariantSurface s(base_curve());
+  // Same element count, wildly different shapes (the Table 3/4 property).
+  EXPECT_DOUBLE_EQ(s.speed(1000.0, 1000.0), s.speed(100.0, 10000.0));
+  EXPECT_DOUBLE_EQ(s.speed(256.0, 256.0), s.speed(32.0, 2048.0));
+}
+
+TEST(ShapeInvariantSurface, AspectSensitivityPenalizesExtremes) {
+  const ShapeInvariantSurface s(base_curve(), 0.1);
+  EXPECT_GT(s.speed(1000.0, 1000.0), s.speed(10.0, 100000.0));
+  EXPECT_DOUBLE_EQ(s.speed(10.0, 100000.0), s.speed(100000.0, 10.0));
+}
+
+TEST(ShapeInvariantSurface, MaxN1ScalesInversely) {
+  const ShapeInvariantSurface s(base_curve());
+  EXPECT_DOUBLE_EQ(s.max_n1(1000.0), 1e6);
+  EXPECT_DOUBLE_EQ(s.max_n1(1e6), 1000.0);
+  EXPECT_THROW(s.max_n1(0.0), std::invalid_argument);
+}
+
+TEST(ShapeInvariantSurface, RejectsBadArguments) {
+  EXPECT_THROW(ShapeInvariantSurface(nullptr), std::invalid_argument);
+  EXPECT_THROW(ShapeInvariantSurface(base_curve(), -1.0),
+               std::invalid_argument);
+}
+
+TEST(FixedParamSpeed, ReducesSurfaceToElementCurve) {
+  auto surface = std::make_shared<ShapeInvariantSurface>(base_curve());
+  const FixedParamSpeed reduced(surface, 5000.0);
+  const auto base = base_curve();
+  // With perfect shape invariance the reduction equals the element curve.
+  for (double x = 1e4; x < 1e8; x *= 3.7)
+    EXPECT_DOUBLE_EQ(reduced.speed(x), base->speed(x));
+  EXPECT_DOUBLE_EQ(reduced.max_size(), base->max_size());
+}
+
+TEST(FixedParamSpeed, SatisfiesShapeRequirement) {
+  auto surface = std::make_shared<ShapeInvariantSurface>(base_curve(), 0.05);
+  const FixedParamSpeed reduced(surface, 2000.0);
+  EXPECT_TRUE(satisfies_shape_requirement(reduced));
+}
+
+TEST(FixedParamSpeed, RejectsBadArguments) {
+  auto surface = std::make_shared<ShapeInvariantSurface>(base_curve());
+  EXPECT_THROW(FixedParamSpeed(nullptr, 10.0), std::invalid_argument);
+  EXPECT_THROW(FixedParamSpeed(surface, 0.0), std::invalid_argument);
+}
+
+TEST(FixedParamSpeed, PartitionableLikeAnyCurve) {
+  // The reduction plugs straight into the partitioners (the MM use-case:
+  // n2 fixed at n during set partitioning, Figure 16b).
+  auto s1 = std::make_shared<ShapeInvariantSurface>(base_curve());
+  auto s2 = std::make_shared<ShapeInvariantSurface>(
+      std::make_shared<PowerDecaySpeed>(120.0, 5e5, 1.3, 1e9));
+  const FixedParamSpeed f1(s1, 4096.0);
+  const FixedParamSpeed f2(s2, 4096.0);
+  const SpeedList speeds{&f1, &f2};
+  const PartitionResult r = partition_combined(speeds, 1000000);
+  EXPECT_EQ(r.distribution.total(), 1000000);
+  // The faster surface receives the larger share.
+  EXPECT_GT(r.distribution.counts[0], r.distribution.counts[1]);
+}
+
+}  // namespace
+}  // namespace fpm::core

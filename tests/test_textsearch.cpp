@@ -1,0 +1,125 @@
+// Tests for the pattern-search application: corpus generation, the search
+// kernel, weighted contiguous planning, distributed/serial equivalence,
+// and the simulated execution.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/textsearch.hpp"
+#include "simcluster/presets.hpp"
+
+namespace fpm::apps {
+namespace {
+
+TEST(CountOccurrences, HandCases) {
+  EXPECT_EQ(count_occurrences("abcabcab", "abc"), 2u);
+  EXPECT_EQ(count_occurrences("aaaa", "aa"), 3u);  // overlapping
+  EXPECT_EQ(count_occurrences("xyz", "abc"), 0u);
+  EXPECT_EQ(count_occurrences("short", "longer-than-text"), 0u);
+  EXPECT_EQ(count_occurrences("anything", ""), 0u);
+}
+
+TEST(MakeCorpus, DeterministicAndPatternBearing) {
+  const Corpus a = make_corpus(50, 2000, "needle", 42);
+  const Corpus b = make_corpus(50, 2000, "needle", 42);
+  ASSERT_EQ(a.documents.size(), 50u);
+  EXPECT_EQ(a.documents[7], b.documents[7]);
+  std::size_t hits = 0;
+  for (const std::string& d : a.documents)
+    hits += count_occurrences(d, "needle");
+  EXPECT_GT(hits, 0u);
+  const Corpus c = make_corpus(50, 2000, "needle", 43);
+  EXPECT_NE(a.documents[0], c.documents[0]);
+}
+
+TEST(MakeCorpus, HeavyTailedLengths) {
+  const Corpus corpus = make_corpus(400, 4000, "x", 7);
+  std::size_t biggest = 0, smallest = SIZE_MAX;
+  for (const std::string& d : corpus.documents) {
+    biggest = std::max(biggest, d.size());
+    smallest = std::min(smallest, d.size());
+  }
+  EXPECT_GT(biggest, 8u * smallest);  // real corpora are skewed
+}
+
+TEST(MakeCorpus, RejectsDegenerateInput) {
+  EXPECT_THROW(make_corpus(0, 2000, "p", 1), std::invalid_argument);
+  EXPECT_THROW(make_corpus(5, 4, "longpattern", 1), std::invalid_argument);
+}
+
+TEST(PlanSearch, CoversCorpusContiguously) {
+  auto cluster = sim::make_table2_cluster();
+  const core::SpeedList models = cluster.ground_truth_list(sim::kMatMul);
+  const Corpus corpus = make_corpus(300, 5000, "needle", 11);
+  const SearchPlan plan = plan_search(models, corpus);
+  ASSERT_EQ(plan.boundaries.size(), models.size() + 1);
+  EXPECT_EQ(plan.boundaries.front(), 0u);
+  EXPECT_EQ(plan.boundaries.back(), corpus.documents.size());
+  for (std::size_t i = 0; i + 1 < plan.boundaries.size(); ++i)
+    EXPECT_LE(plan.boundaries[i], plan.boundaries[i + 1]);
+  const double assigned =
+      std::accumulate(plan.bytes.begin(), plan.bytes.end(), 0.0);
+  EXPECT_NEAR(assigned, static_cast<double>(corpus.total_bytes()), 1.0);
+}
+
+TEST(PlanSearch, RejectsBadInput) {
+  auto cluster = sim::make_table2_cluster();
+  const core::SpeedList models = cluster.ground_truth_list(sim::kMatMul);
+  EXPECT_THROW(plan_search({}, make_corpus(5, 2000, "p", 1)),
+               std::invalid_argument);
+  EXPECT_THROW(plan_search(models, Corpus{}), std::invalid_argument);
+}
+
+TEST(RunSearch, DistributedEqualsSerial) {
+  auto cluster = sim::make_table2_cluster();
+  const core::SpeedList models = cluster.ground_truth_list(sim::kMatMul);
+  const Corpus corpus = make_corpus(120, 3000, "the needle", 23);
+  const SearchPlan plan = plan_search(models, corpus);
+  std::size_t serial = 0;
+  for (const std::string& d : corpus.documents)
+    serial += count_occurrences(d, "the needle");
+  EXPECT_EQ(run_search(corpus, plan, "the needle"), serial);
+  EXPECT_GT(serial, 0u);
+}
+
+TEST(RunSearch, RejectsMismatchedPlan) {
+  const Corpus corpus = make_corpus(10, 2000, "p", 1);
+  SearchPlan bogus;
+  bogus.boundaries = {0, 5};  // does not reach the end
+  EXPECT_THROW(run_search(corpus, bogus, "p"), std::invalid_argument);
+}
+
+TEST(SimulateSearch, FasterMachinesGetMoreBytes) {
+  auto cluster = sim::make_table2_cluster();
+  const core::SpeedList models = cluster.ground_truth_list(sim::kMatMul);
+  const Corpus corpus = make_corpus(500, 20000, "needle", 31);
+  const SearchPlan plan = plan_search(models, corpus);
+  // X3 (fast bigmem, index 2) outweighs X10 (slow Ultra-5, index 9).
+  EXPECT_GT(plan.bytes[2], plan.bytes[9]);
+  const double t = simulate_search_seconds(cluster, sim::kMatMul, plan, false);
+  EXPECT_GT(t, 0.0);
+}
+
+TEST(SimulateSearch, WeightedPlanBeatsEvenDocumentSplit) {
+  auto cluster = sim::make_table2_cluster();
+  const core::SpeedList models = cluster.ground_truth_list(sim::kMatMul);
+  const Corpus corpus = make_corpus(600, 20000, "needle", 77);
+  const SearchPlan plan = plan_search(models, corpus);
+
+  // Naive plan: equal *document counts* regardless of sizes or speeds.
+  SearchPlan naive;
+  const std::size_t p = models.size();
+  naive.boundaries.resize(p + 1);
+  for (std::size_t i = 0; i <= p; ++i)
+    naive.boundaries[i] = i * corpus.documents.size() / p;
+  naive.bytes.assign(p, 0.0);
+  for (std::size_t i = 0; i < p; ++i)
+    for (std::size_t j = naive.boundaries[i]; j < naive.boundaries[i + 1]; ++j)
+      naive.bytes[i] += static_cast<double>(corpus.documents[j].size());
+
+  EXPECT_LT(simulate_search_seconds(cluster, sim::kMatMul, plan, false),
+            simulate_search_seconds(cluster, sim::kMatMul, naive, false));
+}
+
+}  // namespace
+}  // namespace fpm::apps

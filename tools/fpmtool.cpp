@@ -1,0 +1,280 @@
+// fpmtool — command-line front end to fpmlib.
+//
+// Subcommands:
+//   save-cluster --out FILE [--preset table1|table2]
+//       Write a simulated-cluster definition file (editable; see
+//       docs/model-format.md) for one of the paper's testbeds.
+//   demo-models --out FILE [--app NAME] [--cluster FILE]
+//       Build functional models of a simulated network with the §3.1
+//       procedure and save them. Default network: the paper's Table 2
+//       (apps mm|lu); with --cluster, any fpm-cluster file and any app
+//       registered in it.
+//   measure --kernel mm|mm-blocked|lu|cholesky|arrayops --out FILE
+//           [--min-elements A] [--max-elements B] [--epsilon E] [--probes K]
+//       Measure THIS machine's speed function by really running the kernel,
+//       and save the built model.
+//   show --models FILE [--at X]
+//       Print the models in a file; with --at, the speeds at size X.
+//   partition --models FILE --n N [--algorithm basic|modified|combined]
+//             [--single-number REF] [--csv]
+//       Distribute N elements over the modelled processors and print the
+//       result (optionally also the single-number baseline at size REF).
+//   simulate --app NAME --n MATRIX_N [--cluster FILE] [--reference REF_N]
+//       Figure-22-style experiment on a simulated network: build models,
+//       plan the striped matrix multiplication of an N x N matrix with the
+//       functional and single-number models, and print both simulated
+//       makespans. Default network: Table 2 with NAME in {mm}.
+//
+// Exit status: 0 on success, 1 on CLI errors, 2 on runtime failures.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fpm.hpp"
+#include "util/cli.hpp"
+#include "apps/striped_mm.hpp"
+#include "core/model_io.hpp"
+#include "linalg/real_source.hpp"
+#include "simcluster/presets.hpp"
+#include "simcluster/spec_io.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace fpm;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  fpmtool save-cluster --out FILE [--preset table1|table2]\n"
+         "  fpmtool demo-models --out FILE [--app NAME] [--cluster FILE]\n"
+         "  fpmtool measure --kernel mm|mm-blocked|lu|cholesky|arrayops --out FILE\n"
+         "          [--min-elements A] [--max-elements B] [--epsilon E] "
+         "[--probes K]\n"
+         "  fpmtool show --models FILE [--at X]\n"
+         "  fpmtool partition --models FILE --n N "
+         "[--algorithm basic|modified|combined]\n"
+         "          [--single-number REF] [--csv]\n"
+         "  fpmtool simulate --app NAME --n MATRIX_N [--cluster FILE] "
+         "[--reference REF_N]\n";
+  return 1;
+}
+
+int cmd_save_cluster(const util::CliArgs& args) {
+  const std::string out = args.require("--out");
+  const std::string preset = args.get("--preset").value_or("table2");
+  if (preset == "table1")
+    sim::save_cluster_file(out, sim::table1_machines());
+  else if (preset == "table2")
+    sim::save_cluster_file(out, sim::table2_machines());
+  else
+    throw std::invalid_argument("--preset must be table1 or table2");
+  std::cout << "wrote cluster definition to " << out << "\n";
+  return 0;
+}
+
+int cmd_demo_models(const util::CliArgs& args) {
+  const std::string out = args.require("--out");
+  const std::string app_key = args.get("--app").value_or("mm");
+  std::string app = app_key == "lu" ? sim::kLu
+                    : app_key == "mm" ? sim::kMatMul
+                                      : app_key;
+
+  auto cluster = [&] {
+    if (const auto path = args.get("--cluster"))
+      return sim::SimulatedCluster(sim::load_cluster_file(*path), 0xf9a2);
+    if (app_key != "mm" && app_key != "lu")
+      throw std::invalid_argument(
+          "--app must be mm or lu for the Table-2 preset (or pass --cluster)");
+    return sim::make_table2_cluster();
+  }();
+  std::vector<core::NamedModel> models;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const sim::MachineSpeed& truth = cluster.ground_truth(i, app);
+    sim::MachineMeasurement source(cluster, i, app);
+    core::BuilderOptions opts;
+    opts.epsilon = 0.08;
+    opts.samples_per_point = 5;
+    opts.min_size = truth.cache_capacity() * 0.25;
+    opts.max_size = truth.max_size();
+    const core::BuiltModel built = core::build_speed_band(source, opts);
+    models.push_back(core::make_named_model(cluster.machine(i).spec.name,
+                                            built.band, opts.epsilon));
+    std::cerr << cluster.machine(i).spec.name << ": " << built.probes
+              << " probes\n";
+  }
+  core::save_models_file(out, models);
+  std::cout << "wrote " << models.size() << " models to " << out << "\n";
+  return 0;
+}
+
+int cmd_measure(const util::CliArgs& args) {
+  const std::string out = args.require("--out");
+  const std::string kernel_key = args.require("--kernel");
+  linalg::Kernel kernel;
+  if (kernel_key == "mm")
+    kernel = linalg::Kernel::MatMulNaive;
+  else if (kernel_key == "mm-blocked")
+    kernel = linalg::Kernel::MatMulBlocked;
+  else if (kernel_key == "lu")
+    kernel = linalg::Kernel::LuFactor;
+  else if (kernel_key == "cholesky")
+    kernel = linalg::Kernel::Cholesky;
+  else if (kernel_key == "arrayops")
+    kernel = linalg::Kernel::ArrayOps;
+  else
+    throw std::invalid_argument("unknown kernel '" + kernel_key + "'");
+
+  linalg::RealKernelSource source(kernel);
+  core::BuilderOptions opts;
+  opts.min_size = args.number("--min-elements", 3.0 * 48 * 48);
+  opts.max_size = args.number("--max-elements", 3.0 * 600 * 600);
+  opts.epsilon = args.number("--epsilon", 0.10);
+  opts.max_probes = static_cast<int>(args.number("--probes", 24));
+  std::cerr << "measuring " << source.name() << " over ["
+            << opts.min_size << ", " << opts.max_size << "] elements...\n";
+  const core::BuiltModel built = core::build_speed_band(source, opts);
+  core::save_models_file(
+      out, {core::make_named_model(source.name(), built.band, opts.epsilon)});
+  std::cout << "wrote model (" << built.probes << " probes) to " << out
+            << "\n";
+  return 0;
+}
+
+int cmd_show(const util::CliArgs& args) {
+  const auto models = core::load_models_file(args.require("--models"));
+  const auto at = args.get("--at");
+  util::Table t("models",
+                at ? std::vector<std::string>{"name", "points", "max_size",
+                                              "speed_at_" + *at}
+                   : std::vector<std::string>{"name", "points", "max_size",
+                                              "peak_speed"});
+  for (const core::NamedModel& m : models) {
+    const core::PiecewiseLinearSpeed curve = m.curve();
+    double shown;
+    if (at) {
+      shown = curve.speed(std::stod(*at));
+    } else {
+      shown = 0.0;
+      for (const core::SpeedPoint& p : curve.points())
+        shown = std::max(shown, p.speed);
+    }
+    t.add_row({m.name, util::fmt(curve.points().size()),
+               util::fmt(curve.max_size(), 0), util::fmt(shown, 2)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_partition(const util::CliArgs& args) {
+  const auto models = core::load_models_file(args.require("--models"));
+  if (models.empty()) throw std::runtime_error("no models in file");
+  const auto n = static_cast<std::int64_t>(std::stod(args.require("--n")));
+  const std::string algo = args.get("--algorithm").value_or("combined");
+
+  std::vector<core::PiecewiseLinearSpeed> curves;
+  curves.reserve(models.size());
+  for (const core::NamedModel& m : models) curves.push_back(m.curve());
+  core::SpeedList speeds;
+  for (const auto& c : curves) speeds.push_back(&c);
+
+  core::PartitionResult result;
+  if (algo == "basic")
+    result = core::partition_basic(speeds, n);
+  else if (algo == "modified")
+    result = core::partition_modified(speeds, n);
+  else if (algo == "combined")
+    result = core::partition_combined(speeds, n);
+  else
+    throw std::invalid_argument("unknown algorithm '" + algo + "'");
+
+  std::optional<core::Distribution> baseline;
+  if (const auto ref = args.get("--single-number"))
+    baseline = core::partition_single_number_at(speeds, n, std::stod(*ref));
+
+  util::Table t("partition of " + std::to_string(n) + " elements (" +
+                    result.stats.algorithm + ")",
+                baseline ? std::vector<std::string>{"processor", "elements",
+                                                    "time", "single_number"}
+                         : std::vector<std::string>{"processor", "elements",
+                                                    "time"});
+  const auto times = core::execution_times(speeds, result.distribution);
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    std::vector<std::string> row{models[i].name,
+                                 util::fmt(result.distribution.counts[i]),
+                                 util::fmt(times[i], 4)};
+    if (baseline) row.push_back(util::fmt(baseline->counts[i]));
+    t.add_row(row);
+  }
+  if (args.flag("--csv"))
+    t.print_csv(std::cout);
+  else
+    t.print(std::cout);
+  std::cout << "makespan: " << core::makespan(speeds, result.distribution)
+            << " (" << result.stats.iterations << " iterations)\n";
+  if (baseline)
+    std::cout << "single-number makespan: "
+              << core::makespan(speeds, *baseline) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int cmd_simulate(const util::CliArgs& args) {
+  const std::string app = args.get("--app").value_or(sim::kMatMul);
+  const auto n = static_cast<std::int64_t>(args.number("--n", 20000));
+  const auto ref = static_cast<std::int64_t>(args.number("--reference", 500));
+  auto cluster = [&] {
+    if (const auto path = args.get("--cluster"))
+      return sim::SimulatedCluster(sim::load_cluster_file(*path), 0xf9a2);
+    return sim::make_table2_cluster();
+  }();
+
+  std::cerr << "building functional models...\n";
+  const sim::ClusterModels models = sim::build_cluster_models(cluster, app);
+  const auto functional =
+      apps::plan_striped_mm(models.list(), n, apps::ModelKind::Functional);
+  const auto single = apps::plan_striped_mm(
+      models.list(), n, apps::ModelKind::SingleNumber, ref);
+
+  util::Table t("striped MM, n = " + std::to_string(n),
+                {"machine", "functional_rows", "single_number_rows"});
+  for (std::size_t i = 0; i < cluster.size(); ++i)
+    t.add_row({cluster.machine(i).spec.name, util::fmt(functional.rows[i]),
+               util::fmt(single.rows[i])});
+  t.print(std::cout);
+  const double tf =
+      apps::simulate_striped_mm_seconds(cluster, app, functional, n, false);
+  const double ts =
+      apps::simulate_striped_mm_seconds(cluster, app, single, n, false);
+  std::cout << "simulated makespan, functional    : " << util::fmt(tf, 1)
+            << " s\n";
+  std::cout << "simulated makespan, single-number : " << util::fmt(ts, 1)
+            << " s  (speedup " << util::fmt(ts / tf, 2) << "x)\n";
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const util::CliArgs args(argc, argv, {"--csv"});
+    if (command == "save-cluster") return cmd_save_cluster(args);
+    if (command == "demo-models") return cmd_demo_models(args);
+    if (command == "measure") return cmd_measure(args);
+    if (command == "show") return cmd_show(args);
+    if (command == "partition") return cmd_partition(args);
+    if (command == "simulate") return cmd_simulate(args);
+    std::cerr << "unknown command '" << command << "'\n";
+    return usage();
+  } catch (const std::invalid_argument& err) {
+    std::cerr << "error: " << err.what() << "\n";
+    return 1;
+  } catch (const std::exception& err) {
+    std::cerr << "error: " << err.what() << "\n";
+    return 2;
+  }
+}
