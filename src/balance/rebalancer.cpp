@@ -22,6 +22,40 @@ Rebalancer::Rebalancer(core::Distribution initial,
   models_.reserve(dist_.counts.size());
   for (std::size_t i = 0; i < dist_.counts.size(); ++i)
     models_.emplace_back(model_opts);
+  active_.assign(dist_.counts.size(), 1);
+  slow_streak_.assign(dist_.counts.size(), 0);
+  missing_streak_.assign(dist_.counts.size(), 0);
+}
+
+core::Distribution Rebalancer::partition_active() const {
+  std::vector<std::size_t> alive;
+  for (std::size_t i = 0; i < active_.size(); ++i)
+    if (active_[i]) alive.push_back(i);
+  if (alive.empty())
+    throw std::runtime_error("Rebalancer: every processor collapsed");
+
+  core::Distribution out;
+  out.counts.assign(dist_.counts.size(), 0);
+  bool all_ready = true;
+  for (const std::size_t i : alive)
+    if (!models_[i].ready()) all_ready = false;
+  if (all_ready) {
+    std::vector<core::PiecewiseLinearSpeed> curves;
+    curves.reserve(alive.size());
+    for (const std::size_t i : alive) curves.push_back(models_[i].curve());
+    core::SpeedList speeds;
+    speeds.reserve(curves.size());
+    for (const auto& c : curves) speeds.push_back(&c);
+    const core::Distribution sub =
+        core::partition_combined(speeds, n_).distribution;
+    for (std::size_t j = 0; j < alive.size(); ++j)
+      out.counts[alive[j]] = sub.counts[j];
+  } else {
+    const core::Distribution sub = core::partition_even(n_, alive.size());
+    for (std::size_t j = 0; j < alive.size(); ++j)
+      out.counts[alive[j]] = sub.counts[j];
+  }
+  return out;
 }
 
 bool Rebalancer::step(std::span<const double> seconds) {
@@ -30,40 +64,93 @@ bool Rebalancer::step(std::span<const double> seconds) {
   ++iterations_seen_;
   last_migration_s_ = 0.0;
 
-  // Ingest observations and compute the iteration's imbalance.
+  // Ingest observations, compute the iteration's imbalance, and track the
+  // two collapse signals: speed far below the model's own estimate
+  // (estimated *before* the observation updates the model) and repeated
+  // missing measurements on a non-empty share.
   double t_max = 0.0;
   double t_min = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < seconds.size(); ++i) {
     const auto share = static_cast<double>(dist_.counts[i]);
-    if (share <= 0.0 || !(seconds[i] > 0.0)) continue;
-    models_[i].observe(share, share / seconds[i]);
+    if (share <= 0.0) continue;
+    if (!(seconds[i] > 0.0)) {  // missing, zero, or NaN time
+      if (active_[i]) ++missing_streak_[i];
+      continue;
+    }
+    missing_streak_[i] = 0;
+    const double observed = share / seconds[i];
+    if (active_[i] && opts_.evacuation_speed_fraction > 0.0) {
+      const std::optional<double> expected = models_[i].estimate(share);
+      if (expected && observed < opts_.evacuation_speed_fraction * *expected)
+        ++slow_streak_[i];
+      else
+        slow_streak_[i] = 0;
+    }
+    models_[i].observe(share, observed);
     t_max = std::max(t_max, seconds[i]);
     t_min = std::min(t_min, seconds[i]);
   }
   last_imbalance_ = t_max > 0.0 ? (t_max - t_min) / t_max : 0.0;
+
+  // Emergency drain of collapsed processors: immediate, no cooldown, no
+  // gain margin — holding a share on a dead or 10x-degraded machine costs
+  // more per iteration than any migration.
+  bool drained = false;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    if (!active_[i] || dist_.counts[i] <= 0) continue;
+    const bool missing_collapse =
+        opts_.max_missing_measurements > 0 &&
+        missing_streak_[i] >= opts_.max_missing_measurements;
+    const bool speed_collapse = opts_.evacuation_speed_fraction > 0.0 &&
+                                slow_streak_[i] >= opts_.collapse_strikes;
+    if (missing_collapse || speed_collapse) {
+      active_[i] = 0;
+      ++evacuations_;
+      drained = true;
+    }
+  }
+  if (drained) {
+    core::Distribution candidate = partition_active();
+    std::int64_t moved = 0;
+    for (std::size_t i = 0; i < candidate.counts.size(); ++i)
+      moved += std::abs(candidate.counts[i] - dist_.counts[i]);
+    moved /= 2;
+    last_migration_s_ =
+        static_cast<double>(moved) * opts_.migration_cost_per_element_s;
+    dist_ = std::move(candidate);
+    ++repartitions_;
+    last_repartition_iteration_ = iterations_seen_;
+    return true;
+  }
 
   if (iterations_seen_ <= opts_.warmup_iterations) return false;
   if (iterations_seen_ - last_repartition_iteration_ <=
       opts_.cooldown_iterations)
     return false;
   if (last_imbalance_ <= opts_.imbalance_threshold) return false;
-  for (const OnlineModel& m : models_)
-    if (!m.ready()) return false;  // someone has no data yet (empty share)
+  for (std::size_t i = 0; i < models_.size(); ++i)
+    if (active_[i] && !models_[i].ready())
+      return false;  // someone has no data yet (empty share)
 
-  // Candidate repartition from the learned curves.
+  // Candidate repartition from the learned curves of the active
+  // processors. Accept only if the *predicted* makespan (both sides
+  // evaluated on the learned curves, cancelling measurement noise)
+  // improves by the margin plus the one-off migration cost amortized over
+  // a single iteration.
+  core::Distribution candidate = partition_active();
   std::vector<core::PiecewiseLinearSpeed> curves;
-  curves.reserve(models_.size());
-  for (const OnlineModel& m : models_) curves.push_back(m.curve());
   core::SpeedList speeds;
+  core::Distribution sub_candidate, sub_current;
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    if (!active_[i]) continue;
+    curves.push_back(models_[i].curve());
+    sub_candidate.counts.push_back(candidate.counts[i]);
+    sub_current.counts.push_back(dist_.counts[i]);
+  }
+  speeds.reserve(curves.size());
   for (const auto& c : curves) speeds.push_back(&c);
-  core::Distribution candidate =
-      core::partition_combined(speeds, n_).distribution;
-
-  // Accept only if the *predicted* makespan (both sides evaluated on the
-  // learned curves, cancelling measurement noise) improves by the margin
-  // plus the one-off migration cost amortized over a single iteration.
-  const double predicted_new = core::makespan(speeds, candidate);
-  const double predicted_current = core::makespan(speeds, dist_);
+  const double predicted_new = core::makespan(speeds, sub_candidate);
+  const double predicted_current = core::makespan(speeds, sub_current);
   std::int64_t moved = 0;
   for (std::size_t i = 0; i < candidate.counts.size(); ++i)
     moved += std::abs(candidate.counts[i] - dist_.counts[i]);

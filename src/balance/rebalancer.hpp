@@ -37,6 +37,19 @@ struct RebalancerOptions {
   /// on the learned curves, so measurement noise cancels) before a
   /// repartition is accepted.
   double gain_margin = 0.05;
+  /// Evacuation threshold: a processor whose observed speed stays below
+  /// this fraction of its own model's estimate for `collapse_strikes`
+  /// consecutive iterations is declared collapsed and drained — its share
+  /// is redistributed over the healthy processors immediately, bypassing
+  /// cooldown and gain margin (an emergency, not an optimization). 0
+  /// disables speed-based collapse detection.
+  double evacuation_speed_fraction = 0.0;
+  /// Consecutive below-threshold iterations before draining.
+  int collapse_strikes = 2;
+  /// A processor that holds a non-empty share yet delivers no valid
+  /// iteration time (<= 0 or NaN) for this many consecutive iterations is
+  /// likewise drained. 0 disables missing-measurement collapse detection.
+  int max_missing_measurements = 0;
 };
 
 class Rebalancer {
@@ -68,12 +81,24 @@ class Rebalancer {
   double last_migration_seconds() const noexcept { return last_migration_s_; }
   /// Read access to a processor's learned model.
   const OnlineModel& model(std::size_t i) const { return models_.at(i); }
+  /// False once processor i has been declared collapsed and drained.
+  bool active(std::size_t i) const { return active_.at(i) != 0; }
+  /// Number of processors drained so far.
+  int evacuations() const noexcept { return evacuations_; }
 
  private:
+  /// Repartitions n_ over the active processors (zero share elsewhere)
+  /// using their learned curves, or evenly when a curve is not ready yet.
+  core::Distribution partition_active() const;
+
   core::Distribution dist_;
   std::int64_t n_;
   std::vector<OnlineModel> models_;
   RebalancerOptions opts_;
+  std::vector<char> active_;
+  std::vector<int> slow_streak_;
+  std::vector<int> missing_streak_;
+  int evacuations_ = 0;
   int iterations_seen_ = 0;
   int last_repartition_iteration_ = std::numeric_limits<int>::min() / 2;
   int repartitions_ = 0;

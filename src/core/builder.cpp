@@ -5,6 +5,7 @@
 #include <cmath>
 #include <map>
 #include <stdexcept>
+#include <string>
 
 namespace fpm::core {
 namespace {
@@ -171,6 +172,62 @@ class Trisector {
 };
 
 }  // namespace
+
+RetryingMeasurementSource::RetryingMeasurementSource(MeasurementSource& inner,
+                                                     const RetryOptions& opts)
+    : inner_(inner), opts_(opts) {
+  if (opts_.max_retries < 0)
+    throw std::invalid_argument("RetryingMeasurementSource: max_retries < 0");
+  if (!(opts_.outlier_factor > 1.0))
+    throw std::invalid_argument(
+        "RetryingMeasurementSource: outlier_factor must be > 1");
+  if (!(opts_.reference_window >= 1.0))
+    throw std::invalid_argument(
+        "RetryingMeasurementSource: reference_window must be >= 1");
+  if (!(opts_.backoff >= 1.0))
+    throw std::invalid_argument(
+        "RetryingMeasurementSource: backoff must be >= 1");
+}
+
+double RetryingMeasurementSource::reference_speed(double size) const {
+  double best_speed = 0.0;
+  double best_distance = std::log(opts_.reference_window);
+  for (const SpeedPoint& p : accepted_) {
+    const double distance = std::abs(std::log(p.size / size));
+    if (distance <= best_distance) {
+      best_distance = distance;
+      best_speed = p.speed;
+    }
+  }
+  return best_speed;
+}
+
+double RetryingMeasurementSource::measure(double size) {
+  double tolerance = opts_.outlier_factor;
+  for (int attempt = 0;; ++attempt) {
+    const double s = inner_.measure(size);
+    if (attempt > 0) ++retries_;
+    bool valid = std::isfinite(s) && s > 0.0;
+    if (valid) {
+      const double reference = reference_speed(size);
+      if (reference > 0.0 &&
+          (s > reference * tolerance || s < reference / tolerance))
+        valid = false;
+    }
+    if (valid) {
+      accepted_.push_back({size, s});
+      return s;
+    }
+    ++rejected_;
+    if (attempt >= opts_.max_retries) break;
+    tolerance *= opts_.backoff;  // widen: persistent change wins eventually
+  }
+  const double fallback = reference_speed(size);
+  if (fallback > 0.0) return fallback;
+  throw std::runtime_error(
+      "RetryingMeasurementSource: no valid measurement obtainable at size " +
+      std::to_string(size));
+}
 
 BuiltModel build_speed_band(MeasurementSource& source,
                             const BuilderOptions& opts) {

@@ -32,6 +32,52 @@ class MeasurementSource {
   virtual double measure(double size) = 0;
 };
 
+/// Retry policy for RetryingMeasurementSource.
+struct RetryOptions {
+  /// Re-measurements allowed per probe after the first attempt.
+  int max_retries = 4;
+  /// A reading farther than this factor (in either direction) from the
+  /// nearest previously accepted reading at a similar size is an outlier.
+  double outlier_factor = 4.0;
+  /// Sizes within this factor of each other count as similar for the
+  /// outlier reference.
+  double reference_window = 2.0;
+  /// Each retry widens the outlier factor by this multiplier, so a
+  /// *persistent* change of speed (a genuinely degraded machine, not a
+  /// glitch) is eventually accepted as the new truth.
+  double backoff = 2.0;
+};
+
+/// Decorator giving any MeasurementSource retry-with-backoff on invalid
+/// readings: NaN/inf/<= 0 results and outliers (relative to the nearest
+/// accepted reading at a similar size) are re-measured up to
+/// `max_retries` times with a geometrically widening acceptance band,
+/// instead of flowing into the curve. When every retry fails, the nearest
+/// previously accepted reading is substituted; with no history at all the
+/// source throws std::runtime_error (the machine is unusable).
+class RetryingMeasurementSource final : public MeasurementSource {
+ public:
+  explicit RetryingMeasurementSource(MeasurementSource& inner,
+                                     const RetryOptions& opts = {});
+  double measure(double size) override;
+
+  /// Total re-measurements performed.
+  int retries() const noexcept { return retries_; }
+  /// Total readings discarded as invalid or outlying.
+  int rejected() const noexcept { return rejected_; }
+
+ private:
+  /// Speed of the accepted reading nearest to `size` in log-size distance
+  /// within the reference window; 0 when none qualifies.
+  double reference_speed(double size) const;
+
+  MeasurementSource& inner_;
+  RetryOptions opts_;
+  std::vector<SpeedPoint> accepted_;
+  int retries_ = 0;
+  int rejected_ = 0;
+};
+
 struct BuilderOptions {
   /// Band half-width as a fraction of the measured speed: the paper's
   /// acceptable deviation (±5%).

@@ -1,5 +1,6 @@
 #include "core/model_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -86,15 +87,22 @@ std::vector<NamedModel> load_models(std::istream& is) {
       in_model = true;
     } else if (keyword == "band") {
       if (!in_model) parse_error(line_no, "'band' outside a model");
-      if (!(ss >> current.epsilon) || current.epsilon < 0.0)
-        parse_error(line_no, "bad band epsilon");
+      // NaN compares false against everything, so reject non-finite values
+      // explicitly — they would silently pass the range checks below and
+      // flow straight into the partitioners.
+      if (!(ss >> current.epsilon) || !std::isfinite(current.epsilon) ||
+          current.epsilon < 0.0)
+        parse_error(line_no, "band epsilon must be finite and >= 0");
     } else if (keyword == "point") {
       if (!in_model) parse_error(line_no, "'point' outside a model");
       double size = 0.0, lo = 0.0, hi = 0.0;
       if (!(ss >> size >> lo >> hi)) parse_error(line_no, "bad point");
+      if (!std::isfinite(size) || !std::isfinite(lo) || !std::isfinite(hi))
+        parse_error(line_no, "point values must be finite (no NaN/inf)");
       if (size <= 0.0) parse_error(line_no, "point size must be > 0");
       if (lo < 0.0 || hi < lo)
-        parse_error(line_no, "need 0 <= lower <= upper");
+        parse_error(line_no, "need 0 <= lower <= upper (negative or "
+                             "inverted speeds rejected)");
       if (!current.lower.empty() && size <= current.lower.back().size)
         parse_error(line_no, "sizes must be strictly increasing");
       current.lower.push_back({size, lo});

@@ -1,0 +1,48 @@
+#include "mpp/fault.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace fpm::mpp {
+
+FaultPlan& FaultPlan::crash(int rank, int step) {
+  if (rank < 0) throw std::invalid_argument("FaultPlan::crash: rank < 0");
+  if (step < 0) throw std::invalid_argument("FaultPlan::crash: step < 0");
+  actions_[{rank, step}] = Action{Kind::kCrash, 0.0};
+  return *this;
+}
+
+FaultPlan& FaultPlan::stall(int rank, int step, double seconds) {
+  if (rank < 0) throw std::invalid_argument("FaultPlan::stall: rank < 0");
+  if (step < 0) throw std::invalid_argument("FaultPlan::stall: step < 0");
+  if (!(seconds >= 0.0))
+    throw std::invalid_argument("FaultPlan::stall: seconds must be >= 0");
+  actions_[{rank, step}] = Action{Kind::kStall, seconds};
+  return *this;
+}
+
+FaultPlan FaultPlan::random(util::Rng& rng, int ranks, int steps,
+                            double crash_probability) {
+  if (ranks < 1) throw std::invalid_argument("FaultPlan::random: ranks < 1");
+  if (steps < 1) throw std::invalid_argument("FaultPlan::random: steps < 1");
+  FaultPlan plan;
+  for (int r = 1; r < ranks; ++r) {
+    const bool dies = rng.uniform() < crash_probability;
+    const int step = static_cast<int>(rng.uniform() * steps);
+    if (dies) plan.crash(r, std::min(step, steps - 1));
+  }
+  return plan;
+}
+
+void FaultPlan::fire(int rank, int step) const {
+  const auto it = actions_.find({rank, step});
+  if (it == actions_.end()) return;
+  const Action& action = it->second;
+  if (action.kind == Kind::kCrash) throw InjectedFault(rank, step);
+  std::this_thread::sleep_for(std::chrono::duration<double>(action.seconds));
+}
+
+}  // namespace fpm::mpp

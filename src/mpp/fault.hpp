@@ -1,0 +1,78 @@
+// Seeded, scripted fault injection for the mpp runtime. A FaultPlan is an
+// immutable schedule of (rank, step) -> fault actions that iterative
+// kernels consult via Communicator::at_step. Plans can be built
+// explicitly (crash rank 2 at step 5, stall rank 1 for 50 ms at step 3)
+// or drawn reproducibly from a util::Rng child stream, so every
+// fault-injection run is replayable from its seed.
+//
+// A *crash* fires by throwing InjectedFault out of the victim's step
+// function; in a fault-tolerant run the runtime marks the rank failed and
+// its peers observe RankFailedError. A *stall* fires by blocking the
+// victim's thread for the window, which a timeout-armed run converts into
+// a detected failure once the deadline expires.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace fpm::util {
+class Rng;
+}  // namespace fpm::util
+
+namespace fpm::mpp {
+
+/// Thrown out of Communicator::at_step when a scheduled crash fires.
+class InjectedFault : public std::runtime_error {
+ public:
+  InjectedFault(int rank, int step)
+      : std::runtime_error("mpp: injected crash of rank " +
+                           std::to_string(rank) + " at step " +
+                           std::to_string(step)),
+        rank_(rank),
+        step_(step) {}
+  int rank() const noexcept { return rank_; }
+  int step() const noexcept { return step_; }
+
+ private:
+  int rank_;
+  int step_;
+};
+
+/// An immutable fault schedule. Build it before the run; fire() is const
+/// and safe to call concurrently from every rank.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Rank `rank` throws InjectedFault when it reaches `step`.
+  FaultPlan& crash(int rank, int step);
+
+  /// Rank `rank` blocks for `seconds` of wall time when it reaches `step`.
+  FaultPlan& stall(int rank, int step, double seconds);
+
+  /// Draws a reproducible random plan: each of `ranks` ranks independently
+  /// crashes with probability `crash_probability` at a uniform step in
+  /// [0, steps). Rank 0 is never crashed (something must survive to report
+  /// results). Identical rng state yields an identical plan.
+  static FaultPlan random(util::Rng& rng, int ranks, int steps,
+                          double crash_probability);
+
+  /// Executes whatever is scheduled for (rank, step): throws InjectedFault
+  /// for a crash, sleeps for a stall, otherwise returns immediately.
+  void fire(int rank, int step) const;
+
+  bool empty() const noexcept { return actions_.empty(); }
+
+ private:
+  enum class Kind { kCrash, kStall };
+  struct Action {
+    Kind kind = Kind::kCrash;
+    double seconds = 0.0;  ///< stall window; unused for crashes
+  };
+  std::map<std::pair<int, int>, Action> actions_;  ///< keyed by (rank, step)
+};
+
+}  // namespace fpm::mpp

@@ -1,0 +1,127 @@
+// Checkpoint/restart recovery for the distributed kernels, built on the
+// fault-tolerant mpp runtime: survivors of a rank failure re-run the FPM
+// partitioner over the remaining processors' speed curves, reload the last
+// complete checkpoint, and resume — producing results bit-identical to the
+// fault-free serial reference.
+//
+// Recovery protocol (all survivors, on catching RankFailedError):
+//   1. barrier #1 — every survivor has observed the failure and stopped
+//      sending (the runtime's failure epoch guarantees each survivor gets
+//      exactly one RankFailedError per failure, even mid-recv);
+//   2. the lowest alive rank discards checkpoint versions newer than the
+//      last *complete* one (ranks that ran ahead may have saved partial
+//      state) — then every survivor discards its undelivered messages;
+//   3. barrier #2 — no stale message or stale checkpoint survives;
+//   4. re-partition over the survivors' speed curves, reload the rollback
+//      checkpoint, resume. A failure during recovery simply restarts the
+//      protocol (the alive set is monotone).
+//
+// Determinism: the kernels re-execute the same arithmetic in the same
+// per-element order regardless of which rank owns which piece, so a
+// recovered run is bit-identical to a fault-free one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/speed_function.hpp"
+#include "mpp/runtime.hpp"
+#include "util/matrix.hpp"
+
+namespace fpm::mpp {
+
+/// Thread-safe in-memory stand-in for stable checkpoint storage. A
+/// checkpoint *version* is a set of item -> payload blobs; it is usable
+/// for rollback only once every item of the problem is present
+/// (latest_complete), so partially written checkpoints from ranks that
+/// died or ran ahead are never restored.
+class CheckpointStore {
+ public:
+  /// `items` is the number of blobs a complete version must hold
+  /// (items are indexed 0..items-1).
+  explicit CheckpointStore(std::int64_t items);
+
+  /// Stores (overwrites) one item's payload under `version`.
+  void save(int version, std::int64_t item, std::vector<double> data);
+
+  /// Largest version holding every item; -1 when no version is complete.
+  int latest_complete() const;
+
+  /// Discards every version newer than `version` (pass latest_complete()
+  /// to drop partial run-ahead state during recovery).
+  void purge_after(int version);
+
+  /// Returns a copy of one item's payload; throws std::out_of_range when
+  /// the (version, item) blob is absent.
+  std::vector<double> load(int version, std::int64_t item) const;
+
+  std::int64_t items() const noexcept { return items_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::int64_t items_;
+  std::map<int, std::map<std::int64_t, std::vector<double>>> versions_;
+};
+
+/// Policy knobs shared by the fault-tolerant kernels.
+struct FaultToleranceOptions {
+  /// Failure-detection deadline handed to the runtime (0 = wait forever;
+  /// required to detect stalls, see RunOptions::timeout_seconds).
+  double timeout_seconds = 0.0;
+  /// Injected faults, fired via Communicator::at_step.
+  const FaultPlan* faults = nullptr;
+  /// Iterations (Jacobi) / panel steps (LU) between checkpoints; >= 1.
+  int checkpoint_interval = 1;
+  /// Per-rank speed curves driving the FPM re-partition over survivors;
+  /// empty (or wrong-sized) falls back to an even split.
+  core::SpeedList speeds;
+};
+
+struct FtJacobiResult {
+  util::MatrixD grid;                    ///< final grid, fully assembled
+  std::vector<int> failed_ranks;         ///< ranks lost during the run
+  std::vector<std::int64_t> final_rows;  ///< per-rank band after recovery
+  int recoveries = 0;                    ///< completed recovery rounds
+};
+
+/// `iterations` Jacobi sweeps over `grid` on `ranks` threads with
+/// checkpoint/rollback recovery. The initial distribution comes from the
+/// same partitioner as the recovery path (options.speeds over all ranks).
+FtJacobiResult fault_tolerant_jacobi(const util::MatrixD& grid, int ranks,
+                                     int iterations,
+                                     const FaultToleranceOptions& options);
+
+struct FtLuResult {
+  util::MatrixD lu;                     ///< packed L\U factors
+  std::vector<std::size_t> pivots;      ///< as linalg::lu_factor
+  bool nonsingular = true;
+  std::vector<int> failed_ranks;
+  std::vector<int> final_block_owner;   ///< ownership after recovery
+  int recoveries = 0;
+};
+
+/// Fault-tolerant right-looking block LU (same numerics as
+/// distributed_lu). On failure the dead rank's column blocks are dealt
+/// out to survivors in proportion to their speed curves.
+FtLuResult fault_tolerant_lu(const util::MatrixD& a, std::size_t block,
+                             std::span<const int> block_owner, int ranks,
+                             const FaultToleranceOptions& options);
+
+struct FtMmResult {
+  util::MatrixD c;
+  std::vector<int> failed_ranks;
+  std::vector<std::int64_t> final_rows;
+  int recoveries = 0;
+};
+
+/// Fault-tolerant ring C = A·Bᵀ. The ring holds no reusable intermediate
+/// state, so recovery restarts the multiplication from the inputs over
+/// the survivors (checkpoint version 0) rather than rolling back.
+FtMmResult fault_tolerant_mm_abt(const util::MatrixD& a,
+                                 const util::MatrixD& b, int ranks,
+                                 const FaultToleranceOptions& options);
+
+}  // namespace fpm::mpp

@@ -1,22 +1,35 @@
 #include "mpp/runtime.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <thread>
 #include <tuple>
 
+#include "mpp/fault.hpp"
+
 namespace fpm::mpp {
 namespace detail {
 
-/// Shared state of one run: mailboxes, the barrier, and the abort flag.
-/// One mutex guards everything — message rates in this runtime are far too
-/// low for lock contention to matter, and a single lock keeps the
-/// semantics easy to reason about.
+/// Shared state of one run: mailboxes, the barrier, the abort flag, and —
+/// in fault-tolerant mode — the per-rank failure ledger. One mutex guards
+/// everything: message rates in this runtime are far too low for lock
+/// contention to matter, and a single lock keeps the semantics easy to
+/// reason about.
 struct World {
-  explicit World(int ranks) : size(ranks) {}
+  World(int ranks, const RunOptions& options)
+      : size(ranks),
+        opts(options),
+        alive(ranks),
+        failed(static_cast<std::size_t>(ranks), 0),
+        in_wait(static_cast<std::size_t>(ranks), 0),
+        barrier_arrived(static_cast<std::size_t>(ranks), 0),
+        epoch_seen(static_cast<std::size_t>(ranks), 0) {}
 
   const int size;
+  const RunOptions opts;
   std::mutex mutex;
   std::condition_variable cv;
 
@@ -29,6 +42,15 @@ struct World {
 
   bool aborted = false;
 
+  // --- Fault-tolerant mode only. ---
+  int alive;                            ///< ranks not marked failed
+  std::vector<char> failed;             ///< per-rank failure flag
+  std::vector<char> in_wait;            ///< rank is blocked in recv/barrier
+  std::vector<char> barrier_arrived;    ///< per-rank, current generation
+  std::vector<std::uint64_t> epoch_seen;  ///< last failure_epoch each rank saw
+  std::uint64_t failure_epoch = 0;      ///< bumped on every new failure
+  int last_failed = -1;                 ///< rank of the most recent failure
+
   void abort_locked() {
     aborted = true;
     cv.notify_all();
@@ -36,9 +58,73 @@ struct World {
   void check_aborted_locked() const {
     if (aborted) throw AbortedError();
   }
+
+  /// Records a failure: shrinks the alive count, bumps the epoch (so every
+  /// peer's next blocking call throws RankFailedError exactly once), and
+  /// removes the rank from a barrier it may be counted in.
+  void mark_failed_locked(int r) {
+    const auto i = static_cast<std::size_t>(r);
+    if (failed[i]) return;
+    failed[i] = 1;
+    --alive;
+    ++failure_epoch;
+    last_failed = r;
+    if (barrier_arrived[i]) {
+      barrier_arrived[i] = 0;
+      --barrier_waiting;
+    }
+    cv.notify_all();
+  }
+
+  /// Throws if this rank was fenced off, or if failures happened that it
+  /// has not yet observed (each failure is reported to each peer once).
+  void check_failures_locked(int me) {
+    const auto i = static_cast<std::size_t>(me);
+    if (failed[i]) throw RankFailedError(me);
+    if (epoch_seen[i] != failure_epoch) {
+      epoch_seen[i] = failure_epoch;
+      throw RankFailedError(last_failed);
+    }
+  }
+
+  /// Releases the barrier generation once every alive rank has arrived
+  /// *and* is current on failures — a stale waiter must wake and throw
+  /// RankFailedError rather than silently pass the barrier.
+  bool try_release_barrier_locked() {
+    if (alive <= 0 || barrier_waiting < alive) return false;
+    for (int r = 0; r < size; ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      if (barrier_arrived[i] && epoch_seen[i] != failure_epoch) return false;
+    }
+    barrier_waiting = 0;
+    std::fill(barrier_arrived.begin(), barrier_arrived.end(), 0);
+    ++barrier_generation;
+    cv.notify_all();
+    return true;
+  }
+
+  /// Withdraws a waiter from an unreleased barrier generation.
+  void leave_barrier_locked(int r, std::uint64_t my_generation) {
+    const auto i = static_cast<std::size_t>(r);
+    if (barrier_generation == my_generation && barrier_arrived[i]) {
+      barrier_arrived[i] = 0;
+      --barrier_waiting;
+    }
+  }
 };
 
 }  // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point deadline_for(double timeout_seconds) {
+  return Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(timeout_seconds));
+}
+
+}  // namespace
 
 int Communicator::size() const noexcept { return world_->size; }
 
@@ -46,42 +132,165 @@ void Communicator::send(int dest, int tag, std::span<const double> data) {
   if (dest < 0 || dest >= world_->size)
     throw std::invalid_argument("mpp::send: destination out of range");
   std::unique_lock lock(world_->mutex);
-  world_->check_aborted_locked();
-  world_->mail[{rank_, dest, tag}].emplace_back(data.begin(), data.end());
-  world_->cv.notify_all();
+  detail::World& w = *world_;
+  w.check_aborted_locked();
+  if (w.opts.fault_tolerant) {
+    w.check_failures_locked(rank_);
+    if (w.failed[static_cast<std::size_t>(dest)]) throw RankFailedError(dest);
+  }
+  w.mail[{rank_, dest, tag}].emplace_back(data.begin(), data.end());
+  w.cv.notify_all();
 }
 
 std::vector<double> Communicator::recv(int source, int tag) {
   if (source < 0 || source >= world_->size)
     throw std::invalid_argument("mpp::recv: source out of range");
   std::unique_lock lock(world_->mutex);
+  detail::World& w = *world_;
   const auto key = std::tuple{source, rank_, tag};
-  world_->cv.wait(lock, [&] {
-    if (world_->aborted) return true;
-    const auto it = world_->mail.find(key);
-    return it != world_->mail.end() && !it->second.empty();
-  });
-  world_->check_aborted_locked();
-  auto& queue = world_->mail[key];
-  std::vector<double> payload = std::move(queue.front());
-  queue.pop_front();
-  return payload;
+  if (source == rank_) {
+    // Only this thread could ever satisfy it, and it is here, receiving.
+    const auto it = w.mail.find(key);
+    if (it == w.mail.end() || it->second.empty())
+      throw std::invalid_argument(
+          "mpp::recv: self-recv with no queued message can never be "
+          "satisfied");
+  }
+  const auto pop = [&] {
+    auto& queue = w.mail[key];
+    std::vector<double> payload = std::move(queue.front());
+    queue.pop_front();
+    return payload;
+  };
+  const auto available = [&] {
+    const auto it = w.mail.find(key);
+    return it != w.mail.end() && !it->second.empty();
+  };
+
+  if (!w.opts.fault_tolerant) {
+    w.cv.wait(lock, [&] { return w.aborted || available(); });
+    w.check_aborted_locked();
+    return pop();
+  }
+
+  w.check_aborted_locked();
+  w.check_failures_locked(rank_);
+  const bool with_deadline = w.opts.timeout_seconds > 0.0;
+  auto deadline =
+      with_deadline ? deadline_for(w.opts.timeout_seconds) : Clock::time_point{};
+  const auto me = static_cast<std::size_t>(rank_);
+  const auto src = static_cast<std::size_t>(source);
+  for (;;) {
+    const auto woken = [&] {
+      return w.aborted || w.failed[me] || w.epoch_seen[me] != w.failure_epoch ||
+             w.failed[src] || available();
+    };
+    bool in_time = true;
+    w.in_wait[me] = 1;
+    if (with_deadline)
+      in_time = w.cv.wait_until(lock, deadline, woken);
+    else
+      w.cv.wait(lock, woken);
+    w.in_wait[me] = 0;
+    if (!in_time) {
+      // A peer blocked inside recv/barrier itself is *responsive* — it may
+      // merely be transitively blocked on the true culprit, whose own
+      // deadline
+      // (held by whoever is waiting on it) will fire. Only a rank outside
+      // the communication layer (computing, or genuinely stalled) can be
+      // indicted here. A cycle of application-level recvs with no culprit
+      // would extend forever; bulk-synchronous kernels cannot form one.
+      if (w.in_wait[src]) {
+        deadline = deadline_for(w.opts.timeout_seconds);
+        continue;
+      }
+      // Deadline expired with nothing delivered: the peer is hung.
+      w.mark_failed_locked(source);
+      w.epoch_seen[me] = w.failure_epoch;
+      throw RankFailedError(source);
+    }
+    w.check_aborted_locked();
+    w.check_failures_locked(rank_);
+    if (available()) return pop();
+    if (w.failed[src]) throw RankFailedError(source);
+  }
 }
 
 void Communicator::barrier() {
   std::unique_lock lock(world_->mutex);
-  world_->check_aborted_locked();
-  const std::uint64_t my_generation = world_->barrier_generation;
-  if (++world_->barrier_waiting == world_->size) {
-    world_->barrier_waiting = 0;
-    ++world_->barrier_generation;
-    world_->cv.notify_all();
+  detail::World& w = *world_;
+  w.check_aborted_locked();
+
+  if (!w.opts.fault_tolerant) {
+    const std::uint64_t my_generation = w.barrier_generation;
+    if (++w.barrier_waiting == w.size) {
+      w.barrier_waiting = 0;
+      ++w.barrier_generation;
+      w.cv.notify_all();
+      return;
+    }
+    w.cv.wait(lock, [&] {
+      return w.aborted || w.barrier_generation != my_generation;
+    });
+    w.check_aborted_locked();
     return;
   }
-  world_->cv.wait(lock, [&] {
-    return world_->aborted || world_->barrier_generation != my_generation;
-  });
-  world_->check_aborted_locked();
+
+  w.check_failures_locked(rank_);
+  const auto me = static_cast<std::size_t>(rank_);
+  const std::uint64_t my_generation = w.barrier_generation;
+  w.barrier_arrived[me] = 1;
+  ++w.barrier_waiting;
+  if (w.try_release_barrier_locked()) return;
+
+  const bool with_deadline = w.opts.timeout_seconds > 0.0;
+  auto deadline =
+      with_deadline ? deadline_for(w.opts.timeout_seconds) : Clock::time_point{};
+  for (;;) {
+    const auto woken = [&] {
+      return w.aborted || w.failed[me] ||
+             w.barrier_generation != my_generation ||
+             w.epoch_seen[me] != w.failure_epoch;
+    };
+    bool in_time = true;
+    w.in_wait[me] = 1;
+    if (with_deadline)
+      in_time = w.cv.wait_until(lock, deadline, woken);
+    else
+      w.cv.wait(lock, woken);
+    w.in_wait[me] = 0;
+    if (!in_time) {
+      // Deadline expired: every alive rank that never arrived *and* is not
+      // blocked inside recv/barrier is hung. A missing rank sitting in a
+      // recv is responsive — its own recv deadline fires on the true
+      // culprit; indicting it here would spread one stall into spurious
+      // extra failures (seen as a race under sanitizer-grade slowdowns).
+      bool marked = false;
+      for (int r = 0; r < w.size; ++r) {
+        const auto i = static_cast<std::size_t>(r);
+        if (!w.failed[i] && !w.barrier_arrived[i] && !w.in_wait[i]) {
+          w.mark_failed_locked(r);
+          marked = true;
+        }
+      }
+      if (!woken()) {
+        // Nobody indictable yet; give the responsive ranks a fresh window.
+        if (!marked) deadline = deadline_for(w.opts.timeout_seconds);
+        continue;
+      }
+    }
+    w.check_aborted_locked();
+    if (w.failed[me]) {
+      w.leave_barrier_locked(rank_, my_generation);
+      throw RankFailedError(rank_);
+    }
+    if (w.epoch_seen[me] != w.failure_epoch) {
+      w.epoch_seen[me] = w.failure_epoch;
+      w.leave_barrier_locked(rank_, my_generation);
+      throw RankFailedError(w.last_failed);
+    }
+    if (w.barrier_generation != my_generation) return;
+  }
 }
 
 std::vector<double> Communicator::broadcast(int root,
@@ -90,8 +299,12 @@ std::vector<double> Communicator::broadcast(int root,
     throw std::invalid_argument("mpp::broadcast: root out of range");
   constexpr int kBcastTag = -101;
   if (rank_ == root) {
+    // In fault-tolerant mode skip ranks already known dead: they are
+    // fenced and will never receive (a rank failing mid-loop still makes
+    // the send throw, which recovery handles).
+    const bool ft = world_->opts.fault_tolerant;
     for (int r = 0; r < world_->size; ++r)
-      if (r != root) send(r, kBcastTag, data);
+      if (r != root && (!ft || is_alive(r))) send(r, kBcastTag, data);
     return {data.begin(), data.end()};
   }
   return recv(root, kBcastTag);
@@ -113,9 +326,42 @@ std::vector<std::vector<double>> Communicator::gather(
   return all;
 }
 
+void Communicator::at_step(int step) {
+  if (world_->opts.faults != nullptr) world_->opts.faults->fire(rank_, step);
+}
+
+std::vector<int> Communicator::alive_ranks() const {
+  std::unique_lock lock(world_->mutex);
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(world_->alive));
+  for (int r = 0; r < world_->size; ++r)
+    if (!world_->failed[static_cast<std::size_t>(r)]) out.push_back(r);
+  return out;
+}
+
+bool Communicator::is_alive(int rank) const {
+  if (rank < 0 || rank >= world_->size)
+    throw std::invalid_argument("mpp::is_alive: rank out of range");
+  std::unique_lock lock(world_->mutex);
+  return !world_->failed[static_cast<std::size_t>(rank)];
+}
+
+void Communicator::purge_inbox() {
+  std::unique_lock lock(world_->mutex);
+  auto& mail = world_->mail;
+  for (auto it = mail.begin(); it != mail.end();)
+    it = std::get<1>(it->first) == rank_ ? mail.erase(it) : std::next(it);
+}
+
 void run_parallel(int ranks, const std::function<void(Communicator&)>& fn) {
-  if (ranks < 1) throw std::invalid_argument("run_parallel: ranks must be >= 1");
-  detail::World world(ranks);
+  run_parallel(ranks, fn, RunOptions{});
+}
+
+RunReport run_parallel(int ranks, const std::function<void(Communicator&)>& fn,
+                       const RunOptions& options) {
+  if (ranks < 1)
+    throw std::invalid_argument("run_parallel: ranks must be >= 1");
+  detail::World world(ranks, options);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(ranks));
   std::exception_ptr first_error;
@@ -132,15 +378,29 @@ void run_parallel(int ranks, const std::function<void(Communicator&)>& fn) {
           if (!first_error) first_error = std::current_exception();
         }
         std::scoped_lock lock(world.mutex);
-        world.abort_locked();
+        if (options.fault_tolerant)
+          world.mark_failed_locked(r);
+        else
+          world.abort_locked();
       }
     });
   }
   for (std::thread& t : threads) t.join();
-  // first_error always holds the *original* failure: the thrower records
-  // it before raising the abort flag, and ranks woken by the abort can
-  // only record afterwards (and find the slot taken).
-  if (first_error) std::rethrow_exception(first_error);
+
+  if (!options.fault_tolerant) {
+    // first_error always holds the *original* failure: the thrower records
+    // it before raising the abort flag, and ranks woken by the abort can
+    // only record afterwards (and find the slot taken).
+    if (first_error) std::rethrow_exception(first_error);
+    return {};
+  }
+  RunReport report;
+  for (int r = 0; r < ranks; ++r)
+    if (world.failed[static_cast<std::size_t>(r)])
+      report.failed_ranks.push_back(r);
+  if (static_cast<int>(report.failed_ranks.size()) == ranks && first_error)
+    std::rethrow_exception(first_error);
+  return report;
 }
 
 }  // namespace fpm::mpp

@@ -14,6 +14,21 @@
 //  * Any exception thrown by a rank aborts the run: run_parallel rethrows
 //    the first one after joining all threads (ranks blocked in recv or
 //    barrier are woken and receive an AbortedError).
+//
+// Fault-tolerant mode (run_parallel with RunOptions::fault_tolerant)
+//  * A rank's exception no longer tears the world down: the rank is marked
+//    *failed* and every peer learns about it at its next blocking call,
+//    which throws RankFailedError naming a failed rank. Survivors keep a
+//    fully functional world among themselves (alive_ranks()) and can run a
+//    recovery protocol (see mpp/recovery.hpp).
+//  * With RunOptions::timeout_seconds > 0, recv and barrier convert a hung
+//    peer into a failure: when the deadline expires the unresponsive rank
+//    is marked failed and RankFailedError is thrown, instead of blocking
+//    forever. A rank declared failed this way is fenced: all of its own
+//    subsequent communication attempts throw RankFailedError on itself.
+//  * run_parallel returns a RunReport listing the failed ranks instead of
+//    rethrowing, unless *every* rank failed (then the first error is
+//    rethrown as in strict mode).
 #pragma once
 
 #include <condition_variable>
@@ -23,14 +38,52 @@
 #include <mutex>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace fpm::mpp {
 
-/// Thrown inside surviving ranks when another rank aborted the run.
+class FaultPlan;
+
+/// Thrown inside surviving ranks when another rank aborted a strict run.
 class AbortedError : public std::runtime_error {
  public:
   AbortedError() : std::runtime_error("mpp: a peer rank aborted the run") {}
+};
+
+/// Thrown in fault-tolerant runs when a peer rank has failed (crashed, was
+/// detected hung past the deadline, or was fenced off). Unlike
+/// AbortedError it names *which* rank, so survivors can re-partition the
+/// work around it instead of being torn down.
+class RankFailedError : public std::runtime_error {
+ public:
+  explicit RankFailedError(int failed_rank)
+      : std::runtime_error("mpp: rank " + std::to_string(failed_rank) +
+                           " failed"),
+        rank_(failed_rank) {}
+  int failed_rank() const noexcept { return rank_; }
+
+ private:
+  int rank_;
+};
+
+/// Execution policy of one run_parallel invocation.
+struct RunOptions {
+  /// Peer exceptions mark that rank failed (surfacing as RankFailedError
+  /// in blocked peers) instead of aborting the whole run.
+  bool fault_tolerant = false;
+  /// Failure-detection deadline for recv/barrier in seconds; 0 waits
+  /// forever. Only honoured in fault-tolerant mode. The value must exceed
+  /// the longest legitimate compute phase between two communication calls,
+  /// or slow ranks will be declared dead spuriously.
+  double timeout_seconds = 0.0;
+  /// Optional injected-fault schedule consulted by Communicator::at_step.
+  const FaultPlan* faults = nullptr;
+};
+
+/// Outcome of a fault-tolerant run.
+struct RunReport {
+  std::vector<int> failed_ranks;  ///< sorted ascending; empty = clean run
 };
 
 namespace detail {
@@ -44,14 +97,17 @@ class Communicator {
   int rank() const noexcept { return rank_; }
   int size() const noexcept;
 
-  /// Buffered asynchronous send of `data` to `dest` under `tag`.
+  /// Buffered asynchronous send of `data` to `dest` under `tag`. In
+  /// fault-tolerant mode sending to a failed rank throws RankFailedError.
   void send(int dest, int tag, std::span<const double> data);
 
   /// Blocks until a message from `source` with `tag` arrives; returns its
-  /// payload. FIFO per (source, this rank, tag).
+  /// payload. FIFO per (source, this rank, tag). A self-recv with no
+  /// matching message already queued can never be satisfied (no other
+  /// thread may produce it) and throws std::invalid_argument immediately.
   std::vector<double> recv(int source, int tag);
 
-  /// Synchronizes all ranks.
+  /// Synchronizes all ranks (all *alive* ranks in fault-tolerant mode).
   void barrier();
 
   /// Root's `data` is distributed to every rank (root included).
@@ -62,11 +118,29 @@ class Communicator {
   std::vector<std::vector<double>> gather(int root,
                                           std::span<const double> mine);
 
+  /// Consults the run's FaultPlan at (this rank, step): injected crashes
+  /// throw InjectedFault, injected stalls block for their window. No-op
+  /// when the run has no plan. Iterative kernels call this once per step.
+  void at_step(int step);
+
+  /// Ranks not (yet) marked failed, ascending. In strict mode this is
+  /// always every rank.
+  std::vector<int> alive_ranks() const;
+
+  /// True while `rank` has not been marked failed.
+  bool is_alive(int rank) const;
+
+  /// Discards every undelivered message addressed to this rank. Recovery
+  /// protocols call this at a quiescent point to drop stale traffic from
+  /// before a failure.
+  void purge_inbox();
+
   Communicator(const Communicator&) = delete;
   Communicator& operator=(const Communicator&) = delete;
 
  private:
-  friend void run_parallel(int, const std::function<void(Communicator&)>&);
+  friend RunReport run_parallel(int, const std::function<void(Communicator&)>&,
+                                const RunOptions&);
   Communicator(detail::World& world, int rank) : world_(&world), rank_(rank) {}
 
   detail::World* world_;
@@ -77,5 +151,11 @@ class Communicator {
 /// joins. If any rank throws, every other rank is aborted and the first
 /// exception is rethrown to the caller. Requires ranks >= 1.
 void run_parallel(int ranks, const std::function<void(Communicator&)>& fn);
+
+/// As above but governed by `options`. In fault-tolerant mode rank
+/// exceptions are absorbed into the report; the first exception is only
+/// rethrown when no rank survived.
+RunReport run_parallel(int ranks, const std::function<void(Communicator&)>& fn,
+                       const RunOptions& options);
 
 }  // namespace fpm::mpp

@@ -1,5 +1,6 @@
 #include "simcluster/cluster.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 namespace fpm::sim {
@@ -56,7 +57,54 @@ void SimulatedCluster::set_load_shift(std::size_t i, double shift) {
 double SimulatedCluster::measure(std::size_t i, const std::string& app,
                                  double x) {
   const SimulatedMachine& m = machine(i);
+  if (faults_.crashed(i, tick_))
+    throw MachineFailedError(i, faults_.crash_tick(i));
+  if (faults_.stalled(i, tick_))
+    return std::numeric_limits<double>::quiet_NaN();
+  // A glitching machine's benchmark run fails outright. Randomness is only
+  // consumed when a glitch is scripted, so fault-free experiments replay
+  // the exact observation sequence of earlier seeds.
+  const double glitch = faults_.glitch_probability(i);
+  if (glitch > 0.0 && streams_[i].uniform() < glitch)
+    return std::numeric_limits<double>::quiet_NaN();
   return sample_speed(m.fluctuation, ground_truth(i, app), x, streams_[i]);
+}
+
+void SimulatedCluster::set_fault_script(FaultScript script) {
+  faults_ = std::move(script);
+  tick_ = 0;
+}
+
+void SimulatedCluster::advance_time(int ticks) {
+  if (ticks < 0)
+    throw std::invalid_argument("SimulatedCluster: ticks must be >= 0");
+  tick_ += ticks;
+}
+
+bool SimulatedCluster::machine_alive(std::size_t i) const {
+  if (i >= machines_.size())
+    throw std::out_of_range("SimulatedCluster: machine index");
+  return !faults_.crashed(i, tick_);
+}
+
+bool SimulatedCluster::machine_stalled(std::size_t i) const {
+  if (i >= machines_.size())
+    throw std::out_of_range("SimulatedCluster: machine index");
+  return faults_.stalled(i, tick_);
+}
+
+bool SimulatedCluster::message_dropped(std::size_t i) {
+  if (i >= machines_.size())
+    throw std::out_of_range("SimulatedCluster: machine index");
+  const double p = faults_.drop_probability(i);
+  if (p <= 0.0) return false;
+  return streams_[i].uniform() < p;
+}
+
+double SimulatedCluster::message_delay_factor(std::size_t i) const {
+  if (i >= machines_.size())
+    throw std::out_of_range("SimulatedCluster: machine index");
+  return faults_.delay_factor(i);
 }
 
 double SimulatedCluster::sampled_seconds(std::size_t i, const std::string& app,
@@ -109,7 +157,15 @@ ClusterModels build_cluster_models(SimulatedCluster& cluster,
     // Termination is governed by the relative refinement floor (see
     // BuilderOptions), which resolves the cache knee at small sizes and the
     // paging knee at large sizes with logarithmic depth.
-    MachineMeasurement source(cluster, i, app);
+    // Retry-with-backoff shields the trisection from failed benchmark
+    // runs (NaN/<= 0) and glitch outliers, which would otherwise be
+    // averaged straight into the curve. Outliers are judged only against
+    // readings at the *same* size (reference_window = 1): across sizes a
+    // genuine paging cliff can exceed any fixed factor.
+    MachineMeasurement raw(cluster, i, app);
+    core::RetryOptions retry;
+    retry.reference_window = 1.0;
+    core::RetryingMeasurementSource source(raw, retry);
     core::BuiltModel built = core::build_speed_band(source, opts);
     models.curves.push_back(built.band.center());
     models.probes.push_back(built.probes);

@@ -11,6 +11,7 @@
 
 #include "core/builder.hpp"
 #include "core/speed_function.hpp"
+#include "simcluster/faults.hpp"
 #include "simcluster/machine.hpp"
 #include "simcluster/workload.hpp"
 #include "util/rng.hpp"
@@ -70,9 +71,37 @@ class SimulatedCluster {
   double expected_seconds(std::size_t i, const std::string& app, double x,
                           double flops_per_element) const;
 
+  // --- Faults (see simcluster/faults.hpp). ---
+
+  /// Installs a fault schedule (replacing any previous one) and resets the
+  /// fault clock to tick 0. Crashed machines throw MachineFailedError from
+  /// measure()/sampled_seconds(); stalled and glitching machines return
+  /// NaN (the benchmark run never finished).
+  void set_fault_script(FaultScript script);
+  const FaultScript& fault_script() const noexcept { return faults_; }
+
+  /// Advances the fault clock — by convention one tick per application
+  /// iteration of the experiment being simulated.
+  void advance_time(int ticks = 1);
+  int tick() const noexcept { return tick_; }
+
+  /// True while machine i has not crashed (as of the current tick).
+  bool machine_alive(std::size_t i) const;
+  /// True while machine i is inside a scripted stall window.
+  bool machine_stalled(std::size_t i) const;
+
+  /// Seeded per-message Bernoulli draw from machine i's child stream:
+  /// true when the current message involving machine i is lost. Only
+  /// consumes randomness when a drop probability is scripted.
+  bool message_dropped(std::size_t i);
+  /// Multiplier (>= 1) on the transfer time of messages involving i.
+  double message_delay_factor(std::size_t i) const;
+
  private:
   std::vector<SimulatedMachine> machines_;
   std::vector<util::Rng> streams_;
+  FaultScript faults_;
+  int tick_ = 0;
 };
 
 /// Adapter exposing one (machine, application) pair as a

@@ -1,0 +1,110 @@
+#include "simcluster/faults.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace fpm::sim {
+
+FaultScript& FaultScript::crash(std::size_t machine, int tick) {
+  if (tick < 0) throw std::invalid_argument("FaultScript::crash: tick < 0");
+  faults_[machine].crash_tick = tick;
+  return *this;
+}
+
+FaultScript& FaultScript::stall(std::size_t machine, int from_tick,
+                                int until_tick) {
+  if (from_tick < 0 || until_tick < from_tick)
+    throw std::invalid_argument("FaultScript::stall: bad window");
+  faults_[machine].stall_from = from_tick;
+  faults_[machine].stall_until = until_tick;
+  return *this;
+}
+
+FaultScript& FaultScript::glitch(std::size_t machine, double probability) {
+  if (!(probability >= 0.0) || !(probability <= 1.0))
+    throw std::invalid_argument("FaultScript::glitch: probability");
+  faults_[machine].glitch_probability = probability;
+  return *this;
+}
+
+FaultScript& FaultScript::drop_messages(std::size_t machine,
+                                        double probability) {
+  if (!(probability >= 0.0) || !(probability <= 1.0))
+    throw std::invalid_argument("FaultScript::drop_messages: probability");
+  faults_[machine].drop_probability = probability;
+  return *this;
+}
+
+FaultScript& FaultScript::delay_messages(std::size_t machine, double factor) {
+  if (!(factor >= 1.0))
+    throw std::invalid_argument("FaultScript::delay_messages: factor < 1");
+  faults_[machine].delay_factor = factor;
+  return *this;
+}
+
+FaultScript FaultScript::random(util::Rng& rng, std::size_t machines,
+                                int ticks, double crash_probability,
+                                double stall_probability) {
+  if (machines == 0)
+    throw std::invalid_argument("FaultScript::random: no machines");
+  if (ticks < 1) throw std::invalid_argument("FaultScript::random: ticks < 1");
+  FaultScript script;
+  for (std::size_t m = 1; m < machines; ++m) {
+    // Draw every variate unconditionally so the stream consumption (and
+    // hence every other machine's schedule) is independent of the
+    // probabilities chosen.
+    const bool dies = rng.uniform() < crash_probability;
+    const int crash_at =
+        std::min(static_cast<int>(rng.uniform() * ticks), ticks - 1);
+    const bool stalls = rng.uniform() < stall_probability;
+    const int stall_at =
+        std::min(static_cast<int>(rng.uniform() * ticks), ticks - 1);
+    const int window =
+        1 + std::min(static_cast<int>(rng.uniform() * (ticks / 4 + 1)),
+                     ticks / 4);
+    if (dies) script.crash(m, crash_at);
+    if (stalls) script.stall(m, stall_at, stall_at + window);
+  }
+  return script;
+}
+
+const FaultScript::MachineFaults* FaultScript::find(
+    std::size_t machine) const {
+  const auto it = faults_.find(machine);
+  return it == faults_.end() ? nullptr : &it->second;
+}
+
+bool FaultScript::crashed(std::size_t machine, int tick) const {
+  const MachineFaults* f = find(machine);
+  return f != nullptr && f->crash_tick >= 0 && tick >= f->crash_tick;
+}
+
+int FaultScript::crash_tick(std::size_t machine) const {
+  const MachineFaults* f = find(machine);
+  return f == nullptr ? -1 : f->crash_tick;
+}
+
+bool FaultScript::stalled(std::size_t machine, int tick) const {
+  const MachineFaults* f = find(machine);
+  return f != nullptr && tick >= f->stall_from && tick < f->stall_until;
+}
+
+double FaultScript::glitch_probability(std::size_t machine) const {
+  const MachineFaults* f = find(machine);
+  return f == nullptr ? 0.0 : f->glitch_probability;
+}
+
+double FaultScript::drop_probability(std::size_t machine) const {
+  const MachineFaults* f = find(machine);
+  return f == nullptr ? 0.0 : f->drop_probability;
+}
+
+double FaultScript::delay_factor(std::size_t machine) const {
+  const MachineFaults* f = find(machine);
+  return f == nullptr ? 1.0 : f->delay_factor;
+}
+
+bool FaultScript::empty() const noexcept { return faults_.empty(); }
+
+}  // namespace fpm::sim

@@ -1,0 +1,100 @@
+// Scripted machine faults for the simulated cluster: crash a machine at a
+// given tick, stall it for a window of ticks, make its benchmark runs
+// glitch (return NaN), or degrade its messaging (drop / delay). Scripts
+// are immutable schedules; all randomness (random scripts, message-drop
+// draws) comes from util::Rng child streams, so every faulty experiment
+// replays exactly from its seed.
+//
+// Semantics at the cluster (see SimulatedCluster):
+//  * crashed machine      -> measure()/sampled_seconds() throw
+//                            MachineFailedError from the crash tick on;
+//  * stalled machine      -> measure()/sampled_seconds() return NaN for
+//                            the window (the benchmark never finishes);
+//  * glitching machine    -> measure() returns NaN with the configured
+//                            probability (a failed benchmark run);
+//  * message drop / delay -> queried per message by the communication
+//                            simulations via message_dropped() and
+//                            message_delay_factor().
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace fpm::util {
+class Rng;
+}  // namespace fpm::util
+
+namespace fpm::sim {
+
+/// Thrown when a crashed machine is asked to run anything.
+class MachineFailedError : public std::runtime_error {
+ public:
+  MachineFailedError(std::size_t machine, int tick)
+      : std::runtime_error("simcluster: machine " + std::to_string(machine) +
+                           " crashed at tick " + std::to_string(tick)),
+        machine_(machine),
+        tick_(tick) {}
+  std::size_t machine() const noexcept { return machine_; }
+  int tick() const noexcept { return tick_; }
+
+ private:
+  std::size_t machine_;
+  int tick_;
+};
+
+/// An immutable per-machine fault schedule over discrete ticks (a tick is
+/// whatever unit the experiment advances the cluster by — typically one
+/// application iteration).
+class FaultScript {
+ public:
+  FaultScript() = default;
+
+  /// Machine is dead from `tick` on (crashes are permanent).
+  FaultScript& crash(std::size_t machine, int tick);
+
+  /// Machine produces no measurements during [from_tick, until_tick).
+  FaultScript& stall(std::size_t machine, int from_tick, int until_tick);
+
+  /// Each of the machine's benchmark runs fails (NaN) with `probability`.
+  FaultScript& glitch(std::size_t machine, double probability);
+
+  /// Each message to/from the machine is dropped with `probability`.
+  FaultScript& drop_messages(std::size_t machine, double probability);
+
+  /// Messages to/from the machine take `factor` (>= 1) times longer.
+  FaultScript& delay_messages(std::size_t machine, double factor);
+
+  /// Reproducible random script: each of `machines` machines (except
+  /// machine 0, so something always survives) crashes with probability
+  /// `crash_probability` at a uniform tick in [0, ticks), and stalls with
+  /// `stall_probability` for a window of up to ticks/4 starting at a
+  /// uniform tick. Identical rng state yields an identical script.
+  static FaultScript random(util::Rng& rng, std::size_t machines, int ticks,
+                            double crash_probability,
+                            double stall_probability);
+
+  // --- Queries (const, thread-safe once built). ---
+  bool crashed(std::size_t machine, int tick) const;
+  int crash_tick(std::size_t machine) const;  ///< -1 when never crashed
+  bool stalled(std::size_t machine, int tick) const;
+  double glitch_probability(std::size_t machine) const;
+  double drop_probability(std::size_t machine) const;
+  double delay_factor(std::size_t machine) const;  ///< 1.0 when undelayed
+  bool empty() const noexcept;
+
+ private:
+  struct MachineFaults {
+    int crash_tick = -1;
+    int stall_from = 0;
+    int stall_until = 0;  ///< empty window when until <= from
+    double glitch_probability = 0.0;
+    double drop_probability = 0.0;
+    double delay_factor = 1.0;
+  };
+  const MachineFaults* find(std::size_t machine) const;
+  std::map<std::size_t, MachineFaults> faults_;
+};
+
+}  // namespace fpm::sim

@@ -169,6 +169,91 @@ TEST(Rebalancer, ConvergesToSpeedProportionalShares) {
   EXPECT_NEAR(static_cast<double>(rb.distribution().counts[0]), 3000.0, 150.0);
 }
 
+TEST(Rebalancer, DrainsACollapsedProcessorWithoutThrashing) {
+  // Three equal processors; mid-run processor 2 collapses to a tenth of
+  // its speed (a crashed disk, a runaway job). The evacuation path must
+  // drain it within collapse_strikes iterations of the collapse and then
+  // settle — no further repartitions once the survivors are balanced.
+  RebalancerOptions opts;
+  opts.warmup_iterations = 0;
+  opts.evacuation_speed_fraction = 0.4;
+  opts.collapse_strikes = 2;
+  Rebalancer rb(3, 3000, small_model(), opts);
+  std::vector<double> speed{1000.0, 1000.0, 1000.0};
+  const auto iterate = [&] {
+    const auto& d = rb.distribution();
+    std::vector<double> times(3);
+    for (std::size_t i = 0; i < 3; ++i)
+      times[i] =
+          d.counts[i] > 0 ? static_cast<double>(d.counts[i]) / speed[i] : 0.0;
+    return rb.step(times);
+  };
+  for (int it = 0; it < 4; ++it) iterate();
+  EXPECT_EQ(rb.evacuations(), 0);
+
+  speed[2] = 100.0;  // ~10x collapse
+  int drained_after = -1;
+  for (int it = 0; it < 6 && drained_after < 0; ++it)
+    if (iterate() && !rb.active(2)) drained_after = it + 1;
+  ASSERT_GT(drained_after, 0) << "collapsed processor never drained";
+  EXPECT_LE(drained_after, opts.collapse_strikes + 1);
+  EXPECT_FALSE(rb.active(2));
+  EXPECT_EQ(rb.evacuations(), 1);
+  EXPECT_EQ(rb.distribution().counts[2], 0);
+  EXPECT_EQ(rb.distribution().total(), 3000);
+
+  // Post-drain stability: the two equal survivors are balanced, so the
+  // rebalancer must go quiet instead of thrashing.
+  const int settled = rb.repartitions();
+  for (int it = 0; it < 10; ++it) iterate();
+  EXPECT_EQ(rb.repartitions(), settled);
+  EXPECT_EQ(rb.distribution().counts[2], 0);
+}
+
+TEST(Rebalancer, DrainsAProcessorThatStopsReporting) {
+  // A machine that holds a share but returns no valid time at all (NaN —
+  // e.g. it hangs and the measurement never completes) is drained after
+  // max_missing_measurements consecutive silent iterations.
+  RebalancerOptions opts;
+  opts.warmup_iterations = 0;
+  opts.max_missing_measurements = 3;
+  Rebalancer rb(2, 1000, small_model(), opts);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  int drained_at = -1;
+  for (int it = 0; it < 6 && drained_at < 0; ++it) {
+    const auto& d = rb.distribution();
+    const std::vector<double> times{
+        static_cast<double>(d.counts[0]) / 500.0, nan};
+    if (rb.step(times)) drained_at = it + 1;
+  }
+  EXPECT_EQ(drained_at, 3);
+  EXPECT_FALSE(rb.active(1));
+  EXPECT_EQ(rb.evacuations(), 1);
+  EXPECT_EQ(rb.distribution().counts,
+            (std::vector<std::int64_t>{1000, 0}));
+}
+
+TEST(Rebalancer, EvacuationDisabledByDefault) {
+  // With the default options a persistently slow processor is handled by
+  // ordinary rebalancing (smaller share), never declared dead: existing
+  // callers see exactly the old policy.
+  RebalancerOptions opts;
+  opts.warmup_iterations = 0;
+  Rebalancer rb(2, 1000, small_model(), opts);
+  for (int it = 0; it < 8; ++it) {
+    const auto& d = rb.distribution();
+    const std::vector<double> times{
+        static_cast<double>(d.counts[0]) / 1000.0,
+        d.counts[1] > 0 ? static_cast<double>(d.counts[1]) / 100.0 : 0.0};
+    rb.step(times);
+  }
+  EXPECT_TRUE(rb.active(0));
+  EXPECT_TRUE(rb.active(1));
+  EXPECT_EQ(rb.evacuations(), 0);
+  EXPECT_GE(rb.repartitions(), 1);
+  EXPECT_GT(rb.distribution().counts[1], 0);
+}
+
 TEST(IterativeSim, OnlineBeatsStaticEvenOnHeterogeneousCluster) {
   auto c1 = sim::make_table2_cluster(5);
   auto c2 = sim::make_table2_cluster(5);

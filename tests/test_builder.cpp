@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 
 #include "core/builder.hpp"
@@ -48,6 +49,113 @@ BuilderOptions default_opts(const SpeedFunction& f) {
   opts.min_size = f.max_size() * 1e-4;
   opts.max_size = f.max_size();
   return opts;
+}
+
+/// Source replaying a fixed sequence of readings (then repeating the last).
+class SequenceSource final : public MeasurementSource {
+ public:
+  explicit SequenceSource(std::vector<double> readings)
+      : readings_(std::move(readings)) {}
+  double measure(double) override {
+    ++calls;
+    const std::size_t i = std::min(next_++, readings_.size() - 1);
+    return readings_[i];
+  }
+  int calls = 0;
+
+ private:
+  std::vector<double> readings_;
+  std::size_t next_ = 0;
+};
+
+TEST(RetryingSource, PassesValidReadingsThroughUntouched) {
+  SequenceSource inner({50.0, 40.0, 30.0});
+  RetryingMeasurementSource src(inner);
+  EXPECT_DOUBLE_EQ(src.measure(100.0), 50.0);
+  EXPECT_DOUBLE_EQ(src.measure(120.0), 40.0);
+  EXPECT_EQ(src.retries(), 0);
+  EXPECT_EQ(src.rejected(), 0);
+}
+
+TEST(RetryingSource, RetriesThroughNaNAndNonPositiveReadings) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  SequenceSource inner({nan, -3.0, 0.0, 42.0});
+  RetryingMeasurementSource src(inner);
+  EXPECT_DOUBLE_EQ(src.measure(100.0), 42.0);
+  EXPECT_EQ(src.retries(), 3);
+  EXPECT_EQ(src.rejected(), 3);
+}
+
+TEST(RetryingSource, RejectsOutliersAgainstNearbyHistory) {
+  // An established ~50 MFLOPS reading at this size makes a 100x spike a
+  // glitch, not a measurement.
+  SequenceSource inner({50.0, 5000.0, 48.0});
+  RetryingMeasurementSource src(inner);
+  EXPECT_DOUBLE_EQ(src.measure(100.0), 50.0);
+  EXPECT_DOUBLE_EQ(src.measure(100.0), 48.0);  // the spike was re-measured
+  EXPECT_EQ(src.rejected(), 1);
+}
+
+TEST(RetryingSource, BackoffEventuallyAcceptsAPersistentChange) {
+  // The machine genuinely degraded 10x (outside outlier_factor = 4): the
+  // widening acceptance band must let the new truth in rather than pin the
+  // source to stale history forever.
+  SequenceSource inner({50.0, 5.0, 5.0, 5.0, 5.0, 5.0});
+  RetryOptions opts;
+  opts.max_retries = 4;
+  RetryingMeasurementSource src(inner, opts);
+  EXPECT_DOUBLE_EQ(src.measure(100.0), 50.0);
+  EXPECT_DOUBLE_EQ(src.measure(100.0), 5.0);
+  EXPECT_GE(src.retries(), 1);
+}
+
+TEST(RetryingSource, FallsBackToHistoryWhenRetriesExhaust) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  SequenceSource inner({50.0, nan, nan, nan, nan, nan, nan});
+  RetryOptions opts;
+  opts.max_retries = 2;
+  RetryingMeasurementSource src(inner, opts);
+  EXPECT_DOUBLE_EQ(src.measure(100.0), 50.0);
+  // Every retry at a similar size fails: substitute the nearest accepted.
+  EXPECT_DOUBLE_EQ(src.measure(110.0), 50.0);
+  EXPECT_EQ(inner.calls, 1 + 1 + opts.max_retries);
+}
+
+TEST(RetryingSource, ThrowsWhenNoReadingWasEverValid) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  SequenceSource inner({nan});
+  RetryOptions opts;
+  opts.max_retries = 1;
+  RetryingMeasurementSource src(inner, opts);
+  EXPECT_THROW(src.measure(100.0), std::runtime_error);
+}
+
+TEST(RetryingSource, OutlierReferenceRespectsTheSizeWindow) {
+  // With reference_window = 1 only same-size history judges a reading: a
+  // large drop across a decade of size (a paging cliff) must be accepted.
+  SequenceSource inner({500.0, 2.0});
+  RetryOptions opts;
+  opts.reference_window = 1.0;
+  RetryingMeasurementSource src(inner, opts);
+  EXPECT_DOUBLE_EQ(src.measure(1e4), 500.0);
+  EXPECT_DOUBLE_EQ(src.measure(1e6), 2.0);
+  EXPECT_EQ(src.rejected(), 0);
+}
+
+TEST(RetryingSource, ValidatesOptions) {
+  SequenceSource inner({1.0});
+  RetryOptions bad;
+  bad.max_retries = -1;
+  EXPECT_THROW(RetryingMeasurementSource(inner, bad), std::invalid_argument);
+  bad = RetryOptions{};
+  bad.outlier_factor = 1.0;
+  EXPECT_THROW(RetryingMeasurementSource(inner, bad), std::invalid_argument);
+  bad = RetryOptions{};
+  bad.reference_window = 0.5;
+  EXPECT_THROW(RetryingMeasurementSource(inner, bad), std::invalid_argument);
+  bad = RetryOptions{};
+  bad.backoff = 0.9;
+  EXPECT_THROW(RetryingMeasurementSource(inner, bad), std::invalid_argument);
 }
 
 TEST(Builder, ConstantCurveAcceptedWithFourProbes) {

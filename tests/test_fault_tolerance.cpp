@@ -1,0 +1,507 @@
+// Tests for the fault-tolerant execution stack: failure detection in the
+// mpp runtime (peer exceptions, timeouts on hung ranks, fencing), seeded
+// fault injection via FaultPlan, checkpoint storage, and checkpoint/restart
+// recovery of the distributed kernels — recovered runs must re-partition
+// over the survivors and stay bit-identical to the fault-free serial
+// reference.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+
+#include "apps/stencil.hpp"
+#include "linalg/kernels.hpp"
+#include "mpp/fault.hpp"
+#include "mpp/recovery.hpp"
+#include "mpp/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace fpm::mpp {
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point t0) {
+  return std::chrono::duration<double>(clock_type::now() - t0).count();
+}
+
+// ---------------------------------------------------------------------------
+// Runtime failure detection
+// ---------------------------------------------------------------------------
+
+TEST(FtRuntime, PeerExceptionBecomesRankFailedError) {
+  std::atomic<int> named{-1};
+  RunOptions opts;
+  opts.fault_tolerant = true;
+  const RunReport report = run_parallel(2, [&](Communicator& comm) {
+    if (comm.rank() == 1) throw std::runtime_error("victim dies");
+    try {
+      comm.recv(1, 5);  // never satisfied
+      FAIL() << "recv from a dead rank must not return";
+    } catch (const RankFailedError& e) {
+      named = e.failed_rank();
+    }
+  }, opts);
+  EXPECT_EQ(named.load(), 1);
+  EXPECT_EQ(report.failed_ranks, (std::vector<int>{1}));
+}
+
+TEST(FtRuntime, SurvivorsKeepAFunctionalWorld) {
+  // After rank 2 dies, ranks 0 and 1 must still be able to message and
+  // synchronize among themselves.
+  std::atomic<int> exchanged{0};
+  RunOptions opts;
+  opts.fault_tolerant = true;
+  const RunReport report = run_parallel(3, [&](Communicator& comm) {
+    if (comm.rank() == 2) throw std::runtime_error("down");
+    try {
+      comm.barrier();  // blocks until the failure is observed
+    } catch (const RankFailedError& e) {
+      EXPECT_EQ(e.failed_rank(), 2);
+    }
+    EXPECT_EQ(comm.alive_ranks(), (std::vector<int>{0, 1}));
+    EXPECT_FALSE(comm.is_alive(2));
+    if (comm.rank() == 0) {
+      comm.send(1, 7, std::vector<double>{4.5});
+    } else {
+      EXPECT_DOUBLE_EQ(comm.recv(0, 7)[0], 4.5);
+      ++exchanged;
+    }
+    comm.barrier();  // two-rank barrier still works
+  }, opts);
+  EXPECT_EQ(exchanged.load(), 1);
+  EXPECT_EQ(report.failed_ranks, (std::vector<int>{2}));
+}
+
+TEST(FtRuntime, AllRanksFailingRethrowsFirstError) {
+  RunOptions opts;
+  opts.fault_tolerant = true;
+  EXPECT_THROW(run_parallel(2, [](Communicator&) {
+    throw std::runtime_error("nobody left to report");
+  }, opts),
+               std::runtime_error);
+}
+
+TEST(FtRuntime, RecvTimeoutDetectsHungPeerWithinDeadline) {
+  // Rank 1 goes silent for 2 s; rank 0's recv is armed with a 0.2 s
+  // deadline and must convert the hang into RankFailedError(1) well before
+  // the sleeper wakes.
+  std::atomic<double> detected_after{-1.0};
+  RunOptions opts;
+  opts.fault_tolerant = true;
+  opts.timeout_seconds = 0.2;
+  const RunReport report = run_parallel(2, [&](Communicator& comm) {
+    if (comm.rank() == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2000));
+      return;  // wakes long after being declared dead
+    }
+    const auto t0 = clock_type::now();
+    try {
+      comm.recv(1, 3);
+      FAIL() << "recv must time out";
+    } catch (const RankFailedError& e) {
+      EXPECT_EQ(e.failed_rank(), 1);
+      detected_after = seconds_since(t0);
+    }
+  }, opts);
+  EXPECT_GE(detected_after.load(), 0.0);
+  EXPECT_LT(detected_after.load(), 1.5);  // detected, not waited out
+  EXPECT_EQ(report.failed_ranks, (std::vector<int>{1}));
+}
+
+TEST(FtRuntime, BarrierTimeoutDetectsHungPeerWithinDeadline) {
+  std::atomic<double> detected_after{-1.0};
+  RunOptions opts;
+  opts.fault_tolerant = true;
+  opts.timeout_seconds = 0.2;
+  run_parallel(2, [&](Communicator& comm) {
+    if (comm.rank() == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2000));
+      return;
+    }
+    const auto t0 = clock_type::now();
+    try {
+      comm.barrier();
+      FAIL() << "barrier must time out";
+    } catch (const RankFailedError& e) {
+      EXPECT_EQ(e.failed_rank(), 1);
+      detected_after = seconds_since(t0);
+    }
+  }, opts);
+  EXPECT_GE(detected_after.load(), 0.0);
+  EXPECT_LT(detected_after.load(), 1.5);
+}
+
+TEST(FtRuntime, TimedOutRankIsFencedFromItsOwnWorld) {
+  // Once declared dead, the sleeper's own communication attempts must
+  // throw RankFailedError on itself rather than corrupt the survivors.
+  std::atomic<int> self_fenced{0};
+  RunOptions opts;
+  opts.fault_tolerant = true;
+  opts.timeout_seconds = 0.15;
+  run_parallel(2, [&](Communicator& comm) {
+    if (comm.rank() == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(600));
+      try {
+        comm.barrier();
+      } catch (const RankFailedError& e) {
+        if (e.failed_rank() == 1) ++self_fenced;
+      }
+      return;
+    }
+    try {
+      comm.barrier();
+    } catch (const RankFailedError&) {
+    }
+  }, opts);
+  EXPECT_EQ(self_fenced.load(), 1);
+}
+
+TEST(FtRuntime, StrictModeStillAbortsEverybody) {
+  // The pre-existing contract: without fault tolerance a rank exception
+  // tears the whole run down with the original error.
+  EXPECT_THROW(run_parallel(3,
+                            [](Communicator& comm) {
+                              if (comm.rank() == 1)
+                                throw std::logic_error("strict abort");
+                              comm.barrier();
+                            }),
+               std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, CrashFiresAtExactlyTheScheduledStep) {
+  FaultPlan plan;
+  plan.crash(2, 5);
+  EXPECT_FALSE(plan.empty());
+  plan.fire(2, 4);  // not yet
+  plan.fire(1, 5);  // wrong rank
+  try {
+    plan.fire(2, 5);
+    FAIL() << "scheduled crash did not fire";
+  } catch (const InjectedFault& e) {
+    EXPECT_EQ(e.rank(), 2);
+    EXPECT_EQ(e.step(), 5);
+  }
+}
+
+TEST(FaultPlan, ValidatesArguments) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.crash(-1, 0), std::invalid_argument);
+  EXPECT_THROW(plan.crash(0, -1), std::invalid_argument);
+  EXPECT_THROW(plan.stall(0, 0, -1.0), std::invalid_argument);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlan, RandomIsSeedReproducibleAndSparesRankZero) {
+  const auto signature = [](const FaultPlan& plan, int ranks, int steps) {
+    std::vector<std::pair<int, int>> crashes;
+    for (int r = 0; r < ranks; ++r)
+      for (int s = 0; s < steps; ++s)
+        try {
+          plan.fire(r, s);
+        } catch (const InjectedFault&) {
+          crashes.emplace_back(r, s);
+        }
+    return crashes;
+  };
+  util::Rng rng_a(42), rng_b(42);
+  const FaultPlan a = FaultPlan::random(rng_a, 6, 10, 1.0);
+  const FaultPlan b = FaultPlan::random(rng_b, 6, 10, 1.0);
+  const auto sig = signature(a, 6, 10);
+  EXPECT_EQ(sig, signature(b, 6, 10));
+  ASSERT_EQ(sig.size(), 5u);  // certain crash for every rank but 0
+  for (const auto& [rank, step] : sig) {
+    EXPECT_NE(rank, 0);
+    EXPECT_GE(step, 0);
+    EXPECT_LT(step, 10);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointStore
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointStore, OnlyCompleteVersionsAreRestorable) {
+  CheckpointStore store(3);
+  EXPECT_EQ(store.latest_complete(), -1);
+  store.save(0, 0, {1.0});
+  store.save(0, 1, {2.0});
+  EXPECT_EQ(store.latest_complete(), -1);  // item 2 missing
+  store.save(0, 2, {3.0});
+  EXPECT_EQ(store.latest_complete(), 0);
+  // A newer partial version (a rank ran ahead, then died) must not win.
+  store.save(4, 0, {9.0});
+  EXPECT_EQ(store.latest_complete(), 0);
+  store.purge_after(store.latest_complete());
+  EXPECT_THROW(store.load(4, 0), std::out_of_range);
+  EXPECT_EQ(store.load(0, 1), (std::vector<double>{2.0}));
+}
+
+TEST(CheckpointStore, ValidatesItemsAndIndices) {
+  EXPECT_THROW(CheckpointStore(0), std::invalid_argument);
+  CheckpointStore store(2);
+  EXPECT_THROW(store.save(0, -1, {}), std::out_of_range);
+  EXPECT_THROW(store.save(0, 2, {}), std::out_of_range);
+  EXPECT_THROW(store.load(0, 0), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-tolerant kernels: helpers
+// ---------------------------------------------------------------------------
+
+/// Heterogeneous constant speeds (elements/s) that outlive the SpeedList.
+struct Speeds {
+  explicit Speeds(std::initializer_list<double> s) {
+    for (const double v : s) owned.emplace_back(v, 1e12);
+    for (const auto& f : owned) list.push_back(&f);
+  }
+  std::vector<core::ConstantSpeed> owned;
+  core::SpeedList list;
+};
+
+util::MatrixD serial_jacobi(util::MatrixD grid, int iterations) {
+  for (int it = 0; it < iterations; ++it) grid = apps::jacobi_sweep(grid);
+  return grid;
+}
+
+FaultToleranceOptions ft_options(const core::SpeedList& speeds,
+                                 const FaultPlan* plan = nullptr) {
+  FaultToleranceOptions options;
+  options.speeds = speeds;
+  options.faults = plan;
+  // Generous: only real failures should trip it, never a slow CI machine.
+  options.timeout_seconds = 10.0;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Fault-tolerant Jacobi
+// ---------------------------------------------------------------------------
+
+TEST(FtJacobi, FaultFreeRunMatchesSerialBitExactly) {
+  const Speeds speeds{300.0, 100.0, 100.0};
+  const util::MatrixD grid = linalg::random_matrix(20, 16, 31);
+  const FtJacobiResult r =
+      fault_tolerant_jacobi(grid, 3, 6, ft_options(speeds.list));
+  EXPECT_TRUE(r.failed_ranks.empty());
+  EXPECT_EQ(r.recoveries, 0);
+  EXPECT_DOUBLE_EQ(util::max_abs_diff(r.grid, serial_jacobi(grid, 6)), 0.0);
+  ASSERT_EQ(r.final_rows.size(), 3u);
+  EXPECT_EQ(std::accumulate(r.final_rows.begin(), r.final_rows.end(),
+                            std::int64_t{0}),
+            20);
+  // The 3x faster rank 0 holds the largest band.
+  EXPECT_GT(r.final_rows[0], r.final_rows[1]);
+}
+
+TEST(FtJacobi, CrashedRankIsRecoveredBitExactly) {
+  const Speeds speeds{200.0, 200.0, 100.0};
+  const util::MatrixD grid = linalg::random_matrix(24, 12, 7);
+  FaultPlan plan;
+  plan.crash(1, 3);  // dies mid-run, after checkpoints exist
+  const FtJacobiResult r =
+      fault_tolerant_jacobi(grid, 3, 8, ft_options(speeds.list, &plan));
+  EXPECT_EQ(r.failed_ranks, (std::vector<int>{1}));
+  EXPECT_GE(r.recoveries, 1);
+  ASSERT_EQ(r.final_rows.size(), 3u);
+  EXPECT_EQ(r.final_rows[1], 0);  // the dead rank's band was drained
+  EXPECT_GT(r.final_rows[0], 0);
+  EXPECT_GT(r.final_rows[2], 0);
+  EXPECT_DOUBLE_EQ(util::max_abs_diff(r.grid, serial_jacobi(grid, 8)), 0.0);
+}
+
+TEST(FtJacobi, LosingTheLowestRankStillAssemblesTheResult) {
+  // Rank 0 normally assembles the final grid; when it dies the new lowest
+  // survivor must take over.
+  const Speeds speeds{100.0, 100.0, 100.0};
+  const util::MatrixD grid = linalg::random_matrix(18, 10, 11);
+  FaultPlan plan;
+  plan.crash(0, 2);
+  const FtJacobiResult r =
+      fault_tolerant_jacobi(grid, 3, 5, ft_options(speeds.list, &plan));
+  EXPECT_EQ(r.failed_ranks, (std::vector<int>{0}));
+  EXPECT_EQ(r.final_rows[0], 0);
+  EXPECT_DOUBLE_EQ(util::max_abs_diff(r.grid, serial_jacobi(grid, 5)), 0.0);
+}
+
+TEST(FtJacobi, SurvivesTwoFailuresWithSparseCheckpoints) {
+  const Speeds speeds{100.0, 100.0, 100.0, 100.0};
+  const util::MatrixD grid = linalg::random_matrix(21, 9, 3);
+  FaultPlan plan;
+  plan.crash(1, 2);
+  plan.crash(3, 5);
+  FaultToleranceOptions options = ft_options(speeds.list, &plan);
+  options.checkpoint_interval = 3;  // rollback really re-executes work
+  const FtJacobiResult r = fault_tolerant_jacobi(grid, 4, 7, options);
+  EXPECT_EQ(r.failed_ranks, (std::vector<int>{1, 3}));
+  EXPECT_GE(r.recoveries, 2);
+  EXPECT_EQ(r.final_rows[1], 0);
+  EXPECT_EQ(r.final_rows[3], 0);
+  EXPECT_DOUBLE_EQ(util::max_abs_diff(r.grid, serial_jacobi(grid, 7)), 0.0);
+}
+
+TEST(FtJacobi, StalledRankIsDetectedByTimeoutAndRecovered) {
+  // The victim does not crash — it just stops making progress. Only the
+  // deadline can unmask it; afterwards recovery proceeds as for a crash.
+  const Speeds speeds{100.0, 100.0, 100.0};
+  const util::MatrixD grid = linalg::random_matrix(15, 8, 19);
+  FaultPlan plan;
+  plan.stall(2, 1, 3.0);  // far longer than the detection deadline
+  FaultToleranceOptions options = ft_options(speeds.list, &plan);
+  options.timeout_seconds = 0.3;
+  const auto t0 = clock_type::now();
+  const FtJacobiResult r = fault_tolerant_jacobi(grid, 3, 4, options);
+  EXPECT_EQ(r.failed_ranks, (std::vector<int>{2}));
+  EXPECT_GE(r.recoveries, 1);
+  EXPECT_EQ(r.final_rows[2], 0);
+  EXPECT_DOUBLE_EQ(util::max_abs_diff(r.grid, serial_jacobi(grid, 4)), 0.0);
+  // The survivors finished while the victim was still asleep; only the
+  // final join waits for it, bounding the run by the stall window.
+  EXPECT_LT(seconds_since(t0), 8.0);
+}
+
+TEST(FtJacobi, ValidatesArguments) {
+  const Speeds speeds{100.0};
+  const util::MatrixD grid = linalg::random_matrix(4, 4, 1);
+  EXPECT_THROW(fault_tolerant_jacobi(grid, 0, 1, ft_options(speeds.list)),
+               std::invalid_argument);
+  EXPECT_THROW(fault_tolerant_jacobi(grid, 1, -1, ft_options(speeds.list)),
+               std::invalid_argument);
+  FaultToleranceOptions bad = ft_options(speeds.list);
+  bad.checkpoint_interval = 0;
+  EXPECT_THROW(fault_tolerant_jacobi(grid, 1, 1, bad), std::invalid_argument);
+  EXPECT_THROW(fault_tolerant_jacobi(util::MatrixD(), 1, 1,
+                                     ft_options(speeds.list)),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-tolerant LU
+// ---------------------------------------------------------------------------
+
+TEST(FtLu, FaultFreeRunMatchesSerialBitExactly) {
+  const Speeds speeds{200.0, 100.0, 100.0};
+  const util::MatrixD a = linalg::random_matrix(36, 36, 23);
+  const std::vector<int> owners{0, 1, 2, 0, 1, 2};  // 36/6 blocks
+  const FtLuResult r =
+      fault_tolerant_lu(a, 6, owners, 3, ft_options(speeds.list));
+  ASSERT_TRUE(r.nonsingular);
+  EXPECT_TRUE(r.failed_ranks.empty());
+  EXPECT_EQ(r.final_block_owner, owners);
+  util::MatrixD serial = a;
+  std::vector<std::size_t> pivots;
+  ASSERT_TRUE(linalg::lu_factor(serial, pivots));
+  EXPECT_EQ(r.pivots, pivots);
+  EXPECT_DOUBLE_EQ(util::max_abs_diff(r.lu, serial), 0.0);
+}
+
+TEST(FtLu, CrashedOwnerIsRecoveredBitExactly) {
+  const Speeds speeds{200.0, 100.0, 150.0};
+  const util::MatrixD a = linalg::random_matrix(36, 36, 29);
+  const std::vector<int> owners{0, 1, 2, 0, 1, 2};
+  FaultPlan plan;
+  plan.crash(2, 2);  // dies while still owning unfactored panels
+  const FtLuResult r =
+      fault_tolerant_lu(a, 6, owners, 3, ft_options(speeds.list, &plan));
+  ASSERT_TRUE(r.nonsingular);
+  EXPECT_EQ(r.failed_ranks, (std::vector<int>{2}));
+  EXPECT_GE(r.recoveries, 1);
+  // The dead rank's column blocks were dealt out to the survivors.
+  ASSERT_EQ(r.final_block_owner.size(), owners.size());
+  for (const int o : r.final_block_owner) EXPECT_NE(o, 2);
+  util::MatrixD serial = a;
+  std::vector<std::size_t> pivots;
+  ASSERT_TRUE(linalg::lu_factor(serial, pivots));
+  EXPECT_EQ(r.pivots, pivots);
+  EXPECT_DOUBLE_EQ(util::max_abs_diff(r.lu, serial), 0.0);
+}
+
+TEST(FtLu, SingularityIsStillDetected) {
+  util::MatrixD a(12, 12);  // column 5 entirely zero
+  for (std::size_t i = 0; i < 12; ++i)
+    for (std::size_t j = 0; j < 12; ++j)
+      a(i, j) = (j == 5) ? 0.0 : 1.0 + double(i * 12 + j) * ((i + j) % 3);
+  const Speeds speeds{100.0, 100.0};
+  const std::vector<int> owners{0, 1, 0};
+  const FtLuResult r =
+      fault_tolerant_lu(a, 4, owners, 2, ft_options(speeds.list));
+  EXPECT_FALSE(r.nonsingular);
+}
+
+TEST(FtLu, ValidatesArguments) {
+  const Speeds speeds{100.0};
+  const util::MatrixD sq = linalg::random_matrix(16, 16, 1);
+  const util::MatrixD rect = linalg::random_matrix(16, 8, 1);
+  const std::vector<int> owners{0, 0};
+  EXPECT_THROW(fault_tolerant_lu(rect, 8, owners, 1, ft_options(speeds.list)),
+               std::invalid_argument);
+  EXPECT_THROW(fault_tolerant_lu(sq, 0, owners, 1, ft_options(speeds.list)),
+               std::invalid_argument);
+  EXPECT_THROW(fault_tolerant_lu(sq, 8, std::vector<int>{0}, 1,
+                                 ft_options(speeds.list)),
+               std::invalid_argument);
+  EXPECT_THROW(fault_tolerant_lu(sq, 8, std::vector<int>{0, 5}, 2,
+                                 ft_options(speeds.list)),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-tolerant matrix multiplication
+// ---------------------------------------------------------------------------
+
+TEST(FtMm, CrashedRankRestartsOverSurvivors) {
+  const Speeds speeds{150.0, 100.0, 120.0};
+  const util::MatrixD a = linalg::random_matrix(30, 30, 41);
+  const util::MatrixD b = linalg::random_matrix(30, 30, 43);
+  FaultPlan plan;
+  plan.crash(1, 1);  // mid-ring
+  const FtMmResult r =
+      fault_tolerant_mm_abt(a, b, 3, ft_options(speeds.list, &plan));
+  EXPECT_EQ(r.failed_ranks, (std::vector<int>{1}));
+  EXPECT_GE(r.recoveries, 1);
+  ASSERT_EQ(r.final_rows.size(), 3u);
+  EXPECT_EQ(r.final_rows[1], 0);
+  EXPECT_DOUBLE_EQ(util::max_abs_diff(r.c, linalg::matmul_abt_naive(a, b)),
+                   0.0);
+}
+
+TEST(FtMm, FaultFreeRunMatchesSerialExactly) {
+  const Speeds speeds{100.0, 100.0};
+  const util::MatrixD a = linalg::random_matrix(20, 20, 47);
+  const util::MatrixD b = linalg::random_matrix(20, 20, 53);
+  const FtMmResult r = fault_tolerant_mm_abt(a, b, 2, ft_options(speeds.list));
+  EXPECT_TRUE(r.failed_ranks.empty());
+  EXPECT_EQ(r.recoveries, 0);
+  EXPECT_DOUBLE_EQ(util::max_abs_diff(r.c, linalg::matmul_abt_naive(a, b)),
+                   0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded end-to-end fault schedule
+// ---------------------------------------------------------------------------
+
+TEST(FtJacobi, RandomFaultScheduleIsReplayableFromItsSeed) {
+  const Speeds speeds{100.0, 100.0, 100.0, 100.0};
+  const util::MatrixD grid = linalg::random_matrix(16, 8, 59);
+  const auto run_with_seed = [&](std::uint64_t seed) {
+    util::Rng rng(seed);
+    const FaultPlan plan = FaultPlan::random(rng, 4, 6, 0.8);
+    return fault_tolerant_jacobi(grid, 4, 6, ft_options(speeds.list, &plan));
+  };
+  const FtJacobiResult r1 = run_with_seed(77);
+  const FtJacobiResult r2 = run_with_seed(77);
+  EXPECT_EQ(r1.failed_ranks, r2.failed_ranks);
+  EXPECT_EQ(r1.final_rows, r2.final_rows);
+  // Whatever the schedule killed, the result never degrades.
+  EXPECT_DOUBLE_EQ(util::max_abs_diff(r1.grid, serial_jacobi(grid, 6)), 0.0);
+  EXPECT_DOUBLE_EQ(util::max_abs_diff(r2.grid, serial_jacobi(grid, 6)), 0.0);
+}
+
+}  // namespace
+}  // namespace fpm::mpp

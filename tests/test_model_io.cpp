@@ -135,6 +135,34 @@ TEST(ModelIo, ParseErrorsCarryLineNumbers) {
   expect_error("bogus\n", "unknown keyword");
 }
 
+TEST(ModelIo, RejectsNonFiniteAndNegativeValues) {
+  // NaN compares false against every range check, so without explicit
+  // isfinite guards these would parse "successfully" and poison the
+  // partitioners downstream.
+  const auto expect_error = [](const std::string& text,
+                               const std::string& fragment) {
+    std::stringstream ss(text);
+    try {
+      load_models(ss);
+      FAIL() << "expected parse error for: " << text;
+    } catch (const std::runtime_error& err) {
+      EXPECT_NE(std::string(err.what()).find(fragment), std::string::npos)
+          << err.what();
+    }
+  };
+  // Whether "nan"/"inf" fail at extraction (libstdc++) or at the explicit
+  // isfinite guard (platforms whose num_get accepts them), the line must
+  // be rejected either way.
+  expect_error("model a\nband nan\npoint 10 5 6\nend\n", "finite");
+  expect_error("model a\nband inf\npoint 10 5 6\nend\n", "finite");
+  expect_error("model a\nband -0.1\npoint 10 5 6\nend\n", "finite");
+  expect_error("model a\npoint nan 5 6\nend\n", "point");
+  expect_error("model a\npoint 10 nan 6\nend\n", "point");
+  expect_error("model a\npoint 10 5 nan\nend\n", "point");
+  expect_error("model a\npoint 10 5 inf\nend\n", "point");
+  expect_error("model a\npoint 10 -2 6\nend\n", "negative");
+}
+
 TEST(ModelIo, RejectsBadNamesOnSave) {
   NamedModel m = sample_band_model();
   m.name = "has space";

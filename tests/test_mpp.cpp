@@ -119,9 +119,25 @@ TEST(Runtime, ValidatesArguments) {
   run_parallel(2, [](Communicator& comm) {
     EXPECT_THROW(comm.send(5, 0, std::vector<double>{}),
                  std::invalid_argument);
+    EXPECT_THROW(comm.send(-1, 0, std::vector<double>{}),
+                 std::invalid_argument);
     EXPECT_THROW(comm.recv(-1, 0), std::invalid_argument);
+    EXPECT_THROW(comm.recv(2, 0), std::invalid_argument);
     EXPECT_THROW(comm.broadcast(9, std::vector<double>{}),
                  std::invalid_argument);
+    EXPECT_THROW(comm.gather(-3, std::vector<double>{}),
+                 std::invalid_argument);
+  });
+}
+
+TEST(Runtime, UnsatisfiableSelfRecvIsRejectedNotDeadlocked) {
+  run_parallel(2, [](Communicator& comm) {
+    // No queued self-message exists, and no other thread can ever produce
+    // one: blocking would deadlock the rank forever.
+    EXPECT_THROW(comm.recv(comm.rank(), 4), std::invalid_argument);
+    // A buffered self-send makes the same recv legitimate.
+    comm.send(comm.rank(), 4, std::vector<double>{9.0});
+    EXPECT_DOUBLE_EQ(comm.recv(comm.rank(), 4)[0], 9.0);
   });
 }
 

@@ -4,6 +4,7 @@
 // cluster.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/combined.hpp"
@@ -331,6 +332,159 @@ TEST(Cluster, BuildClusterModelsProducesUsableCurves) {
     const double truth = cluster.ground_truth(i, kMatMul).speed(x);
     EXPECT_NEAR(models.curves[i].speed(x), truth, 0.35 * truth) << i;
   }
+}
+
+TEST(Faults, CrashIsPermanentFromItsTick) {
+  FaultScript s;
+  s.crash(1, 3);
+  EXPECT_FALSE(s.empty());
+  EXPECT_FALSE(s.crashed(1, 2));
+  EXPECT_TRUE(s.crashed(1, 3));
+  EXPECT_TRUE(s.crashed(1, 99));
+  EXPECT_FALSE(s.crashed(0, 99));  // unscripted machines are healthy
+  EXPECT_EQ(s.crash_tick(1), 3);
+  EXPECT_EQ(s.crash_tick(0), -1);
+}
+
+TEST(Faults, StallWindowIsHalfOpen) {
+  FaultScript s;
+  s.stall(2, 4, 7);
+  EXPECT_FALSE(s.stalled(2, 3));
+  EXPECT_TRUE(s.stalled(2, 4));
+  EXPECT_TRUE(s.stalled(2, 6));
+  EXPECT_FALSE(s.stalled(2, 7));  // recovered
+  EXPECT_FALSE(s.stalled(1, 5));
+}
+
+TEST(Faults, MessageFaultsDefaultToHealthy) {
+  FaultScript s;
+  s.glitch(0, 0.5).drop_messages(1, 0.25).delay_messages(2, 3.0);
+  EXPECT_DOUBLE_EQ(s.glitch_probability(0), 0.5);
+  EXPECT_DOUBLE_EQ(s.glitch_probability(3), 0.0);
+  EXPECT_DOUBLE_EQ(s.drop_probability(1), 0.25);
+  EXPECT_DOUBLE_EQ(s.drop_probability(3), 0.0);
+  EXPECT_DOUBLE_EQ(s.delay_factor(2), 3.0);
+  EXPECT_DOUBLE_EQ(s.delay_factor(3), 1.0);
+}
+
+TEST(Faults, ValidatesArguments) {
+  FaultScript s;
+  EXPECT_THROW(s.crash(0, -1), std::invalid_argument);
+  EXPECT_THROW(s.stall(0, 5, 4), std::invalid_argument);
+  EXPECT_THROW(s.glitch(0, 1.5), std::invalid_argument);
+  EXPECT_THROW(s.glitch(0, -0.1), std::invalid_argument);
+  EXPECT_THROW(s.drop_messages(0, 2.0), std::invalid_argument);
+  EXPECT_THROW(s.delay_messages(0, 0.5), std::invalid_argument);
+  EXPECT_TRUE(s.empty());
+  util::Rng rng(1);
+  EXPECT_THROW(FaultScript::random(rng, 0, 10, 0.5, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(FaultScript::random(rng, 4, 0, 0.5, 0.5),
+               std::invalid_argument);
+}
+
+TEST(Faults, RandomScriptIsSeedReproducibleAndSparesMachineZero) {
+  util::Rng a(9), b(9);
+  const FaultScript s1 = FaultScript::random(a, 8, 20, 0.7, 0.5);
+  const FaultScript s2 = FaultScript::random(b, 8, 20, 0.7, 0.5);
+  EXPECT_EQ(s1.crash_tick(0), -1);  // something must survive
+  int crashes = 0;
+  for (std::size_t m = 0; m < 8; ++m) {
+    EXPECT_EQ(s1.crash_tick(m), s2.crash_tick(m)) << m;
+    for (int t = 0; t < 20; ++t)
+      EXPECT_EQ(s1.stalled(m, t), s2.stalled(m, t)) << m << "@" << t;
+    if (s1.crash_tick(m) >= 0) ++crashes;
+  }
+  EXPECT_GE(crashes, 1);  // p = 0.7 over 7 machines
+}
+
+TEST(Cluster, CrashedMachineThrowsFromItsTickOn) {
+  auto cluster = make_table2_cluster(13);
+  FaultScript s;
+  s.crash(2, 3);
+  cluster.set_fault_script(s);
+  EXPECT_EQ(cluster.tick(), 0);
+  EXPECT_TRUE(cluster.machine_alive(2));
+  EXPECT_GT(cluster.measure(2, kMatMul, 1e6), 0.0);
+  cluster.advance_time(3);
+  EXPECT_EQ(cluster.tick(), 3);
+  EXPECT_FALSE(cluster.machine_alive(2));
+  try {
+    cluster.measure(2, kMatMul, 1e6);
+    FAIL() << "crashed machine must not run benchmarks";
+  } catch (const MachineFailedError& e) {
+    EXPECT_EQ(e.machine(), 2u);
+    EXPECT_EQ(e.tick(), 3);
+  }
+  EXPECT_TRUE(cluster.machine_alive(1));  // neighbours unaffected
+  EXPECT_GT(cluster.measure(1, kMatMul, 1e6), 0.0);
+}
+
+TEST(Cluster, StalledMachineYieldsNoMeasurementForTheWindow) {
+  auto cluster = make_table2_cluster(13);
+  FaultScript s;
+  s.stall(1, 1, 3);
+  cluster.set_fault_script(s);
+  EXPECT_GT(cluster.measure(1, kMatMul, 1e6), 0.0);
+  cluster.advance_time(1);
+  EXPECT_TRUE(cluster.machine_stalled(1));
+  EXPECT_TRUE(std::isnan(cluster.measure(1, kMatMul, 1e6)));
+  cluster.advance_time(2);
+  EXPECT_FALSE(cluster.machine_stalled(1));
+  EXPECT_GT(cluster.measure(1, kMatMul, 1e6), 0.0);  // recovered
+}
+
+TEST(Cluster, GlitchAndMessageFaultsAreSeedDeterministic) {
+  const auto run = [](std::uint64_t seed) {
+    auto cluster = make_table2_cluster(seed);
+    FaultScript s;
+    s.glitch(0, 0.5).drop_messages(1, 0.5).delay_messages(1, 2.5);
+    cluster.set_fault_script(s);
+    std::vector<double> trace;
+    for (int i = 0; i < 12; ++i) {
+      const double m = cluster.measure(0, kMatMul, 1e6);
+      trace.push_back(std::isnan(m) ? -1.0 : m);
+      trace.push_back(cluster.message_dropped(1) ? 1.0 : 0.0);
+    }
+    return trace;
+  };
+  const auto t1 = run(33);
+  EXPECT_EQ(t1, run(33));
+  // With p = 0.5 twelve draws virtually surely contain both outcomes.
+  EXPECT_NE(std::count(t1.begin(), t1.end(), -1.0), 0);
+  auto cluster = make_table2_cluster(33);
+  FaultScript s;
+  s.delay_messages(1, 2.5);
+  cluster.set_fault_script(s);
+  EXPECT_DOUBLE_EQ(cluster.message_delay_factor(1), 2.5);
+  EXPECT_DOUBLE_EQ(cluster.message_delay_factor(0), 1.0);
+}
+
+TEST(Cluster, FaultFreeScriptKeepsMeasurementsByteIdentical) {
+  // Installing an empty script must not perturb the RNG streams: seeded
+  // experiments from before the fault subsystem replay exactly.
+  auto plain = make_table2_cluster(77);
+  auto scripted = make_table2_cluster(77);
+  scripted.set_fault_script(FaultScript{});
+  for (int i = 0; i < 6; ++i)
+    EXPECT_DOUBLE_EQ(plain.measure(3, kMatMul, 1e6),
+                     scripted.measure(3, kMatMul, 1e6));
+}
+
+TEST(Cluster, BuildClusterModelsSurvivesAGlitchingMachine) {
+  // Machine 5's benchmark runs fail a third of the time; the retrying
+  // measurement source must absorb the NaNs and still deliver a usable
+  // curve close to the ground truth.
+  auto cluster = make_table2_cluster(77);
+  FaultScript s;
+  s.glitch(5, 0.33);
+  cluster.set_fault_script(s);
+  const ClusterModels models = build_cluster_models(cluster, kMatMul);
+  ASSERT_EQ(models.curves.size(), 12u);
+  EXPECT_TRUE(core::satisfies_shape_requirement(models.curves[5]));
+  const double x = cluster.ground_truth(5, kMatMul).paging_onset() * 0.4;
+  const double truth = cluster.ground_truth(5, kMatMul).speed(x);
+  EXPECT_NEAR(models.curves[5].speed(x), truth, 0.35 * truth);
 }
 
 TEST(Cluster, MachineMeasurementAdapterForwardss) {
