@@ -1,12 +1,17 @@
-// Ablation A: basic vs modified vs combined partitioning across curve
-// families and problem sizes — the design-space study behind DESIGN.md §5.
+// Ablation A: the partitioner family across curve families and problem
+// sizes — the design-space study behind DESIGN.md §5. Every algorithm in
+// core::partitioner_registry() is benchmarked through the policy engine,
+// so a newly registered partitioner joins the ablation without edits here.
 // Reports wall time (google-benchmark) and the iteration/intersection
 // counts that drive the paper's complexity discussion: basic wins on
 // polynomial-slope families, collapses on the exponential family; the
 // combined algorithm tracks the winner on both.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common.hpp"
 #include "core/fpm.hpp"
@@ -37,42 +42,41 @@ const char* family_name(int id) {
   }
 }
 
-template <typename Partitioner>
-void run_bench(benchmark::State& state, Partitioner partition) {
+/// The bounded algorithm derives per-processor bounds from the curves'
+/// modelled ranges; an (ensemble, n) pair whose total capacity cannot hold
+/// n is infeasible for it and is skipped rather than benchmarked.
+bool capacity_holds(const core::SpeedList& speeds, std::int64_t n) {
+  std::int64_t capacity = 0;
+  for (const core::SpeedFunction* f : speeds)
+    capacity += static_cast<std::int64_t>(std::ceil(f->max_size()));
+  return capacity >= n;
+}
+
+void run_bench(benchmark::State& state, const std::string& algorithm) {
   const int family = static_cast<int>(state.range(0));
   const auto p = static_cast<std::size_t>(state.range(1));
   const std::int64_t n = state.range(2);
   const bench::OwnedEnsemble e = make_family(family, p);
   const core::SpeedList speeds = e.list();
+  core::PartitionPolicy policy;
+  policy.algorithm = algorithm;
+  const bool needs_bounds =
+      core::partitioner_registry().find(algorithm)->needs_bounds;
+  if (needs_bounds && !capacity_holds(speeds, n)) {
+    state.SkipWithError("curve capacity cannot hold n");
+    return;
+  }
   int iterations = 0;
+  std::int64_t solves = 0;
   for (auto _ : state) {
-    const core::PartitionResult r = partition(speeds, n);
+    const core::PartitionResult r = core::partition(speeds, n, policy);
     iterations = r.stats.iterations;
+    solves = r.stats.intersect_solves;
     benchmark::DoNotOptimize(r.distribution.counts.data());
   }
   state.counters["search_iters"] = iterations;
+  state.counters["intersect_solves"] = static_cast<double>(solves);
   state.SetLabel(family_name(family));
-}
-
-void BM_Basic(benchmark::State& state) {
-  run_bench(state, [](const core::SpeedList& s, std::int64_t n) {
-    return core::partition_basic(s, n);
-  });
-}
-void BM_Modified(benchmark::State& state) {
-  run_bench(state, [](const core::SpeedList& s, std::int64_t n) {
-    return core::partition_modified(s, n);
-  });
-}
-void BM_Combined(benchmark::State& state) {
-  run_bench(state, [](const core::SpeedList& s, std::int64_t n) {
-    return core::partition_combined(s, n);
-  });
-}
-void BM_Interpolation(benchmark::State& state) {
-  run_bench(state, [](const core::SpeedList& s, std::int64_t n) {
-    return core::partition_interpolation(s, n);
-  });
 }
 
 void configure(benchmark::internal::Benchmark* b) {
@@ -85,32 +89,50 @@ void configure(benchmark::internal::Benchmark* b) {
 
 }  // namespace
 
-BENCHMARK(BM_Basic)->Apply(configure);
-BENCHMARK(BM_Modified)->Apply(configure);
-BENCHMARK(BM_Combined)->Apply(configure);
-BENCHMARK(BM_Interpolation)->Apply(configure);
-
 int main(int argc, char** argv) {
+  for (const core::PartitionerInfo& info :
+       core::partitioner_registry().entries()) {
+    benchmark::RegisterBenchmark(
+        ("BM_" + info.id).c_str(),
+        [id = info.id](benchmark::State& state) { run_bench(state, id); })
+        ->Apply(configure);
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  // Iteration-count summary (the paper's complexity story at a glance).
+  // Iteration-count summary (the paper's complexity story at a glance),
+  // one column per registered algorithm. '-' marks infeasible cells
+  // (bounded when the curves cannot hold n).
+  std::vector<std::string> columns{"family", "n"};
+  for (const core::PartitionerInfo& info :
+       core::partitioner_registry().entries())
+    columns.push_back(info.id);
+  columns.push_back("combined_switched");
   util::Table t("Ablation A - search iterations by family and algorithm",
-                {"family", "n", "basic", "modified", "combined",
-                 "interpolation", "combined_switched"});
+                columns);
   for (const int family : {0, 1, 2}) {
     for (const std::int64_t n : {1000000LL, 100000000LL}) {
       const bench::OwnedEnsemble e = make_family(family, 12);
       const core::SpeedList speeds = e.list();
-      const auto rb = core::partition_basic(speeds, n);
-      const auto rm = core::partition_modified(speeds, n);
-      const auto rc = core::partition_combined(speeds, n);
-      const auto ri = core::partition_interpolation(speeds, n);
-      t.add_row({family_name(family), util::fmt(static_cast<long long>(n)),
-                 util::fmt(rb.stats.iterations), util::fmt(rm.stats.iterations),
-                 util::fmt(rc.stats.iterations), util::fmt(ri.stats.iterations),
-                 rc.stats.switched_to_modified ? "yes" : "no"});
+      std::vector<std::string> row{family_name(family),
+                                   util::fmt(static_cast<long long>(n))};
+      bool switched = false;
+      for (const core::PartitionerInfo& info :
+           core::partitioner_registry().entries()) {
+        if (info.needs_bounds && !capacity_holds(speeds, n)) {
+          row.push_back("-");
+          continue;
+        }
+        core::PartitionPolicy policy;
+        policy.algorithm = info.id;
+        const auto r = core::partition(speeds, n, policy);
+        row.push_back(util::fmt(r.stats.iterations));
+        if (info.id == core::kAlgorithmCombined)
+          switched = r.stats.switched_to_modified;
+      }
+      row.push_back(switched ? "yes" : "no");
+      t.add_row(row);
     }
   }
   bench::emit(t);

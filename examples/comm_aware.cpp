@@ -36,8 +36,7 @@ int main() {
   for (const auto& net : nets) {
     const comm::CommModel model =
         comm::CommModel::uniform(speeds.size(), {1e-4, net.rate});
-    const core::Distribution naive =
-        core::partition_combined(speeds, n).distribution;
+    const core::Distribution naive = core::partition(speeds, n).distribution;
     const auto aware = comm::partition_comm_aware(speeds, n, model, prob);
     t.add_row(
         {net.name,

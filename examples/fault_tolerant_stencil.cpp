@@ -57,7 +57,7 @@ int main() {
   core::SpeedList rows_speeds;
   for (const auto& v : views) rows_speeds.push_back(&v);
   const core::Distribution before =
-      core::partition_combined(rows_speeds, static_cast<std::int64_t>(n))
+      core::partition(rows_speeds, static_cast<std::int64_t>(n), options.policy)
           .distribution;
 
   util::Table t("row distribution", {"rank", "MFLOPS", "before", "after"});

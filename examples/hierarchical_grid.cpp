@@ -43,7 +43,7 @@ int main() {
   // Compare against the flat partition over all 16 machines.
   core::SpeedList flat = sites[0];
   flat.insert(flat.end(), sites[1].begin(), sites[1].end());
-  const core::PartitionResult flat_result = core::partition_combined(flat, n);
+  const core::PartitionResult flat_result = core::partition(flat, n);
   core::Distribution hier_as_flat;
   hier_as_flat.counts = hier.flatten();
   std::cout << "\nmakespan, hierarchical : "

@@ -2,7 +2,8 @@
 //
 //  1. Describe (or measure) each processor's speed as a function of the
 //     problem size — here three machines with very different memory systems.
-//  2. Partition n elements with the combined algorithm.
+//  2. Partition n elements through the policy engine (default: the
+//     combined algorithm).
 //  3. Compare against the classic single-number distribution.
 //
 // Build & run:  ./examples/quickstart
@@ -36,8 +37,10 @@ int main() {
 
   const std::int64_t n = 100'000'000;  // 100M elements to distribute
 
-  // Functional-model partitioning (the paper's contribution).
-  const PartitionResult functional = partition_combined(speeds, n);
+  // Functional-model partitioning (the paper's contribution). The default
+  // PartitionPolicy selects the combined algorithm; pass e.g.
+  // parse_policy("modified") to switch without touching the call site.
+  const PartitionResult functional = partition(speeds, n);
 
   // The classic baseline: one speed per processor, measured at some fixed
   // reference size — here 10M elements, where "small" still looks healthy.

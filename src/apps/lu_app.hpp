@@ -5,6 +5,11 @@
 // problem size it processes at that step* — the heart of the functional
 // model's advantage, since the shrinking trailing matrix crosses paging
 // thresholds as the factorization progresses.
+//
+// Algorithm selection: the LU pipeline takes no partitioning decisions of
+// its own — the distribution is fixed by the VgbDistribution it is handed,
+// so the partitioner policy enters through VgbOptions::policy when the
+// distribution is built (see apps/vgb.hpp and core/policy.hpp).
 #pragma once
 
 #include <cstdint>

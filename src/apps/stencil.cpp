@@ -4,12 +4,13 @@
 #include <cassert>
 #include <stdexcept>
 
-#include "core/combined.hpp"
+#include "core/policy.hpp"
 
 namespace fpm::apps {
 
 StencilPlan plan_stencil(const core::SpeedList& models, std::int64_t rows,
-                         std::int64_t cols) {
+                         std::int64_t cols,
+                         const core::PartitionPolicy& policy) {
   if (models.empty()) throw std::invalid_argument("plan_stencil: no models");
   if (rows < 1 || cols < 1)
     throw std::invalid_argument("plan_stencil: grid must be >= 1x1");
@@ -23,7 +24,7 @@ StencilPlan plan_stencil(const core::SpeedList& models, std::int64_t rows,
     row_speeds.emplace_back(*m, static_cast<double>(cols));
   core::SpeedList list;
   for (const auto& rs : row_speeds) list.push_back(&rs);
-  core::PartitionResult result = core::partition_combined(list, rows);
+  core::PartitionResult result = core::partition(list, rows, policy);
   plan.rows = std::move(result.distribution.counts);
   plan.stats = std::move(result.stats);
   return plan;

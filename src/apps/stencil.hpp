@@ -15,6 +15,7 @@
 
 #include "comm/model.hpp"
 #include "core/partition.hpp"
+#include "core/policy.hpp"
 #include "simcluster/cluster.hpp"
 #include "util/matrix.hpp"
 
@@ -31,9 +32,10 @@ struct StencilPlan {
 
 /// Plans the decomposition of a rows x cols grid over the models (speed
 /// argument in cells). Bands are partitioned at row granularity with the
-/// combined algorithm.
+/// algorithm the policy selects (default: combined).
 StencilPlan plan_stencil(const core::SpeedList& models, std::int64_t rows,
-                         std::int64_t cols);
+                         std::int64_t cols,
+                         const core::PartitionPolicy& policy = {});
 
 /// One serial Jacobi sweep over the whole grid: returns the updated grid
 /// (fixed boundary values). The reference for numeric verification.

@@ -4,14 +4,15 @@
 #include <cassert>
 #include <stdexcept>
 
-#include "core/combined.hpp"
+#include "core/policy.hpp"
 #include "linalg/kernels.hpp"
 #include "simcluster/presets.hpp"
 
 namespace fpm::apps {
 
 StripedMmPlan plan_striped_mm(const core::SpeedList& models, std::int64_t n,
-                              ModelKind kind, std::int64_t reference_n) {
+                              ModelKind kind, std::int64_t reference_n,
+                              const core::PartitionPolicy& policy) {
   if (models.empty())
     throw std::invalid_argument("plan_striped_mm: no models");
   if (n <= 0) throw std::invalid_argument("plan_striped_mm: n must be >= 1");
@@ -28,7 +29,7 @@ StripedMmPlan plan_striped_mm(const core::SpeedList& models, std::int64_t n,
       core::SpeedList list;
       list.reserve(models.size());
       for (const auto& rs : row_speeds) list.push_back(&rs);
-      core::PartitionResult result = core::partition_combined(list, n);
+      core::PartitionResult result = core::partition(list, n, policy);
       plan.rows = std::move(result.distribution.counts);
       plan.stats = std::move(result.stats);
       break;
@@ -42,13 +43,13 @@ StripedMmPlan plan_striped_mm(const core::SpeedList& models, std::int64_t n,
         constants[i] = models[i]->speed(ref_elements);
       core::Distribution d = core::partition_single_number(n, constants);
       plan.rows = std::move(d.counts);
-      plan.stats.algorithm = "single-number";
+      plan.stats.algorithm = core::kAlgorithmSingleNumber;
       break;
     }
     case ModelKind::Even: {
       core::Distribution d = core::partition_even(n, models.size());
       plan.rows = std::move(d.counts);
-      plan.stats.algorithm = "even";
+      plan.stats.algorithm = core::kAlgorithmEven;
       break;
     }
   }

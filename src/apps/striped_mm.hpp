@@ -17,6 +17,7 @@
 
 #include "comm/model.hpp"
 #include "core/partition.hpp"
+#include "core/policy.hpp"
 #include "simcluster/cluster.hpp"
 #include "util/matrix.hpp"
 
@@ -39,9 +40,11 @@ struct StripedMmPlan {
 /// (x in elements). For ModelKind::SingleNumber the constant speeds are the
 /// model values at the problem size of a reference_n x reference_n serial
 /// multiplication (3·reference_n² elements) — exactly the paper's baseline.
+/// `policy` selects the partitioner for ModelKind::Functional (default:
+/// combined); the baselines ignore it.
 StripedMmPlan plan_striped_mm(const core::SpeedList& models, std::int64_t n,
-                              ModelKind kind,
-                              std::int64_t reference_n = 500);
+                              ModelKind kind, std::int64_t reference_n = 500,
+                              const core::PartitionPolicy& policy = {});
 
 /// Simulated wall-clock seconds of executing the plan on the cluster:
 /// every machine multiplies its slice concurrently; the makespan is the

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/bounded.hpp"
+#include "core/policy.hpp"
 #include "util/rng.hpp"
 
 namespace fpm::apps {
@@ -57,7 +58,8 @@ std::size_t count_occurrences(std::string_view text,
   return count;
 }
 
-SearchPlan plan_search(const core::SpeedList& models, const Corpus& corpus) {
+SearchPlan plan_search(const core::SpeedList& models, const Corpus& corpus,
+                       const SearchPlanOptions& opts) {
   if (models.empty()) throw std::invalid_argument("plan_search: no models");
   if (corpus.documents.empty())
     throw std::invalid_argument("plan_search: empty corpus");
@@ -67,7 +69,37 @@ SearchPlan plan_search(const core::SpeedList& models, const Corpus& corpus) {
     weights.push_back(static_cast<double>(std::max<std::size_t>(d.size(), 1)));
 
   SearchPlan plan;
-  plan.boundaries = core::partition_weighted_contiguous(models, weights);
+  if (opts.partition_by_bytes) {
+    // Partition the total byte count with the policy-selected algorithm,
+    // then pack whole documents contiguously: each processor takes
+    // documents until the next one would overshoot its byte target (always
+    // at least one while elements remain, so every document is assigned).
+    double total = 0.0;
+    for (const double w : weights) total += w;
+    core::PartitionResult r = core::partition(
+        models, static_cast<std::int64_t>(std::llround(total)), opts.policy);
+    plan.stats = std::move(r.stats);
+    plan.boundaries.assign(models.size() + 1, 0);
+    std::size_t next = 0;
+    double packed = 0.0;
+    double target_prefix = 0.0;
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      target_prefix += static_cast<double>(r.distribution.counts[i]);
+      // A document goes to processor i while its midpoint falls before the
+      // cumulative byte target — monotone boundaries, every document
+      // assigned exactly once.
+      while (next < weights.size() &&
+             packed + 0.5 * weights[next] <= target_prefix) {
+        packed += weights[next];
+        ++next;
+      }
+      plan.boundaries[i + 1] = next;
+    }
+    plan.boundaries.back() = corpus.documents.size();
+  } else {
+    plan.boundaries = core::partition_weighted_contiguous(models, weights);
+    plan.stats.algorithm = core::kAlgorithmWeightedContiguous;
+  }
   plan.bytes.assign(models.size(), 0.0);
   for (std::size_t i = 0; i < models.size(); ++i)
     for (std::size_t j = plan.boundaries[i]; j < plan.boundaries[i + 1]; ++j)

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/partition.hpp"
+#include "core/policy.hpp"
 #include "simcluster/cluster.hpp"
 
 namespace fpm::apps {
@@ -42,12 +43,25 @@ std::size_t count_occurrences(std::string_view text, std::string_view pattern);
 struct SearchPlan {
   std::vector<std::size_t> boundaries;  ///< size p+1, 0 .. documents
   std::vector<double> bytes;            ///< bytes assigned per processor
+  core::PartitionStats stats;           ///< partitioner diagnostics
 };
 
-/// Plans the distribution with weighted contiguous partitioning: weights
-/// are document byte sizes, speed argument is assigned bytes. Models must
-/// use bytes as the problem-size unit.
-SearchPlan plan_search(const core::SpeedList& models, const Corpus& corpus);
+struct SearchPlanOptions {
+  /// false (default): weighted contiguous partitioning over document-size
+  /// weights — exact for unequal documents, ignores `policy`'s algorithm.
+  /// true: partition the corpus's total *bytes* with the policy-selected
+  /// family algorithm, then pack whole documents contiguously up to each
+  /// processor's byte target — approximate at document granularity but
+  /// exercises the same engine as every other layer.
+  bool partition_by_bytes = false;
+  /// Partitioner for the by-bytes mode (default: combined).
+  core::PartitionPolicy policy{};
+};
+
+/// Plans the distribution: weights are document byte sizes, speed argument
+/// is assigned bytes. Models must use bytes as the problem-size unit.
+SearchPlan plan_search(const core::SpeedList& models, const Corpus& corpus,
+                       const SearchPlanOptions& opts = {});
 
 /// Runs the search: every processor's range is scanned (serially here) and
 /// the per-range counts are summed. The distributed result must equal the

@@ -6,7 +6,7 @@
 #include <numeric>
 #include <stdexcept>
 
-#include "core/combined.hpp"
+#include "core/policy.hpp"
 
 namespace fpm::apps {
 
@@ -42,7 +42,7 @@ VgbDistribution variable_group_block(const core::SpeedList& models,
     // Step 1: optimal shares (x_i) for the remaining sub-matrix.
     std::vector<double> shares(p);
     if (opts.model == VgbModel::Functional) {
-      core::PartitionResult r = core::partition_combined(models, elements);
+      core::PartitionResult r = core::partition(models, elements, opts.policy);
       for (std::size_t i = 0; i < p; ++i)
         shares[i] = static_cast<double>(r.distribution.counts[i]);
     } else {

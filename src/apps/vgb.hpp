@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/partition.hpp"
+#include "core/policy.hpp"
 
 namespace fpm::apps {
 
@@ -37,6 +38,9 @@ struct VgbOptions {
   /// Reference matrix size for VgbModel::SingleNumber: constant speeds are
   /// the model values at reference_n² elements.
   std::int64_t reference_n = 2000;
+  /// Partitioner for the per-group optimal-share solve under
+  /// VgbModel::Functional (default: combined); SingleNumber ignores it.
+  core::PartitionPolicy policy{};
 };
 
 /// The computed distribution: which processor owns every column block.

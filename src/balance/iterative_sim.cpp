@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "core/combined.hpp"
+#include "core/policy.hpp"
 
 namespace fpm::balance {
 
@@ -24,7 +24,8 @@ IterativeResult simulate_iterative(sim::SimulatedCluster& cluster,
       break;
     case BalancePolicy::StaticFunctional: {
       sim::ClusterModels models = sim::build_cluster_models(cluster, app);
-      dist = core::partition_combined(models.list(), opts.n).distribution;
+      dist = core::partition(models.list(), opts.n, opts.partition_policy)
+                 .distribution;
       break;
     }
   }

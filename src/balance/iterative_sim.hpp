@@ -36,6 +36,9 @@ struct IterativeOptions {
   BalancePolicy policy = BalancePolicy::Online;
   RebalancerOptions rebalance;     ///< used when policy == Online
   OnlineModelOptions model;        ///< used when policy == Online
+  /// Partitioner for the offline StaticFunctional solve (default:
+  /// combined). Online runs take theirs from `rebalance.policy`.
+  core::PartitionPolicy partition_policy{};
 };
 
 struct IterativeResult {

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "core/combined.hpp"
+#include "core/policy.hpp"
 
 namespace fpm::balance {
 
@@ -47,7 +47,7 @@ core::Distribution Rebalancer::partition_active() const {
     speeds.reserve(curves.size());
     for (const auto& c : curves) speeds.push_back(&c);
     const core::Distribution sub =
-        core::partition_combined(speeds, n_).distribution;
+        core::partition(speeds, n_, opts_.policy).distribution;
     for (std::size_t j = 0; j < alive.size(); ++j)
       out.counts[alive[j]] = sub.counts[j];
   } else {

@@ -19,6 +19,7 @@
 
 #include "balance/online_model.hpp"
 #include "core/partition.hpp"
+#include "core/policy.hpp"
 
 namespace fpm::balance {
 
@@ -50,6 +51,9 @@ struct RebalancerOptions {
   /// iteration time (<= 0 or NaN) for this many consecutive iterations is
   /// likewise drained. 0 disables missing-measurement collapse detection.
   int max_missing_measurements = 0;
+  /// Partitioner applied to the learned curves on every repartition
+  /// (default: combined).
+  core::PartitionPolicy policy{};
 };
 
 class Rebalancer {

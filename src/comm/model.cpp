@@ -73,7 +73,7 @@ core::PartitionResult partition_comm_aware(const core::SpeedList& speeds,
   if (problem.root >= speeds.size())
     throw std::invalid_argument("partition_comm_aware: root out of range");
   core::PartitionResult result;
-  result.stats.algorithm = "comm-aware";
+  result.stats.algorithm = core::kAlgorithmCommAware;
   result.distribution.counts.assign(speeds.size(), 0);
   if (n <= 0) return result;
 

@@ -23,18 +23,20 @@ PartitionResult partition_basic(const SpeedList& speeds, std::int64_t n,
   if (speeds.empty())
     throw std::invalid_argument("partition_basic: no speeds");
   PartitionResult result;
-  result.stats.algorithm = "basic";
+  result.stats.algorithm = kAlgorithmBasic;
   if (n <= 0) {
     result.distribution.counts.assign(speeds.size(), 0);
     return result;
   }
-  detail::SearchState state(speeds, n);
+  detail::SearchState state(speeds, n, &opts.observer);
   while (!state.converged() && state.iterations() < opts.max_iterations)
     state.step_basic(opts.bisect_angles);
   result.stats.iterations = state.iterations();
   result.stats.intersections = state.intersections();
   result.stats.final_slope = state.hi_slope();
-  result.distribution = fine_tune(speeds, n, state.small());
+  result.distribution = fine_tune(state.counted_speeds(), n, state.small());
+  result.stats.speed_evals = state.speed_evals();
+  result.stats.intersect_solves = state.intersect_solves();
   return result;
 }
 

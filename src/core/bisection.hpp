@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "core/observer.hpp"
 #include "core/partition.hpp"
 
 namespace fpm::core {
@@ -20,6 +21,9 @@ struct BasicBisectionOptions {
   /// Hard iteration cap; on hitting it the current bracket is fine-tuned
   /// as-is (the result is still a valid distribution, possibly sub-optimal).
   int max_iterations = 1 << 20;
+  /// Optional per-step trace callback (see core/observer.hpp). Empty
+  /// disables instrumentation.
+  SearchObserver observer{};
 };
 
 /// Partitions n elements over speeds.size() processors with the basic

@@ -11,7 +11,8 @@
 namespace fpm::core {
 
 PartitionResult partition_bounded(const SpeedList& speeds, std::int64_t n,
-                                  std::span<const std::int64_t> bounds) {
+                                  std::span<const std::int64_t> bounds,
+                                  const BoundedOptions& opts) {
   if (speeds.size() != bounds.size())
     throw std::invalid_argument("partition_bounded: size mismatch");
   std::int64_t capacity = 0;
@@ -23,7 +24,7 @@ PartitionResult partition_bounded(const SpeedList& speeds, std::int64_t n,
     throw std::invalid_argument("partition_bounded: bounds cannot hold n");
 
   PartitionResult result;
-  result.stats.algorithm = "bounded";
+  result.stats.algorithm = kAlgorithmBounded;
   result.distribution.counts.assign(speeds.size(), 0);
 
   std::vector<std::size_t> active(speeds.size());
@@ -34,10 +35,13 @@ PartitionResult partition_bounded(const SpeedList& speeds, std::int64_t n,
     SpeedList sub;
     sub.reserve(active.size());
     for (const std::size_t i : active) sub.push_back(speeds[i]);
-    PartitionResult sub_result = partition_combined(sub, remaining);
+    PartitionResult sub_result = partition_combined(sub, remaining, opts.inner);
     result.stats.iterations += sub_result.stats.iterations;
     result.stats.intersections += sub_result.stats.intersections;
+    result.stats.speed_evals += sub_result.stats.speed_evals;
+    result.stats.intersect_solves += sub_result.stats.intersect_solves;
     result.stats.final_slope = sub_result.stats.final_slope;
+    result.stats.switched_to_modified |= sub_result.stats.switched_to_modified;
 
     // Clamp the over-bound processors; everyone else keeps the tentative
     // share only if no clamping happened (otherwise the residual is

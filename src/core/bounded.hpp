@@ -9,9 +9,16 @@
 #include <cstdint>
 #include <span>
 
+#include "core/combined.hpp"
 #include "core/partition.hpp"
 
 namespace fpm::core {
+
+struct BoundedOptions {
+  /// Options (including the trace observer) applied to the combined-search
+  /// solve of every clamp-and-resolve round.
+  CombinedOptions inner{};
+};
 
 /// Partitions n unit-weight elements subject to per-processor capacity
 /// bounds: counts[i] <= bounds[i] and sum == n, minimizing the makespan.
@@ -22,7 +29,8 @@ namespace fpm::core {
 /// processor, so at most p rounds run. Throws std::invalid_argument when
 /// sum(bounds) < n (infeasible).
 PartitionResult partition_bounded(const SpeedList& speeds, std::int64_t n,
-                                  std::span<const std::int64_t> bounds);
+                                  std::span<const std::int64_t> bounds,
+                                  const BoundedOptions& opts = {});
 
 /// Exact bounded integer optimum via makespan bisection with capped
 /// capacities — the oracle used to test partition_bounded.

@@ -14,12 +14,12 @@ PartitionResult partition_combined(const SpeedList& speeds, std::int64_t n,
   if (speeds.empty())
     throw std::invalid_argument("partition_combined: no speeds");
   PartitionResult result;
-  result.stats.algorithm = "combined";
+  result.stats.algorithm = kAlgorithmCombined;
   if (n <= 0) {
     result.distribution.counts.assign(speeds.size(), 0);
     return result;
   }
-  detail::SearchState state(speeds, n);
+  detail::SearchState state(speeds, n, &opts.observer);
 
   // Phase 1: basic bisection while it makes geometric progress.
   std::int64_t window_start_count = state.total_interior();
@@ -54,7 +54,9 @@ PartitionResult partition_combined(const SpeedList& speeds, std::int64_t n,
   result.stats.intersections = state.intersections();
   result.stats.final_slope = state.hi_slope();
   result.stats.switched_to_modified = switched;
-  result.distribution = fine_tune(speeds, n, state.small());
+  result.distribution = fine_tune(state.counted_speeds(), n, state.small());
+  result.stats.speed_evals = state.speed_evals();
+  result.stats.intersect_solves = state.intersect_solves();
   return result;
 }
 

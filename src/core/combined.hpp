@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "core/observer.hpp"
 #include "core/partition.hpp"
 
 namespace fpm::core {
@@ -21,6 +22,9 @@ struct CombinedOptions {
   /// See BasicBisectionOptions::bisect_angles.
   bool bisect_angles = true;
   int max_iterations = 1 << 22;
+  /// Optional per-step trace callback (see core/observer.hpp). Empty
+  /// disables instrumentation.
+  SearchObserver observer{};
 };
 
 /// Partitions n elements with the combined basic/modified strategy followed

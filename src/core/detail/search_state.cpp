@@ -6,12 +6,21 @@
 
 namespace fpm::core::detail {
 
-SearchState::SearchState(const SpeedList& speeds, std::int64_t n)
-    : speeds_(speeds), n_(static_cast<double>(n)) {
-  bracket_ = detect_bracket(speeds, n);
+SearchState::SearchState(const SpeedList& speeds, std::int64_t n,
+                         const SearchObserver* observer)
+    : n_(static_cast<double>(n)), observer_(observer) {
+  views_.reserve(speeds.size());
+  speeds_.reserve(speeds.size());
+  for (const SpeedFunction* f : speeds) {
+    views_.emplace_back(*f, &speed_evals_, &intersect_solves_);
+    speeds_.push_back(&views_.back());
+  }
+  bracket_ = detect_bracket(speeds_, n);
   small_ = sizes_at(speeds_, bracket_.hi_slope);
   large_ = sizes_at(speeds_, bracket_.lo_slope);
   intersections_ += static_cast<int>(2 * speeds_.size());
+  if (observing())
+    emit(SearchStepKind::Bracket, bracket_.hi_slope, false, kNoProcessor);
 }
 
 std::int64_t SearchState::interior_count(std::size_t i) const {
@@ -41,20 +50,45 @@ bool SearchState::converged() const {
   return true;
 }
 
-void SearchState::split_at(double slope) {
+void SearchState::emit(SearchStepKind kind, double slope, bool kept_low,
+                       std::size_t processor) const {
+  SearchStep step;
+  step.iteration = iterations_;
+  step.kind = kind;
+  step.slope = slope;
+  step.lo_slope = bracket_.lo_slope;
+  step.hi_slope = bracket_.hi_slope;
+  step.interior = total_interior();
+  step.kept_low = kept_low;
+  step.processor = processor;
+  (*observer_)(step);
+}
+
+void SearchState::split_at(double slope, SearchStepKind kind,
+                           std::size_t processor) {
   ++iterations_;
   std::vector<double> sizes = sizes_at(speeds_, slope);
   intersections_ += static_cast<int>(speeds_.size());
   double sum = 0.0;
   for (const double x : sizes) sum += x;
+  bool kept_low;
   if (sum < n_) {
     // Line too steep: the optimum lies in the shallower (lower) region.
     bracket_.hi_slope = slope;
     small_ = std::move(sizes);
+    kept_low = true;
   } else {
     bracket_.lo_slope = slope;
     large_ = std::move(sizes);
+    kept_low = false;
   }
+  if (observing()) emit(kind, slope, kept_low, processor);
+}
+
+void SearchState::degenerate_step(double slope) {
+  ++iterations_;
+  if (observing())
+    emit(SearchStepKind::Degenerate, slope, false, kNoProcessor);
 }
 
 void SearchState::step_basic(bool bisect_angles) {
@@ -72,20 +106,20 @@ void SearchState::step_basic(bool bisect_angles) {
   if (!(mid > bracket_.lo_slope) || !(mid < bracket_.hi_slope))
     mid = std::sqrt(bracket_.lo_slope * bracket_.hi_slope);
   if (!(mid > bracket_.lo_slope) || !(mid < bracket_.hi_slope)) {
-    ++iterations_;
+    degenerate_step(mid);
     return;
   }
-  split_at(mid);
+  split_at(mid, SearchStepKind::Basic);
 }
 
 void SearchState::step_custom(double slope) {
   if (!(slope > bracket_.lo_slope) || !(slope < bracket_.hi_slope))
     slope = 0.5 * (bracket_.lo_slope + bracket_.hi_slope);
   if (!(slope > bracket_.lo_slope) || !(slope < bracket_.hi_slope)) {
-    ++iterations_;
+    degenerate_step(slope);
     return;
   }
-  split_at(slope);
+  split_at(slope, SearchStepKind::Custom);
 }
 
 void SearchState::step_modified() {
@@ -104,13 +138,16 @@ void SearchState::step_modified() {
   // m lies strictly between the two intersections of graph `best`, so by the
   // decreasing-ratio property the new slope lies strictly inside the slope
   // interval; re-bisect on tangents if round-off breaks that.
-  if (!(slope > bracket_.lo_slope) || !(slope < bracket_.hi_slope))
-    slope = 0.5 * (bracket_.lo_slope + bracket_.hi_slope);
-  if (!(slope > bracket_.lo_slope) || !(slope < bracket_.hi_slope)) {
-    ++iterations_;
+  if (slope > bracket_.lo_slope && slope < bracket_.hi_slope) {
+    split_at(slope, SearchStepKind::Modified, best);
     return;
   }
-  split_at(slope);
+  slope = 0.5 * (bracket_.lo_slope + bracket_.hi_slope);
+  if (!(slope > bracket_.lo_slope) || !(slope < bracket_.hi_slope)) {
+    degenerate_step(slope);
+    return;
+  }
+  split_at(slope, SearchStepKind::Basic);
 }
 
 }  // namespace fpm::core::detail

@@ -6,16 +6,53 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/observer.hpp"
 #include "core/partition.hpp"
 
 namespace fpm::core::detail {
+
+/// Non-owning wrapper that counts every speed() evaluation and intersect()
+/// solve made through it, forwarding both to the wrapped function so the
+/// numerics (including closed-form intersects) are bit-identical. The
+/// counters live in the owning SearchState and outlive the view.
+class CountingSpeedView final : public SpeedFunction {
+ public:
+  CountingSpeedView(const SpeedFunction& base, std::int64_t* speed_evals,
+                    std::int64_t* intersect_solves)
+      : base_(&base),
+        speed_evals_(speed_evals),
+        intersect_solves_(intersect_solves) {}
+
+  double speed(double x) const override {
+    ++*speed_evals_;
+    return base_->speed(x);
+  }
+  double max_size() const override { return base_->max_size(); }
+  double intersect(double slope) const override {
+    ++*intersect_solves_;
+    return base_->intersect(slope);
+  }
+
+ private:
+  const SpeedFunction* base_;
+  std::int64_t* speed_evals_;
+  std::int64_t* intersect_solves_;
+};
 
 /// The region between two lines through the origin, tracked as the slope
 /// interval together with the per-processor intersection coordinates.
 class SearchState {
  public:
-  /// Initializes from the Figure-18 bracket and solves both lines.
-  SearchState(const SpeedList& speeds, std::int64_t n);
+  /// Initializes from the Figure-18 bracket and solves both lines. The
+  /// observer pointer, when non-null and pointing at a non-empty function,
+  /// receives one SearchStep per bracket/slope decision; it must outlive
+  /// this object.
+  SearchState(const SpeedList& speeds, std::int64_t n,
+              const SearchObserver* observer = nullptr);
+
+  // speeds_ holds pointers into views_, so shallow copies would dangle.
+  SearchState(const SearchState&) = delete;
+  SearchState& operator=(const SearchState&) = delete;
 
   /// Per-processor intersections with the steep line (sum <= n).
   const std::vector<double>& small() const noexcept { return small_; }
@@ -26,6 +63,17 @@ class SearchState {
   double lo_slope() const noexcept { return bracket_.lo_slope; }
   int iterations() const noexcept { return iterations_; }
   int intersections() const noexcept { return intersections_; }
+
+  /// Speed-function evaluations observed at the SpeedFunction boundary
+  /// (includes bracket-detection probes, unlike intersections()).
+  std::int64_t speed_evals() const noexcept { return speed_evals_; }
+  /// c·x = s(x) solves observed at the SpeedFunction boundary.
+  std::int64_t intersect_solves() const noexcept { return intersect_solves_; }
+
+  /// The counting views over the caller's speeds, for running follow-up
+  /// solves (e.g. fine-tuning) under the same counters. Valid only while
+  /// this SearchState is alive.
+  const SpeedList& counted_speeds() const noexcept { return speeds_; }
 
   /// Count of integers k with small[i] < k <= large[i]: the candidate
   /// solutions the i-th graph still contributes to the solution space.
@@ -56,15 +104,28 @@ class SearchState {
  private:
   /// Evaluates the line of slope `c`, then assigns it to the steep or
   /// shallow side depending on whether its total size is below n.
-  void split_at(double slope);
+  void split_at(double slope, SearchStepKind kind,
+                std::size_t processor = kNoProcessor);
 
-  SpeedList speeds_;  // non-owning pointers, copied so temporaries are safe
+  /// Records an interval at round-off width where no usable split existed
+  /// (the attempted slope is logged; the bracket is unchanged).
+  void degenerate_step(double slope);
+
+  bool observing() const { return observer_ && *observer_; }
+  void emit(SearchStepKind kind, double slope, bool kept_low,
+            std::size_t processor) const;
+
+  std::vector<CountingSpeedView> views_;  // counted views over caller speeds
+  SpeedList speeds_;                      // pointers into views_
   double n_;
   SlopeBracket bracket_;
   std::vector<double> small_;
   std::vector<double> large_;
   int iterations_ = 0;
   int intersections_ = 0;
+  std::int64_t speed_evals_ = 0;
+  std::int64_t intersect_solves_ = 0;
+  const SearchObserver* observer_ = nullptr;
 };
 
 }  // namespace fpm::core::detail

@@ -10,7 +10,9 @@
 #include "core/hierarchy.hpp"
 #include "core/interpolation.hpp"
 #include "core/modified.hpp"
+#include "core/observer.hpp"
 #include "core/partition.hpp"
 #include "core/piecewise.hpp"
+#include "core/policy.hpp"
 #include "core/speed_function.hpp"
 #include "core/surface.hpp"

@@ -3,7 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
-#include "core/combined.hpp"
+#include "core/policy.hpp"
 
 namespace fpm::core {
 
@@ -68,9 +68,14 @@ std::vector<std::int64_t> HierarchicalResult::flatten() const {
 }
 
 HierarchicalResult partition_hierarchical(
-    const std::vector<SpeedList>& groups, std::int64_t n) {
+    const std::vector<SpeedList>& groups, std::int64_t n,
+    const PartitionPolicy& policy) {
   if (groups.empty())
     throw std::invalid_argument("partition_hierarchical: no groups");
+  if (!policy.bounds.empty())
+    throw std::invalid_argument(
+        "partition_hierarchical: per-processor bounds do not map onto the "
+        "group/member levels");
   std::vector<AggregateSpeed> aggregates;
   aggregates.reserve(groups.size());
   for (const SpeedList& members : groups) aggregates.emplace_back(members);
@@ -80,10 +85,10 @@ HierarchicalResult partition_hierarchical(
   for (const AggregateSpeed& a : aggregates) top.push_back(&a);
 
   HierarchicalResult result;
-  PartitionResult top_result = partition_combined(top, n);
+  PartitionResult top_result = partition(top, n, policy);
   result.group_counts = std::move(top_result.distribution.counts);
   result.stats = std::move(top_result.stats);
-  result.stats.algorithm = "hierarchical";
+  result.stats.algorithm = kAlgorithmHierarchical;
 
   result.within.reserve(groups.size());
   for (std::size_t g = 0; g < groups.size(); ++g) {
@@ -93,10 +98,11 @@ HierarchicalResult partition_hierarchical(
       result.within.push_back(std::move(empty));
       continue;
     }
-    PartitionResult inner =
-        partition_combined(groups[g], result.group_counts[g]);
+    PartitionResult inner = partition(groups[g], result.group_counts[g], policy);
     result.stats.iterations += inner.stats.iterations;
     result.stats.intersections += inner.stats.intersections;
+    result.stats.speed_evals += inner.stats.speed_evals;
+    result.stats.intersect_solves += inner.stats.intersect_solves;
     result.within.push_back(std::move(inner.distribution));
   }
   return result;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/partition.hpp"
+#include "core/policy.hpp"
 
 namespace fpm::core {
 
@@ -68,10 +69,13 @@ struct HierarchicalResult {
 };
 
 /// Partitions n elements over groups of processors: top level across the
-/// aggregates (combined algorithm), second level within each group.
-/// `groups[g]` lists the members of group g (non-owning; must be
-/// non-empty). Requires at least one group.
+/// aggregates, second level within each group, both with the algorithm the
+/// policy selects (default: combined). `groups[g]` lists the members of
+/// group g (non-owning; must be non-empty). Requires at least one group.
+/// Policies with per-processor state (the bounded algorithm's bounds) are
+/// not meaningful across the two levels and are rejected.
 HierarchicalResult partition_hierarchical(
-    const std::vector<SpeedList>& groups, std::int64_t n);
+    const std::vector<SpeedList>& groups, std::int64_t n,
+    const PartitionPolicy& policy = {});
 
 }  // namespace fpm::core

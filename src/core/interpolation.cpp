@@ -15,12 +15,12 @@ PartitionResult partition_interpolation(const SpeedList& speeds,
   if (speeds.empty())
     throw std::invalid_argument("partition_interpolation: no speeds");
   PartitionResult result;
-  result.stats.algorithm = "interpolation";
+  result.stats.algorithm = kAlgorithmInterpolation;
   if (n <= 0) {
     result.distribution.counts.assign(speeds.size(), 0);
     return result;
   }
-  detail::SearchState state(speeds, n);
+  detail::SearchState state(speeds, n, &opts.observer);
   const double target = std::log(static_cast<double>(n));
 
   while (!state.converged() && state.iterations() < opts.max_iterations) {
@@ -56,7 +56,9 @@ PartitionResult partition_interpolation(const SpeedList& speeds,
   result.stats.iterations = state.iterations();
   result.stats.intersections = state.intersections();
   result.stats.final_slope = state.hi_slope();
-  result.distribution = fine_tune(speeds, n, state.small());
+  result.distribution = fine_tune(state.counted_speeds(), n, state.small());
+  result.stats.speed_evals = state.speed_evals();
+  result.stats.intersect_solves = state.intersect_solves();
   return result;
 }
 

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 
+#include "core/observer.hpp"
 #include "core/partition.hpp"
 
 namespace fpm::core {
@@ -32,6 +33,9 @@ struct InterpolationOptions {
   /// inside; outside, the step is replaced by a bisection.
   double safeguard_margin = 0.01;
   int max_iterations = 1 << 20;
+  /// Optional per-step trace callback (see core/observer.hpp). Empty
+  /// disables instrumentation.
+  SearchObserver observer{};
 };
 
 /// Partitions n elements with the safeguarded log-log regula-falsi search

@@ -14,12 +14,12 @@ PartitionResult partition_modified(const SpeedList& speeds, std::int64_t n,
   if (speeds.empty())
     throw std::invalid_argument("partition_modified: no speeds");
   PartitionResult result;
-  result.stats.algorithm = "modified";
+  result.stats.algorithm = kAlgorithmModified;
   if (n <= 0) {
     result.distribution.counts.assign(speeds.size(), 0);
     return result;
   }
-  detail::SearchState state(speeds, n);
+  detail::SearchState state(speeds, n, &opts.observer);
   // The guaranteed bound: each p steps halve the candidate count of at most
   // p·n lines, so p·log2(p·n) steps suffice; slack covers the bracket setup.
   const double pd = static_cast<double>(speeds.size());
@@ -31,7 +31,9 @@ PartitionResult partition_modified(const SpeedList& speeds, std::int64_t n,
   result.stats.iterations = state.iterations();
   result.stats.intersections = state.intersections();
   result.stats.final_slope = state.hi_slope();
-  result.distribution = fine_tune(speeds, n, state.small());
+  result.distribution = fine_tune(state.counted_speeds(), n, state.small());
+  result.stats.speed_evals = state.speed_evals();
+  result.stats.intersect_solves = state.intersect_solves();
   return result;
 }
 

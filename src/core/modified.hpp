@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "core/observer.hpp"
 #include "core/partition.hpp"
 
 namespace fpm::core {
@@ -18,6 +19,9 @@ struct ModifiedBisectionOptions {
   /// Hard iteration cap; the p·log₂(n) bound plus slack is applied on top
   /// of this automatically.
   int max_iterations = 1 << 22;
+  /// Optional per-step trace callback (see core/observer.hpp). Empty
+  /// disables instrumentation.
+  SearchObserver observer{};
 };
 
 /// Partitions n elements with the modified (space-of-solutions) algorithm

@@ -18,6 +18,22 @@
 
 namespace fpm::core {
 
+/// Canonical algorithm ids reported in PartitionStats::algorithm. The first
+/// five name the registered members of the partitioner family (see
+/// core/policy.hpp); the rest name special-purpose partitioners that report
+/// through the same field.
+inline constexpr const char* kAlgorithmBasic = "basic";
+inline constexpr const char* kAlgorithmModified = "modified";
+inline constexpr const char* kAlgorithmCombined = "combined";
+inline constexpr const char* kAlgorithmInterpolation = "interpolation";
+inline constexpr const char* kAlgorithmBounded = "bounded";
+inline constexpr const char* kAlgorithmEven = "even";
+inline constexpr const char* kAlgorithmSingleNumber = "single-number";
+inline constexpr const char* kAlgorithmHierarchical = "hierarchical";
+inline constexpr const char* kAlgorithmCommAware = "comm-aware";
+inline constexpr const char* kAlgorithmWeightedContiguous =
+    "weighted-contiguous";
+
 /// Integer allocation of the n elements: counts[i] elements to processor i.
 struct Distribution {
   std::vector<std::int64_t> counts;
@@ -27,12 +43,22 @@ struct Distribution {
 };
 
 /// Diagnostics reported by the iterative partitioners.
+///
+/// Two counter families coexist: `iterations`/`intersections` are the
+/// paper-facing accounting (bisection steps and the p solves each one
+/// charges, plus 2p for the initial bracket) and are left untouched for
+/// backward compatibility; `speed_evals`/`intersect_solves` are measured at
+/// the SpeedFunction boundary and therefore also see bracket-expansion
+/// probes, fallback re-bisections, and fine-tuning — they are the honest
+/// totals the complexity guards assert on.
 struct PartitionStats {
   int iterations = 0;              ///< bisection steps performed
   int intersections = 0;           ///< c·x = s(x) solves performed
   double final_slope = 0.0;        ///< slope of the line used for fine-tuning
-  std::string algorithm;           ///< which algorithm produced the result
+  std::string algorithm;           ///< registry id of the producing algorithm
   bool switched_to_modified = false;  ///< combined algorithm fell back
+  std::int64_t speed_evals = 0;       ///< s(x) evaluations observed
+  std::int64_t intersect_solves = 0;  ///< c·x = s(x) solves observed
 };
 
 /// A partitioner's output: the integer allocation plus diagnostics.

@@ -5,8 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "core/combined.hpp"
 #include "core/partition.hpp"
+#include "core/policy.hpp"
 #include "linalg/kernels.hpp"
 #include "mpp/fault.hpp"
 
@@ -55,14 +55,15 @@ std::vector<double> CheckpointStore::load(int version,
 namespace {
 
 /// Allocates n items over the alive ranks: counts indexed by *rank* (dead
-/// ranks get 0). Uses the FPM combined partitioner over the survivors'
+/// ranks get 0). Runs the world's partitioner policy over the survivors'
 /// speed curves at item granularity (`elements_per_item` elements each);
 /// falls back to an even split when no usable curves are supplied.
 std::vector<std::int64_t> partition_over(const std::vector<int>& active,
                                          int ranks,
-                                         const core::SpeedList& speeds,
+                                         const FaultToleranceOptions& options,
                                          std::int64_t n,
                                          double elements_per_item) {
+  const core::SpeedList& speeds = options.speeds;
   std::vector<std::int64_t> counts(static_cast<std::size_t>(ranks), 0);
   core::Distribution d;
   if (speeds.size() == static_cast<std::size_t>(ranks)) {
@@ -74,7 +75,7 @@ std::vector<std::int64_t> partition_over(const std::vector<int>& active,
     core::SpeedList sub;
     sub.reserve(views.size());
     for (const auto& v : views) sub.push_back(&v);
-    d = core::partition_combined(sub, n).distribution;
+    d = core::partition(sub, n, options.policy).distribution;
   } else {
     d = core::partition_even(n, active.size());
   }
@@ -169,7 +170,7 @@ FtJacobiResult fault_tolerant_jacobi(const util::MatrixD& grid, int ranks,
         const std::vector<int> active = comm.alive_ranks();
         const int from = store.latest_complete();
         const std::vector<std::int64_t> rows = partition_over(
-            active, ranks, options.speeds, n_rows, static_cast<double>(cols));
+            active, ranks, options, n_rows, static_cast<double>(cols));
         const std::vector<std::size_t> first = prefix_offsets(rows);
 
         // Ring neighbours among non-empty bands (dead ranks own 0 rows).
@@ -284,7 +285,7 @@ namespace {
 /// computes the identical map.
 std::vector<int> owners_over(std::span<const int> base,
                              const std::vector<int>& active, int ranks,
-                             const core::SpeedList& speeds,
+                             const FaultToleranceOptions& options,
                              double elements_per_block) {
   std::vector<char> alive(static_cast<std::size_t>(ranks), 0);
   for (const int r : active) alive[static_cast<std::size_t>(r)] = 1;
@@ -295,7 +296,7 @@ std::vector<int> owners_over(std::span<const int> base,
   if (orphans.empty()) return owners;
 
   std::vector<std::int64_t> quota =
-      partition_over(active, ranks, speeds,
+      partition_over(active, ranks, options,
                      static_cast<std::int64_t>(orphans.size()),
                      elements_per_block);
   std::size_t next_orphan = 0;
@@ -366,7 +367,7 @@ FtLuResult fault_tolerant_lu(const util::MatrixD& a, std::size_t block,
         const std::vector<int> active = comm.alive_ranks();
         const int from = store.latest_complete();
         const std::vector<int> owners =
-            owners_over(base_owner, active, ranks, options.speeds,
+            owners_over(base_owner, active, ranks, options,
                         static_cast<double>(n * block));
 
         std::map<std::size_t, util::MatrixD> mine;
@@ -554,7 +555,7 @@ FtMmResult fault_tolerant_mm_abt(const util::MatrixD& a,
       try {
         const std::vector<int> active = comm.alive_ranks();
         const std::vector<std::int64_t> rows =
-            partition_over(active, ranks, options.speeds,
+            partition_over(active, ranks, options,
                            static_cast<std::int64_t>(n),
                            static_cast<double>(n));
         const std::vector<std::size_t> first = prefix_offsets(rows);

@@ -27,6 +27,7 @@
 #include <span>
 #include <vector>
 
+#include "core/policy.hpp"
 #include "core/speed_function.hpp"
 #include "mpp/runtime.hpp"
 #include "util/matrix.hpp"
@@ -78,6 +79,10 @@ struct FaultToleranceOptions {
   /// Per-rank speed curves driving the FPM re-partition over survivors;
   /// empty (or wrong-sized) falls back to an even split.
   core::SpeedList speeds;
+  /// The world's partitioner policy (default: combined). Survivor
+  /// re-partitioning honours it, so recovery uses the same algorithm the
+  /// initial distribution was built with.
+  core::PartitionPolicy policy{};
 };
 
 struct FtJacobiResult {

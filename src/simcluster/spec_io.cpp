@@ -42,11 +42,12 @@ MemoryPattern pattern_from_string(const std::string& name) {
   throw std::runtime_error("unknown memory pattern '" + name + "'");
 }
 
-void save_cluster(std::ostream& os,
-                  const std::vector<SimulatedMachine>& machines) {
+void save_cluster_spec(std::ostream& os, const ClusterSpec& spec) {
   os << "# fpm-cluster v1\n";
+  if (spec.has_policy) os << "policy " << core::format_policy(spec.policy)
+                          << "\n";
   os << std::setprecision(17);
-  for (const SimulatedMachine& m : machines) {
+  for (const SimulatedMachine& m : spec.machines) {
     if (m.spec.name.empty() ||
         m.spec.name.find_first_of(" \t\n") != std::string::npos)
       throw std::runtime_error(
@@ -74,8 +75,15 @@ void save_cluster(std::ostream& os,
   }
 }
 
-std::vector<SimulatedMachine> load_cluster(std::istream& is) {
-  std::vector<SimulatedMachine> machines;
+void save_cluster(std::ostream& os,
+                  const std::vector<SimulatedMachine>& machines) {
+  ClusterSpec spec;
+  spec.machines = machines;
+  save_cluster_spec(os, spec);
+}
+
+ClusterSpec load_cluster_spec(std::istream& is) {
+  ClusterSpec spec;
   SimulatedMachine current;
   struct PendingApp {
     AppProfile profile;
@@ -98,7 +106,7 @@ std::vector<SimulatedMachine> load_cluster(std::istream& is) {
         parse_error(at_line, std::string("invalid machine/app: ") + err.what());
       }
     }
-    machines.push_back(std::move(current));
+    spec.machines.push_back(std::move(current));
   };
 
   while (std::getline(is, line)) {
@@ -114,6 +122,22 @@ std::vector<SimulatedMachine> load_cluster(std::istream& is) {
       if (!(ss >> current.spec.name))
         parse_error(line_no, "missing machine name");
       in_machine = true;
+      continue;
+    }
+    if (keyword == "policy") {
+      if (in_machine) parse_error(line_no, "'policy' inside machine");
+      if (spec.has_policy) parse_error(line_no, "duplicate 'policy'");
+      std::string algorithm;
+      if (!(ss >> algorithm)) parse_error(line_no, "missing policy algorithm");
+      std::vector<std::string> tokens;
+      std::string token;
+      while (ss >> token) tokens.push_back(token);
+      try {
+        spec.policy = core::parse_policy(algorithm, tokens);
+      } catch (const std::invalid_argument& err) {
+        parse_error(line_no, err.what());
+      }
+      spec.has_policy = true;
       continue;
     }
     if (!in_machine) parse_error(line_no, "'" + keyword + "' outside machine");
@@ -157,22 +181,38 @@ std::vector<SimulatedMachine> load_cluster(std::istream& is) {
     }
   }
   if (in_machine) parse_error(line_no, "unterminated machine (missing 'end')");
-  return machines;
+  return spec;
+}
+
+std::vector<SimulatedMachine> load_cluster(std::istream& is) {
+  return load_cluster_spec(is).machines;
+}
+
+void save_cluster_spec_file(const std::string& path, const ClusterSpec& spec) {
+  std::ofstream os(path);
+  if (!os)
+    throw std::runtime_error("save_cluster_spec_file: cannot open " + path);
+  save_cluster_spec(os, spec);
+  if (!os)
+    throw std::runtime_error("save_cluster_spec_file: write failed: " + path);
+}
+
+ClusterSpec load_cluster_spec_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is)
+    throw std::runtime_error("load_cluster_spec_file: cannot open " + path);
+  return load_cluster_spec(is);
 }
 
 void save_cluster_file(const std::string& path,
                        const std::vector<SimulatedMachine>& machines) {
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("save_cluster_file: cannot open " + path);
-  save_cluster(os, machines);
-  if (!os)
-    throw std::runtime_error("save_cluster_file: write failed: " + path);
+  ClusterSpec spec;
+  spec.machines = machines;
+  save_cluster_spec_file(path, spec);
 }
 
 std::vector<SimulatedMachine> load_cluster_file(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) throw std::runtime_error("load_cluster_file: cannot open " + path);
-  return load_cluster(is);
+  return load_cluster_spec_file(path).machines;
 }
 
 }  // namespace fpm::sim

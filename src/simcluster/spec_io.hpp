@@ -5,6 +5,7 @@
 // library without recompiling.
 //
 //   # fpm-cluster v1
+//   policy combined stall_window 4   ; optional cluster-wide partitioner
 //   machine X1
 //   os Linux 2.4.20-20.9
 //   arch Pentium III
@@ -19,27 +20,48 @@
 //
 // Lines starting with '#' are comments; fields may appear in any order
 // between `machine` and `end`, except that every field must be present.
+// A single optional top-level `policy <id> [key value]...` line (outside
+// any machine block) selects the partitioner applied to the cluster's
+// curves; its grammar is core::parse_policy's, so the keys are the ones
+// documented in core/policy.hpp. Absent line = the default policy.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "core/policy.hpp"
 #include "simcluster/cluster.hpp"
 
 namespace fpm::sim {
 
-/// Writes the machines in the fpm-cluster format. App entries carry their
+/// A parsed spec file: the machines plus the cluster-wide partitioner
+/// policy chosen by the optional top-level `policy` line.
+struct ClusterSpec {
+  std::vector<SimulatedMachine> machines;
+  core::PartitionPolicy policy{};
+  /// True when the spec carried an explicit `policy` line (saving skips
+  /// the line otherwise, keeping legacy files byte-stable on round trip).
+  bool has_policy = false;
+};
+
+/// Writes the spec in the fpm-cluster format. App entries carry their
 /// ground-truth paging onsets explicitly, so a round trip is faithful even
 /// for onsets that were pinned rather than derived.
+void save_cluster_spec(std::ostream& os, const ClusterSpec& spec);
+
+/// Parses a spec from the fpm-cluster format. Throws std::runtime_error
+/// with a line number on malformed input (including a bad policy line).
+ClusterSpec load_cluster_spec(std::istream& is);
+
+/// Machines-only wrappers (the policy line is omitted / ignored).
 void save_cluster(std::ostream& os,
                   const std::vector<SimulatedMachine>& machines);
-
-/// Parses machines from the fpm-cluster format. Throws std::runtime_error
-/// with a line number on malformed input.
 std::vector<SimulatedMachine> load_cluster(std::istream& is);
 
 /// File-path wrappers; throw std::runtime_error on I/O failure.
+void save_cluster_spec_file(const std::string& path, const ClusterSpec& spec);
+ClusterSpec load_cluster_spec_file(const std::string& path);
 void save_cluster_file(const std::string& path,
                        const std::vector<SimulatedMachine>& machines);
 std::vector<SimulatedMachine> load_cluster_file(const std::string& path);

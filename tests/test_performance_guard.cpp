@@ -3,9 +3,11 @@
 // tight enough to catch accidental quadratic or worse regressions.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 
 #include "core/fpm.hpp"
+#include "helpers.hpp"
 #include "util/timer.hpp"
 
 namespace fpm::core {
@@ -49,6 +51,52 @@ TEST(PerformanceGuard, IterationCountsStayLogarithmic) {
   const int large =
       partition_combined(speeds, 1'000'000'000).stats.iterations;
   EXPECT_LT(large, small + 40);
+}
+
+TEST(PerformanceGuard, ModifiedIntersectionSolvesWithinPaperBound) {
+  // The paper's guarantee for the modified algorithm is O(p^2 * log2 n)
+  // intersection solves, *independent of curve shape*. Assert it on the
+  // adversarial exponential-decay family (the one that breaks the basic
+  // algorithm), measured at the SpeedFunction boundary where every
+  // c*x = s(x) solve is counted — bracket expansion, search, and
+  // fine-tuning included. C = 8 absorbs the constant factors (the +-2
+  // probes per graph and per step) with room to spare.
+  constexpr double kC = 8.0;
+  for (const std::size_t p : {4u, 8u, 16u}) {
+    const fpm::test::Ensemble e = fpm::test::exponential_ensemble(p);
+    for (const std::int64_t n :
+         {std::int64_t{100'000}, std::int64_t{1'000'000},
+          std::int64_t{10'000'000}}) {
+      const PartitionResult r = partition_modified(e.list(), n);
+      const double pd = static_cast<double>(p);
+      const double bound =
+          kC * pd * pd * std::log2(static_cast<double>(n));
+      EXPECT_LE(static_cast<double>(r.stats.intersect_solves), bound)
+          << "p=" << p << " n=" << n;
+      EXPECT_EQ(r.distribution.total(), n);
+    }
+  }
+}
+
+TEST(PerformanceGuard, BasicBeatsModifiedOnPolynomialCurves) {
+  // The other half of the paper's complexity story: on benign
+  // polynomial-slope curves the basic algorithm's O(p log n) search does
+  // strictly less intersection work than modified's O(p^2 log2 n).
+  // At small n the two searches can tie; the gap must open as n grows
+  // (basic adds O(1) steps per decade, modified O(p) per decade).
+  const fpm::test::Ensemble e = fpm::test::power_ensemble(12);
+  for (const std::int64_t n :
+       {std::int64_t{1'000'000}, std::int64_t{100'000'000}}) {
+    const PartitionResult basic = partition_basic(e.list(), n);
+    const PartitionResult modified = partition_modified(e.list(), n);
+    EXPECT_LE(basic.stats.intersect_solves, modified.stats.intersect_solves)
+        << "n=" << n;
+    if (n >= 100'000'000)
+      EXPECT_LT(basic.stats.intersect_solves, modified.stats.intersect_solves)
+          << "n=" << n;
+    EXPECT_EQ(basic.distribution.total(), n);
+    EXPECT_EQ(modified.distribution.total(), n);
+  }
 }
 
 TEST(PerformanceGuard, FineTuneDeficitStaysSmall) {

@@ -102,6 +102,53 @@ TEST(SpecIo, ParseErrorsCarryLineNumbers) {
       "invalid machine/app");
 }
 
+TEST(SpecIo, PolicyLineRoundTrips) {
+  ClusterSpec spec;
+  spec.machines = table1_machines();
+  spec.policy = core::parse_policy(
+      core::kAlgorithmCombined,
+      std::vector<std::string>{"stall_window", "7"});
+  spec.has_policy = true;
+  std::stringstream file;
+  save_cluster_spec(file, spec);
+  EXPECT_NE(file.str().find("policy combined stall_window 7"),
+            std::string::npos);
+  const ClusterSpec loaded = load_cluster_spec(file);
+  EXPECT_TRUE(loaded.has_policy);
+  EXPECT_EQ(core::format_policy(loaded.policy), "combined stall_window 7");
+  EXPECT_EQ(loaded.machines.size(), spec.machines.size());
+}
+
+TEST(SpecIo, MissingPolicyLineMeansDefaultPolicy) {
+  std::stringstream file;
+  save_cluster(file, table1_machines());
+  EXPECT_EQ(file.str().find("policy"), std::string::npos);
+  const ClusterSpec loaded = load_cluster_spec(file);
+  EXPECT_FALSE(loaded.has_policy);
+  EXPECT_EQ(loaded.policy.algorithm, core::kAlgorithmCombined);
+  EXPECT_EQ(core::format_policy(loaded.policy), "combined");
+}
+
+TEST(SpecIo, PolicyLineErrorsCarryLineNumbers) {
+  const auto expect_error = [](const std::string& text,
+                               const std::string& fragment) {
+    std::stringstream ss(text);
+    try {
+      load_cluster_spec(ss);
+      FAIL() << "expected parse error for: " << text;
+    } catch (const std::runtime_error& err) {
+      EXPECT_NE(std::string(err.what()).find(fragment), std::string::npos)
+          << err.what();
+    }
+  };
+  expect_error("policy annealing\n", "unknown algorithm");
+  expect_error("policy combined stall_window\n", "missing its value");
+  expect_error("policy combined cooling_rate 3\n", "has no key");
+  expect_error("policy\n", "missing policy algorithm");
+  expect_error("policy combined\npolicy basic\n", "duplicate 'policy'");
+  expect_error("machine a\npolicy combined\n", "'policy' inside machine");
+}
+
 TEST(SpecIo, SaveRejectsBadNames) {
   auto ms = table1_machines();
   ms[0].spec.name = "has space";

@@ -15,10 +15,16 @@
 //       and save the built model.
 //   show --models FILE [--at X]
 //       Print the models in a file; with --at, the speeds at size X.
-//   partition --models FILE --n N [--algorithm basic|modified|combined]
-//             [--single-number REF] [--csv]
+//   partition --models FILE --n N [--algorithm ID] [--options "KEY V ..."]
+//             [--bounds B1,B2,...] [--trace] [--single-number REF] [--csv]
 //       Distribute N elements over the modelled processors and print the
 //       result (optionally also the single-number baseline at size REF).
+//       --algorithm takes any id from the partitioner registry (see
+//       --list-algorithms); --trace dumps every bracket/slope decision of
+//       the search. The bounded algorithm derives per-processor capacity
+//       bounds from the curves unless --bounds overrides them.
+//   partition --list-algorithms
+//       Print the registered partitioners (id, cost, description).
 //   simulate --app NAME --n MATRIX_N [--cluster FILE] [--reference REF_N]
 //       Figure-22-style experiment on a simulated network: build models,
 //       plan the striped matrix multiplication of an N x N matrix with the
@@ -30,6 +36,7 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -55,9 +62,11 @@ int usage() {
          "          [--min-elements A] [--max-elements B] [--epsilon E] "
          "[--probes K]\n"
          "  fpmtool show --models FILE [--at X]\n"
-         "  fpmtool partition --models FILE --n N "
-         "[--algorithm basic|modified|combined]\n"
+         "  fpmtool partition --models FILE --n N [--algorithm ID]\n"
+         "          [--options \"KEY VALUE ...\"] [--bounds B1,B2,...] "
+         "[--trace]\n"
          "          [--single-number REF] [--csv]\n"
+         "  fpmtool partition --list-algorithms\n"
          "  fpmtool simulate --app NAME --n MATRIX_N [--cluster FILE] "
          "[--reference REF_N]\n";
   return 1;
@@ -169,11 +178,55 @@ int cmd_show(const util::CliArgs& args) {
   return 0;
 }
 
+int cmd_list_algorithms() {
+  util::Table t("registered partitioners",
+                {"id", "cost (intersection solves)", "summary"});
+  for (const core::PartitionerInfo& info :
+       core::partitioner_registry().entries())
+    t.add_row({info.id, info.complexity, info.summary});
+  t.print(std::cout);
+  return 0;
+}
+
+/// Splits an --options string ("stall_window 4 bisect_angles true") into
+/// the key/value tokens parse_policy expects.
+std::vector<std::string> split_tokens(const std::string& text) {
+  std::istringstream ss(text);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (ss >> token) tokens.push_back(token);
+  return tokens;
+}
+
+/// Parses a --bounds CSV ("100,200,300") into per-processor bounds.
+std::vector<std::int64_t> parse_bounds_csv(const std::string& text) {
+  std::vector<std::int64_t> bounds;
+  std::istringstream ss(text);
+  std::string field;
+  while (std::getline(ss, field, ',')) {
+    try {
+      std::size_t used = 0;
+      bounds.push_back(std::stoll(field, &used));
+      if (used != field.size()) throw std::invalid_argument(field);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--bounds: bad entry '" + field + "'");
+    }
+  }
+  if (bounds.empty()) throw std::invalid_argument("--bounds: empty list");
+  return bounds;
+}
+
 int cmd_partition(const util::CliArgs& args) {
+  if (args.flag("--list-algorithms")) return cmd_list_algorithms();
   const auto models = core::load_models_file(args.require("--models"));
   if (models.empty()) throw std::runtime_error("no models in file");
   const auto n = static_cast<std::int64_t>(std::stod(args.require("--n")));
-  const std::string algo = args.get("--algorithm").value_or("combined");
+  const std::string algo = args.get("--algorithm").value_or(
+      core::kAlgorithmCombined);
+  if (!core::partitioner_registry().contains(algo))
+    throw std::invalid_argument(
+        "--algorithm must be one of: " +
+        core::partitioner_registry().joined_ids());
 
   std::vector<core::PiecewiseLinearSpeed> curves;
   curves.reserve(models.size());
@@ -181,15 +234,14 @@ int cmd_partition(const util::CliArgs& args) {
   core::SpeedList speeds;
   for (const auto& c : curves) speeds.push_back(&c);
 
-  core::PartitionResult result;
-  if (algo == "basic")
-    result = core::partition_basic(speeds, n);
-  else if (algo == "modified")
-    result = core::partition_modified(speeds, n);
-  else if (algo == "combined")
-    result = core::partition_combined(speeds, n);
-  else
-    throw std::invalid_argument("unknown algorithm '" + algo + "'");
+  core::PartitionPolicy policy = core::parse_policy(
+      algo, split_tokens(args.get("--options").value_or("")));
+  if (const auto bounds = args.get("--bounds"))
+    policy.bounds = parse_bounds_csv(*bounds);
+  core::StepTrace trace;
+  if (args.flag("--trace")) policy.observer = trace.observer();
+
+  const core::PartitionResult result = core::partition(speeds, n, policy);
 
   std::optional<core::Distribution> baseline;
   if (const auto ref = args.get("--single-number"))
@@ -214,10 +266,34 @@ int cmd_partition(const util::CliArgs& args) {
   else
     t.print(std::cout);
   std::cout << "makespan: " << core::makespan(speeds, result.distribution)
-            << " (" << result.stats.iterations << " iterations)\n";
+            << " (" << result.stats.iterations << " iterations, "
+            << result.stats.speed_evals << " speed evals, "
+            << result.stats.intersect_solves << " intersection solves)\n";
   if (baseline)
     std::cout << "single-number makespan: "
               << core::makespan(speeds, *baseline) << "\n";
+
+  if (args.flag("--trace")) {
+    util::Table steps("search trace (" + result.stats.algorithm + ")",
+                      {"step", "kind", "slope", "bracket_lo", "bracket_hi",
+                       "interior", "kept"});
+    for (const core::SearchStep& s : trace.steps())
+      steps.add_row({util::fmt(s.iteration), core::to_string(s.kind),
+                     util::fmt(s.slope, 6), util::fmt(s.lo_slope, 6),
+                     util::fmt(s.hi_slope, 6), util::fmt(s.interior),
+                     s.kind == core::SearchStepKind::Bracket
+                         ? std::string("-")
+                         : std::string(s.kept_low ? "low" : "high")});
+    steps.print(std::cout);
+    if (trace.truncated())
+      std::cout << "trace truncated; counters cover the full search\n";
+    std::cout << "trace: " << trace.search_steps() << " search steps, "
+              << trace.brackets() << " bracket(s)\n";
+    if (trace.search_steps() != result.stats.iterations)
+      std::cout << "warning: trace step count disagrees with "
+                   "stats.iterations ("
+                << result.stats.iterations << ")\n";
+  }
   return 0;
 }
 
@@ -227,16 +303,22 @@ int cmd_simulate(const util::CliArgs& args) {
   const std::string app = args.get("--app").value_or(sim::kMatMul);
   const auto n = static_cast<std::int64_t>(args.number("--n", 20000));
   const auto ref = static_cast<std::int64_t>(args.number("--reference", 500));
+  // The spec file's top-level `policy` line selects the partitioner the
+  // functional plan runs with; preset clusters use the default policy.
+  core::PartitionPolicy policy;
   auto cluster = [&] {
-    if (const auto path = args.get("--cluster"))
-      return sim::SimulatedCluster(sim::load_cluster_file(*path), 0xf9a2);
+    if (const auto path = args.get("--cluster")) {
+      sim::ClusterSpec spec = sim::load_cluster_spec_file(*path);
+      policy = std::move(spec.policy);
+      return sim::SimulatedCluster(std::move(spec.machines), 0xf9a2);
+    }
     return sim::make_table2_cluster();
   }();
 
   std::cerr << "building functional models...\n";
   const sim::ClusterModels models = sim::build_cluster_models(cluster, app);
-  const auto functional =
-      apps::plan_striped_mm(models.list(), n, apps::ModelKind::Functional);
+  const auto functional = apps::plan_striped_mm(
+      models.list(), n, apps::ModelKind::Functional, ref, policy);
   const auto single = apps::plan_striped_mm(
       models.list(), n, apps::ModelKind::SingleNumber, ref);
 
@@ -261,7 +343,8 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
-    const util::CliArgs args(argc, argv, {"--csv"});
+    const util::CliArgs args(argc, argv,
+                             {"--csv", "--trace", "--list-algorithms"});
     if (command == "save-cluster") return cmd_save_cluster(args);
     if (command == "demo-models") return cmd_demo_models(args);
     if (command == "measure") return cmd_measure(args);
