@@ -1,0 +1,261 @@
+// Throughput benchmark for the compiled speed-model layer (core/compiled.*)
+// and the concurrent batch-partitioning engine (core/server.hpp).
+//
+// Three measurements, written to BENCH_partition_throughput.json:
+//   1. kernel   — closed-form intersections (compiled layer) against the
+//                 generic bisection of SpeedFunction::intersect on the same
+//                 slope workload; expected well above 2x.
+//   2. partition — full partition() runs with the compiled path toggled on
+//                 vs. off (set_compiled_partitioning); the virtual path
+//                 already uses the closed-form kernels, so this isolates the
+//                 devirtualization + SoA win and must never regress.
+//   3. server   — PartitionServer::run_batch on an all-distinct (cache-miss)
+//                 request batch at increasing thread counts.
+//
+// `--gate` turns the first two into pass/fail checks for CI: exit 1 when
+// the kernel speedup drops below 2x or compiled partitioning is slower than
+// the virtual baseline (with a small tolerance for timer noise).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "core/fpm.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace fpm;
+
+/// The intersection workload: a heterogeneous ensemble plus, per function,
+/// slopes chosen so the crossings sweep the whole modelled range (slope =
+/// speed(x)/x puts the crossing exactly at x).
+struct KernelWorkload {
+  bench::OwnedEnsemble ensemble;
+  std::vector<std::vector<double>> slopes;  // [function][slope]
+};
+
+KernelWorkload make_kernel_workload() {
+  KernelWorkload w;
+  for (auto fam : {bench::power_family(40), bench::exp_family(40)})
+    for (auto& f : fam.owned) w.ensemble.owned.push_back(std::move(f));
+  w.slopes.resize(w.ensemble.owned.size());
+  for (std::size_t i = 0; i < w.ensemble.owned.size(); ++i) {
+    const auto& f = *w.ensemble.owned[i];
+    for (double x = 1e2; x <= 1e8; x *= 10.0)
+      w.slopes[i].push_back(f.speed(x) / x);
+  }
+  return w;
+}
+
+/// One pass of the workload through the generic bisection (the
+/// SpeedFunction base-class intersect, qualified to bypass the overrides).
+double run_kernel_generic(const KernelWorkload& w) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < w.ensemble.owned.size(); ++i)
+    for (const double s : w.slopes[i])
+      acc += w.ensemble.owned[i]->SpeedFunction::intersect(s);
+  return acc;
+}
+
+/// One pass through the compiled closed forms.
+double run_kernel_compiled(const core::CompiledSpeedList& compiled,
+                           const KernelWorkload& w) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < w.ensemble.owned.size(); ++i)
+    for (const double s : w.slopes[i]) acc += compiled.intersect(i, s);
+  return acc;
+}
+
+/// Best-of-`reps` wall time of `fn` (seconds), `inner` calls per rep.
+template <typename Fn>
+double best_of(int reps, int inner, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    util::Timer timer;
+    for (int i = 0; i < inner; ++i) benchmark::DoNotOptimize(fn());
+    best = std::min(best, timer.seconds() / inner);
+  }
+  return best;
+}
+
+/// The partition workload: every registry algorithm that needs no bounds,
+/// over a mixed analytic ensemble, at two problem sizes.
+double run_partitions(const core::SpeedList& list) {
+  double acc = 0.0;
+  for (const char* alg : {core::kAlgorithmBasic, core::kAlgorithmModified,
+                          core::kAlgorithmCombined,
+                          core::kAlgorithmInterpolation}) {
+    core::PartitionPolicy policy;
+    policy.algorithm = alg;
+    for (const std::int64_t n : {1000000LL, 100000000LL}) {
+      const core::PartitionResult r = core::partition(list, n, policy);
+      acc += static_cast<double>(r.distribution.counts[0]);
+    }
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------------------
+// google-benchmark registrations (standard reporting; the gate below does
+// its own best-of timing so CI failures do not depend on benchmark flags).
+// ---------------------------------------------------------------------
+
+void BM_KernelGeneric(benchmark::State& state) {
+  const KernelWorkload w = make_kernel_workload();
+  for (auto _ : state) benchmark::DoNotOptimize(run_kernel_generic(w));
+}
+BENCHMARK(BM_KernelGeneric)->Unit(benchmark::kMillisecond);
+
+void BM_KernelCompiled(benchmark::State& state) {
+  const KernelWorkload w = make_kernel_workload();
+  const auto compiled = core::CompiledSpeedList::compile(w.ensemble.list());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(run_kernel_compiled(compiled, w));
+}
+BENCHMARK(BM_KernelCompiled)->Unit(benchmark::kMillisecond);
+
+void BM_PartitionVirtual(benchmark::State& state) {
+  const bench::OwnedEnsemble e = bench::exp_family(64);
+  const core::SpeedList list = e.list();
+  core::set_compiled_partitioning(false);
+  for (auto _ : state) benchmark::DoNotOptimize(run_partitions(list));
+  core::set_compiled_partitioning(true);
+}
+BENCHMARK(BM_PartitionVirtual)->Unit(benchmark::kMillisecond);
+
+void BM_PartitionCompiled(benchmark::State& state) {
+  const bench::OwnedEnsemble e = bench::exp_family(64);
+  const core::SpeedList list = e.list();
+  for (auto _ : state) benchmark::DoNotOptimize(run_partitions(list));
+}
+BENCHMARK(BM_PartitionCompiled)->Unit(benchmark::kMillisecond);
+
+/// Serves `requests` all-distinct partition requests on `threads` threads;
+/// returns requests per second.
+double server_miss_rate(unsigned threads, int requests,
+                        const bench::OwnedEnsemble& e) {
+  core::ServerOptions opts;
+  opts.threads = threads;
+  opts.cache_capacity = 0;  // every request recomputes: pure miss load
+  core::PartitionServer server(opts);
+  std::vector<core::BatchRequest> batch;
+  batch.reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i)
+    batch.push_back({e.list(), 1000000 + 7919LL * i, {}});
+  util::Timer timer;
+  const auto results = server.run_batch(std::move(batch));
+  const double secs = timer.seconds();
+  benchmark::DoNotOptimize(results.front().distribution.counts.data());
+  return static_cast<double>(requests) / std::max(secs, 1e-12);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool gate = false;
+  std::string out = "BENCH_partition_throughput.json";
+  // Strip our own flags before google-benchmark sees (and rejects) them.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gate") == 0)
+      gate = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out = argv[++i];
+    else
+      argv[kept++] = argv[i];
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // --- 1. kernel: closed-form vs generic bisection ----------------------
+  const KernelWorkload w = make_kernel_workload();
+  const auto compiled = core::CompiledSpeedList::compile(w.ensemble.list());
+  const double t_generic = best_of(5, 3, [&] { return run_kernel_generic(w); });
+  const double t_closed =
+      best_of(5, 3, [&] { return run_kernel_compiled(compiled, w); });
+  const double kernel_speedup = t_generic / t_closed;
+
+  // --- 2. partition: compiled path vs virtual path ----------------------
+  const bench::OwnedEnsemble e = bench::exp_family(64);
+  const core::SpeedList list = e.list();
+  core::set_compiled_partitioning(false);
+  const double t_virtual = best_of(5, 1, [&] { return run_partitions(list); });
+  core::set_compiled_partitioning(true);
+  const double t_compiled = best_of(5, 1, [&] { return run_partitions(list); });
+  const double partition_speedup = t_virtual / t_compiled;
+
+  // --- 3. server: cache-miss batch scaling over threads -----------------
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<unsigned> thread_counts{1};
+  if (hw >= 2) thread_counts.push_back(2);
+  if (hw >= 4) thread_counts.push_back(4);
+  if (hw > 4) thread_counts.push_back(hw);
+  const bench::OwnedEnsemble se = bench::power_family(16);
+  const int requests = 256;
+  std::vector<double> rates;
+  for (const unsigned t : thread_counts)
+    rates.push_back(server_miss_rate(t, requests, se));
+
+  util::Table t("partition throughput",
+                {"metric", "baseline", "optimized", "speedup"});
+  t.add_row({"intersect kernel (ms/pass)", util::fmt(t_generic * 1e3, 3),
+             util::fmt(t_closed * 1e3, 3), util::fmt(kernel_speedup, 2)});
+  t.add_row({"partition sweep (ms)", util::fmt(t_virtual * 1e3, 3),
+             util::fmt(t_compiled * 1e3, 3), util::fmt(partition_speedup, 2)});
+  for (std::size_t i = 0; i < thread_counts.size(); ++i)
+    t.add_row({"server miss batch, " + util::fmt(thread_counts[i]) +
+                   " thread(s) (req/s)",
+               util::fmt(rates[0], 0), util::fmt(rates[i], 0),
+               util::fmt(rates[i] / rates[0], 2)});
+  bench::emit(t);
+
+  std::ofstream json(out);
+  json << "{\n"
+       << "  \"kernel\": {\"generic_s\": " << t_generic
+       << ", \"closed_form_s\": " << t_closed
+       << ", \"speedup\": " << kernel_speedup << "},\n"
+       << "  \"partition\": {\"virtual_s\": " << t_virtual
+       << ", \"compiled_s\": " << t_compiled
+       << ", \"speedup\": " << partition_speedup << "},\n"
+       << "  \"server\": [";
+  for (std::size_t i = 0; i < thread_counts.size(); ++i)
+    json << (i ? ", " : "") << "{\"threads\": " << thread_counts[i]
+         << ", \"requests\": " << requests
+         << ", \"requests_per_s\": " << rates[i]
+         << ", \"scaling\": " << rates[i] / rates[0] << "}";
+  json << "]\n}\n";
+  std::cout << "wrote " << out << "\n";
+
+  if (gate) {
+    bool ok = true;
+    if (kernel_speedup < 2.0) {
+      std::cerr << "GATE FAIL: closed-form kernel speedup "
+                << util::fmt(kernel_speedup, 2) << "x < 2x\n";
+      ok = false;
+    }
+    // 15% tolerance absorbs timer noise; a real regression (losing the
+    // devirtualized path) shows up far above it.
+    if (t_compiled > t_virtual * 1.15) {
+      std::cerr << "GATE FAIL: compiled partitioning "
+                << util::fmt(t_compiled * 1e3, 3)
+                << " ms slower than virtual baseline "
+                << util::fmt(t_virtual * 1e3, 3) << " ms\n";
+      ok = false;
+    }
+    if (!ok) return 1;
+    std::cout << "gate passed: kernel " << util::fmt(kernel_speedup, 2)
+              << "x, partition " << util::fmt(partition_speedup, 2) << "x\n";
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/policy.hpp"
+#include "core/server.hpp"
 
 namespace fpm::balance {
 
@@ -47,7 +48,9 @@ core::Distribution Rebalancer::partition_active() const {
     speeds.reserve(curves.size());
     for (const auto& c : curves) speeds.push_back(&c);
     const core::Distribution sub =
-        core::partition(speeds, n_, opts_.policy).distribution;
+        opts_.server
+            ? opts_.server->serve(speeds, n_, opts_.policy).distribution
+            : core::partition(speeds, n_, opts_.policy).distribution;
     for (std::size_t j = 0; j < alive.size(); ++j)
       out.counts[alive[j]] = sub.counts[j];
   } else {

@@ -21,6 +21,10 @@
 #include "core/partition.hpp"
 #include "core/policy.hpp"
 
+namespace fpm::core {
+class PartitionServer;
+}
+
 namespace fpm::balance {
 
 struct RebalancerOptions {
@@ -54,6 +58,13 @@ struct RebalancerOptions {
   /// Partitioner applied to the learned curves on every repartition
   /// (default: combined).
   core::PartitionPolicy policy{};
+  /// Optional shared partitioning service (core/server.hpp). When set,
+  /// repartitions go through server->serve() instead of core::partition(),
+  /// so many rebalancing loops share one result cache and identical
+  /// (model, n, policy) requests are answered without recomputation. The
+  /// server must outlive the Rebalancer; results are bit-identical either
+  /// way.
+  core::PartitionServer* server = nullptr;
 };
 
 class Rebalancer {

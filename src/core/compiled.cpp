@@ -1,0 +1,376 @@
+#include "core/compiled.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+#include "core/detail/speed_kernels.hpp"
+#include "core/piecewise.hpp"
+
+namespace fpm::core {
+namespace {
+
+// FNV-1a, 64-bit: the canonical byte-at-a-time fold. Parameters must be
+// hashed through their bit patterns (not values) so that -0.0 vs 0.0 and
+// NaN payloads cannot collide two different models onto one cache key.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+inline std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= v & 0xffu;
+    h *= kFnvPrime;
+    v >>= 8;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv_mix(std::uint64_t h, double v) {
+  return fnv_mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+std::atomic<bool> g_compiled_enabled{true};
+
+}  // namespace
+
+bool compiled_partitioning_enabled() noexcept {
+  return g_compiled_enabled.load(std::memory_order_relaxed);
+}
+
+void set_compiled_partitioning(bool enabled) noexcept {
+  g_compiled_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool CompiledSpeedList::compile_inner(const SpeedFunction& f, Entry& e) {
+  if (const auto* c = dynamic_cast<const ConstantSpeed*>(&f)) {
+    e.family = Family::Constant;
+    e.a = c->s0();
+    return true;
+  }
+  if (const auto* l = dynamic_cast<const LinearDecaySpeed*>(&f)) {
+    e.family = Family::LinearDecay;
+    e.a = l->s0();
+    e.b = l->max_size();
+    e.c = l->floor_speed();
+    return true;
+  }
+  if (const auto* pd = dynamic_cast<const PowerDecaySpeed*>(&f)) {
+    e.family = Family::PowerDecay;
+    e.a = pd->s0();
+    e.b = pd->x0();
+    e.c = pd->exponent();
+    e.d = pd->max_size();
+    return true;
+  }
+  if (const auto* ed = dynamic_cast<const ExpDecaySpeed*>(&f)) {
+    e.family = Family::ExpDecay;
+    e.a = ed->s0();
+    e.b = ed->lambda();
+    e.d = ed->max_size();
+    return true;
+  }
+  if (const auto* u = dynamic_cast<const UnimodalSpeed*>(&f)) {
+    e.family = Family::Unimodal;
+    e.a = u->s_low();
+    e.b = u->s_peak();
+    e.c = u->x_peak();
+    e.offset = static_cast<std::uint32_t>(aux_.size());
+    e.count = 2;
+    aux_.push_back(u->decay_x0());
+    aux_.push_back(u->decay_exponent());
+    return true;
+  }
+  if (const auto* st = dynamic_cast<const SteppedSpeed*>(&f)) {
+    e.family = Family::Stepped;
+    e.a = st->s0();
+    e.offset = static_cast<std::uint32_t>(steps_.size());
+    e.count = static_cast<std::uint32_t>(st->steps().size());
+    steps_.insert(steps_.end(), st->steps().begin(), st->steps().end());
+    return true;
+  }
+  if (const auto* pw = dynamic_cast<const PiecewiseLinearSpeed*>(&f)) {
+    e.family = Family::Piecewise;
+    e.a = pw->floor_speed();
+    e.b = pw->tail_slope();
+    const auto pts = pw->points();
+    e.offset = static_cast<std::uint32_t>(px_.size());
+    e.count = static_cast<std::uint32_t>(pts.size());
+    for (const SpeedPoint& p : pts) {
+      px_.push_back(p.size);
+      ps_.push_back(p.speed);
+    }
+    // Segment slopes computed with the exact expression of
+    // PiecewiseLinearSpeed::intersect, so the compiled segment solve feeds
+    // piecewise_segment_intersect the same m it would compute per call.
+    // One padding slot per function keeps pm_ aligned with px_/ps_.
+    for (std::size_t i = 1; i < pts.size(); ++i)
+      pm_.push_back((pts[i].speed - pts[i - 1].speed) /
+                    (pts[i].size - pts[i - 1].size));
+    pm_.push_back(0.0);
+    return true;
+  }
+  return false;
+}
+
+CompiledSpeedList CompiledSpeedList::compile(const SpeedList& speeds) {
+  CompiledSpeedList list;
+  list.entries_.reserve(speeds.size());
+  for (const SpeedFunction* f : speeds) {
+    if (f == nullptr)
+      throw std::invalid_argument("CompiledSpeedList: null speed function");
+    Entry e;
+    e.base = f;
+    const SpeedFunction* inner = f;
+    if (const auto* sc = dynamic_cast<const ScaledSpeed*>(f)) {
+      e.wrap = Wrap::Scaled;
+      e.wrap_param = sc->factor();
+      inner = &sc->base();
+    } else if (const auto* g = dynamic_cast<const GranularSpeed*>(f)) {
+      e.wrap = Wrap::Granular;
+      e.wrap_param = g->elements_per_item();
+      inner = &g->base();
+    } else if (const auto* gv = dynamic_cast<const GranularSpeedView*>(f)) {
+      e.wrap = Wrap::Granular;
+      e.wrap_param = gv->elements_per_item();
+      inner = &gv->base();
+    }
+    if (!list.compile_inner(*inner, e)) {
+      // Unknown family (or a wrapper around one, or nested wrappers): keep
+      // the whole object behind the virtual interface. compile_inner only
+      // touches the pools on success, so a failed attempt leaves no debris.
+      e = Entry{};
+      e.base = f;
+      ++list.generic_entries_;
+    }
+    e.max_size = f->max_size();
+    list.entries_.push_back(e);
+  }
+  // Content fingerprint (Generic entries degrade to pointer identity).
+  std::uint64_t h = kFnvOffset;
+  h = fnv_mix(h, static_cast<std::uint64_t>(list.entries_.size()));
+  for (const Entry& e : list.entries_) {
+    h = fnv_mix(h, (static_cast<std::uint64_t>(e.family) << 8) |
+                       static_cast<std::uint64_t>(e.wrap));
+    if (e.family == Family::Generic) {
+      h = fnv_mix(h, static_cast<std::uint64_t>(
+                         reinterpret_cast<std::uintptr_t>(e.base)));
+      continue;
+    }
+    h = fnv_mix(h, e.wrap_param);
+    h = fnv_mix(h, e.max_size);
+    h = fnv_mix(h, e.a);
+    h = fnv_mix(h, e.b);
+    h = fnv_mix(h, e.c);
+    h = fnv_mix(h, e.d);
+    h = fnv_mix(h, static_cast<std::uint64_t>(e.count));
+    switch (e.family) {
+      case Family::Unimodal:
+        for (std::uint32_t i = 0; i < e.count; ++i)
+          h = fnv_mix(h, list.aux_[e.offset + i]);
+        break;
+      case Family::Stepped:
+        for (std::uint32_t i = 0; i < e.count; ++i) {
+          const SteppedSpeed::Step& st = list.steps_[e.offset + i];
+          h = fnv_mix(h, st.at);
+          h = fnv_mix(h, st.to);
+          h = fnv_mix(h, st.width);
+        }
+        break;
+      case Family::Piecewise:
+        for (std::uint32_t i = 0; i < e.count; ++i) {
+          h = fnv_mix(h, list.px_[e.offset + i]);
+          h = fnv_mix(h, list.ps_[e.offset + i]);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  list.fingerprint_ = h;
+  return list;
+}
+
+double CompiledSpeedList::raw_speed(const Entry& e, double x) const {
+  switch (e.family) {
+    case Family::Constant:
+      return e.a;
+    case Family::LinearDecay:
+      return detail::linear_decay_speed(e.a, e.b, e.c, x);
+    case Family::PowerDecay:
+      return detail::power_decay_speed(e.a, e.b, e.c, x);
+    case Family::ExpDecay:
+      return detail::exp_decay_speed(e.a, e.b, x);
+    case Family::Unimodal:
+      return detail::unimodal_speed(e.a, e.b, e.c, aux_[e.offset],
+                                    aux_[e.offset + 1], x);
+    case Family::Stepped: {
+      double s = e.a;
+      double level = e.a;
+      for (std::uint32_t i = 0; i < e.count; ++i) {
+        const SteppedSpeed::Step& st = steps_[e.offset + i];
+        s *= detail::stepped_step_factor(st.at, st.to, st.width, level, x);
+        level = st.to;
+      }
+      return s;
+    }
+    case Family::Piecewise: {
+      const std::uint32_t off = e.offset;
+      const std::uint32_t last = e.count - 1;
+      if (x <= px_[off]) return ps_[off];
+      if (x >= px_[off + last])
+        return detail::piecewise_tail_speed(ps_[off + last], e.b, e.a,
+                                            x - px_[off + last]);
+      // Branchless segment lookup over the SoA breakpoints: narrow to the
+      // last index with px <= x using conditional selects (no data-dependent
+      // branches), exactly the segment std::upper_bound picks on the AoS
+      // points — including the tie case x == px[j], which lands on the
+      // segment starting at j either way.
+      std::uint32_t base = 0;
+      std::uint32_t len = last;  // candidates [0, count-2]
+      while (len > 1) {
+        const std::uint32_t half = len >> 1;
+        const bool go_right = px_[off + base + half] <= x;
+        base = go_right ? base + half : base;
+        len = go_right ? len - half : half;
+      }
+      return detail::piecewise_segment_speed(px_[off + base], ps_[off + base],
+                                             px_[off + base + 1],
+                                             ps_[off + base + 1], x);
+    }
+    case Family::Generic:
+      break;
+  }
+  return e.base->speed(x);
+}
+
+double CompiledSpeedList::entry_speed(const Entry& e, double x) const {
+  switch (e.wrap) {
+    case Wrap::Scaled:
+      return e.wrap_param * raw_speed(e, x);
+    case Wrap::Granular:
+      return raw_speed(e, x * e.wrap_param) / e.wrap_param;
+    case Wrap::None:
+      break;
+  }
+  return raw_speed(e, x);
+}
+
+double CompiledSpeedList::entry_intersect(const Entry& e, double slope) const {
+  assert(slope > 0.0);
+  if (e.family == Family::Generic) return e.base->intersect(slope);
+  if (e.wrap != Wrap::None) {
+    // The wrappers do not override intersect() on the virtual side, so the
+    // compiled side runs the same generic bisection over the same speed
+    // values (virtual dispatch removed, arithmetic unchanged).
+    return detail::generic_intersect(
+        [this, &e](double x) { return entry_speed(e, x); }, e.max_size, slope);
+  }
+  switch (e.family) {
+    case Family::Constant:
+      return detail::constant_intersect(e.a, slope);
+    case Family::LinearDecay:
+      return detail::linear_decay_intersect(e.a, e.b, e.c, slope);
+    case Family::PowerDecay:
+      return detail::power_decay_intersect(e.a, e.b, e.c, e.d, slope);
+    case Family::ExpDecay:
+      return detail::exp_decay_intersect(e.a, e.b, e.d, slope);
+    case Family::Piecewise: {
+      // Mirrors PiecewiseLinearSpeed::intersect() step for step, reading the
+      // SoA slabs and the precomputed segment slopes.
+      const std::uint32_t off = e.offset;
+      const std::uint32_t last = e.count - 1;
+      const double b = px_[off + last];
+      if (raw_speed(e, b) >= slope * b)
+        return detail::piecewise_tail_intersect(b, ps_[off + last], e.b, e.a,
+                                                slope);
+      if (slope * px_[off] >= ps_[off]) return ps_[off] / slope;
+      std::uint32_t lo = 0;
+      std::uint32_t hi = last;
+      while (hi - lo > 1) {
+        const std::uint32_t mid = lo + (hi - lo) / 2;
+        if (ps_[off + mid] > slope * px_[off + mid])
+          lo = mid;
+        else
+          hi = mid;
+      }
+      return detail::piecewise_segment_intersect(px_[off + lo], ps_[off + lo],
+                                                 pm_[off + lo], slope,
+                                                 px_[off + lo], px_[off + hi]);
+    }
+    case Family::Unimodal:
+    case Family::Stepped:
+      // No closed form on the virtual side either: same generic bisection.
+      return detail::generic_intersect(
+          [this, &e](double x) { return raw_speed(e, x); }, e.max_size, slope);
+    case Family::Generic:
+      break;
+  }
+  return e.base->intersect(slope);
+}
+
+double CompiledSpeedList::speed(std::size_t i, double x) const {
+  return entry_speed(entries_[i], x);
+}
+
+double CompiledSpeedList::intersect(std::size_t i, double slope) const {
+  return entry_intersect(entries_[i], slope);
+}
+
+std::vector<double> sizes_at(const CompiledSpeedList& speeds, double slope,
+                             EvalCounters* counters) {
+  std::vector<double> xs(speeds.size());
+  for (std::size_t i = 0; i < speeds.size(); ++i)
+    xs[i] = speeds.intersect(i, slope);
+  if (counters)
+    counters->intersect_solves += static_cast<std::int64_t>(speeds.size());
+  return xs;
+}
+
+double total_size_at(const CompiledSpeedList& speeds, double slope,
+                     EvalCounters* counters) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < speeds.size(); ++i)
+    sum += speeds.intersect(i, slope);
+  if (counters)
+    counters->intersect_solves += static_cast<std::int64_t>(speeds.size());
+  return sum;
+}
+
+SlopeBracket detect_bracket(const CompiledSpeedList& speeds, std::int64_t n,
+                            EvalCounters* counters) {
+  // Line-for-line the SpeedList overload in partition.cpp (including its
+  // counting profile: one speed probe per processor, one solve batch per
+  // expansion test) so that the two paths report identical stats.
+  if (speeds.size() == 0)
+    throw std::invalid_argument("detect_bracket: no speeds");
+  if (n < 1) throw std::invalid_argument("detect_bracket: n must be >= 1");
+  const double p = static_cast<double>(speeds.size());
+  const double probe = static_cast<double>(n) / p;
+  double s_min = std::numeric_limits<double>::infinity();
+  double s_max = 0.0;
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
+    const double s = speeds.speed(i, std::min(probe, speeds.max_size(i)));
+    s_min = std::min(s_min, s);
+    s_max = std::max(s_max, s);
+  }
+  if (counters)
+    counters->speed_evals += static_cast<std::int64_t>(speeds.size());
+  SlopeBracket br;
+  br.hi_slope = s_max / probe;
+  br.lo_slope = s_min / probe;
+  if (br.lo_slope <= 0.0) br.lo_slope = br.hi_slope * 1e-12;
+  const double nd = static_cast<double>(n);
+  for (int i = 0; i < 256 && total_size_at(speeds, br.hi_slope, counters) > nd;
+       ++i)
+    br.hi_slope *= 2.0;
+  for (int i = 0; i < 256 && total_size_at(speeds, br.lo_slope, counters) < nd;
+       ++i)
+    br.lo_slope *= 0.5;
+  if (br.lo_slope > br.hi_slope) std::swap(br.lo_slope, br.hi_slope);
+  return br;
+}
+
+}  // namespace fpm::core

@@ -1,0 +1,180 @@
+// Compiled speed models: a SpeedList flattened into contiguous,
+// tag-dispatched arrays so the partitioners' hot loops run without virtual
+// calls and with closed-form intersections wherever a family has one.
+//
+// CompiledSpeedList::compile() recognizes every analytic family shipped in
+// core/speed_function.hpp plus PiecewiseLinearSpeed (whose breakpoints are
+// re-laid out as structure-of-arrays slabs with a branchless segment
+// lookup), and one level of ScaledSpeed / GranularSpeed / GranularSpeedView
+// wrapping around them. Anything else falls back to a Generic entry that
+// forwards to the original virtual object, so compilation is total: every
+// SpeedList compiles, and the result is bit-identical to the virtual path
+// because both sides evaluate the shared kernels of
+// detail/speed_kernels.hpp (asserted in tests).
+//
+// detail::SearchState compiles its input once per search (toggled by
+// set_compiled_partitioning()), which makes all five registry algorithms
+// benefit transparently; the batch/server layer (core/server.hpp) reuses
+// the fingerprint() content hash as its cache key.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "core/speed_function.hpp"
+
+namespace fpm::core {
+
+/// Counters incremented at the SpeedFunction boundary: one per speed(x)
+/// evaluation and one per c·x = s(x) solve, exactly the accounting of
+/// PartitionStats::speed_evals / intersect_solves. Evaluations *inside* a
+/// solve (e.g. the probes of a generic bisection) are not counted, matching
+/// the virtual CountingSpeedView semantics.
+struct EvalCounters {
+  std::int64_t speed_evals = 0;
+  std::int64_t intersect_solves = 0;
+};
+
+class CompiledSpeedList {
+ public:
+  /// Which evaluation kernel an entry dispatches to.
+  enum class Family : std::uint8_t {
+    Generic,      ///< unknown subclass: forwards to the virtual object
+    Constant,
+    LinearDecay,
+    PowerDecay,
+    ExpDecay,
+    Unimodal,
+    Stepped,
+    Piecewise,
+  };
+
+  /// How the entry's kernel is wrapped (one level deep).
+  enum class Wrap : std::uint8_t {
+    None,
+    Scaled,    ///< speed = factor · inner(x)
+    Granular,  ///< speed = inner(x·k) / k, max_size = inner's / k
+  };
+
+  /// Flattens `speeds` into compiled entries. The input objects must
+  /// outlive the compiled list (Generic entries keep pointers; all entries
+  /// keep one for introspection).
+  static CompiledSpeedList compile(const SpeedList& speeds);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  Family family(std::size_t i) const noexcept { return entries_[i].family; }
+  Wrap wrap(std::size_t i) const noexcept { return entries_[i].wrap; }
+  double max_size(std::size_t i) const noexcept {
+    return entries_[i].max_size;
+  }
+  /// The original object behind entry i.
+  const SpeedFunction* base(std::size_t i) const noexcept {
+    return entries_[i].base;
+  }
+  /// True when no entry needed the Generic virtual fallback.
+  bool fully_compiled() const noexcept { return generic_entries_ == 0; }
+  std::size_t generic_entries() const noexcept { return generic_entries_; }
+
+  /// Absolute speed of processor i at size x — switch-dispatched, no
+  /// virtual call except for Generic entries.
+  double speed(std::size_t i, double x) const;
+
+  /// Solves slope·x = s_i(x), using the family's closed form where one
+  /// exists and the shared generic bisection otherwise.
+  double intersect(std::size_t i, double slope) const;
+
+  /// Content hash over (family, wrap, parameters, breakpoints) of every
+  /// entry, in order — equal model lists hash equal regardless of object
+  /// identity. Generic entries hash their object address instead (identity
+  /// semantics), which is safe for caching within one process but means
+  /// two structurally equal unknown subclasses never share a cache line.
+  std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+
+ private:
+  struct Entry {
+    Family family = Family::Generic;
+    Wrap wrap = Wrap::None;
+    double wrap_param = 1.0;  ///< Scaled: factor; Granular: elements/item
+    double max_size = 0.0;    ///< after wrapping
+    // Analytic parameters (meaning depends on family):
+    //   Constant     a = s0
+    //   LinearDecay  a = s0, b = B (inner max_size), c = floor
+    //   PowerDecay   a = s0, b = x0, c = k, d = inner max_size
+    //   ExpDecay     a = s0, b = lambda, d = inner max_size
+    //   Unimodal     a = s_low, b = s_peak, c = x_peak (+ pool: x0, k)
+    //   Stepped      a = s0; steps in the step pool
+    //   Piecewise    breakpoints in the SoA pools; a = floor, b = tail slope
+    double a = 0.0, b = 0.0, c = 0.0, d = 0.0;
+    std::uint32_t offset = 0;  ///< first pool index (piecewise/stepped/aux)
+    std::uint32_t count = 0;   ///< pool element count
+    const SpeedFunction* base = nullptr;
+  };
+
+  double raw_speed(const Entry& e, double x) const;
+  double entry_speed(const Entry& e, double x) const;
+  double entry_intersect(const Entry& e, double slope) const;
+
+  /// Fills `e` from the concrete (unwrapped) function; returns false when
+  /// the family is unknown.
+  bool compile_inner(const SpeedFunction& f, Entry& e);
+
+  std::vector<Entry> entries_;
+  // Piecewise SoA slabs (all functions concatenated; entry.offset/count
+  // delimit a function's breakpoints, segment i spans [i, i+1]):
+  std::vector<double> px_;  ///< breakpoint sizes
+  std::vector<double> ps_;  ///< breakpoint speeds
+  std::vector<double> pm_;  ///< per-segment slopes (count-1 per function)
+  // Stepped pool:
+  std::vector<SteppedSpeed::Step> steps_;
+  // Auxiliary analytic parameters that overflow Entry::a..d (Unimodal):
+  std::vector<double> aux_;
+  std::size_t generic_entries_ = 0;
+  std::uint64_t fingerprint_ = 0;
+};
+
+/// Non-owning SpeedFunction adaptor over one compiled entry, so compiled
+/// models can flow through any API expecting a SpeedList (fine-tuning, the
+/// makespan helpers, tests). When `counters` is non-null every call is
+/// counted at the same boundary as detail::CountingSpeedView.
+class CompiledEntryView final : public SpeedFunction {
+ public:
+  CompiledEntryView(const CompiledSpeedList& list, std::size_t index,
+                    EvalCounters* counters = nullptr)
+      : list_(&list), index_(index), counters_(counters) {}
+
+  double speed(double x) const override {
+    if (counters_) ++counters_->speed_evals;
+    return list_->speed(index_, x);
+  }
+  double max_size() const override { return list_->max_size(index_); }
+  double intersect(double slope) const override {
+    if (counters_) ++counters_->intersect_solves;
+    return list_->intersect(index_, slope);
+  }
+
+ private:
+  const CompiledSpeedList* list_;
+  std::size_t index_;
+  EvalCounters* counters_;
+};
+
+/// Compiled counterparts of the SpeedList helpers in core/partition.hpp —
+/// same loops, same numbers, optional counting (pass nullptr to skip it).
+/// `counters` is deliberately not defaulted: two-argument calls must keep
+/// resolving to the SpeedList overloads (e.g. detect_bracket({}, n)).
+std::vector<double> sizes_at(const CompiledSpeedList& speeds, double slope,
+                             EvalCounters* counters);
+double total_size_at(const CompiledSpeedList& speeds, double slope,
+                     EvalCounters* counters);
+SlopeBracket detect_bracket(const CompiledSpeedList& speeds, std::int64_t n,
+                            EvalCounters* counters);
+
+/// Process-wide switch (default on) selecting whether detail::SearchState
+/// runs on compiled models or on the original virtual objects. The two
+/// paths are bit-identical; the switch exists for benchmarks (measuring the
+/// virtual-dispatch baseline) and for the equivalence tests.
+bool compiled_partitioning_enabled() noexcept;
+void set_compiled_partitioning(bool enabled) noexcept;
+
+}  // namespace fpm::core

@@ -9,15 +9,31 @@ namespace fpm::core::detail {
 SearchState::SearchState(const SpeedList& speeds, std::int64_t n,
                          const SearchObserver* observer)
     : n_(static_cast<double>(n)), observer_(observer) {
-  views_.reserve(speeds.size());
   speeds_.reserve(speeds.size());
-  for (const SpeedFunction* f : speeds) {
-    views_.emplace_back(*f, &speed_evals_, &intersect_solves_);
-    speeds_.push_back(&views_.back());
+  if (compiled_partitioning_enabled()) {
+    // Compiled mode: flatten once, then run the bracket detection and both
+    // initial line solves on the devirtualized kernels. The entry views only
+    // exist so counted_speeds() keeps its SpeedList shape for fine-tuning.
+    compiled_.emplace(CompiledSpeedList::compile(speeds));
+    entry_views_.reserve(speeds.size());
+    for (std::size_t i = 0; i < speeds.size(); ++i) {
+      entry_views_.emplace_back(*compiled_, i, &counters_);
+      speeds_.push_back(&entry_views_.back());
+    }
+    bracket_ = detect_bracket(*compiled_, n, &counters_);
+    small_ = sizes_at(*compiled_, bracket_.hi_slope, &counters_);
+    large_ = sizes_at(*compiled_, bracket_.lo_slope, &counters_);
+  } else {
+    views_.reserve(speeds.size());
+    for (const SpeedFunction* f : speeds) {
+      views_.emplace_back(*f, &counters_.speed_evals,
+                          &counters_.intersect_solves);
+      speeds_.push_back(&views_.back());
+    }
+    bracket_ = detect_bracket(speeds_, n);
+    small_ = sizes_at(speeds_, bracket_.hi_slope);
+    large_ = sizes_at(speeds_, bracket_.lo_slope);
   }
-  bracket_ = detect_bracket(speeds_, n);
-  small_ = sizes_at(speeds_, bracket_.hi_slope);
-  large_ = sizes_at(speeds_, bracket_.lo_slope);
   intersections_ += static_cast<int>(2 * speeds_.size());
   if (observing())
     emit(SearchStepKind::Bracket, bracket_.hi_slope, false, kNoProcessor);
@@ -67,7 +83,9 @@ void SearchState::emit(SearchStepKind kind, double slope, bool kept_low,
 void SearchState::split_at(double slope, SearchStepKind kind,
                            std::size_t processor) {
   ++iterations_;
-  std::vector<double> sizes = sizes_at(speeds_, slope);
+  std::vector<double> sizes = compiled_
+                                  ? sizes_at(*compiled_, slope, &counters_)
+                                  : sizes_at(speeds_, slope);
   intersections_ += static_cast<int>(speeds_.size());
   double sum = 0.0;
   for (const double x : sizes) sum += x;

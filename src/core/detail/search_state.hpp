@@ -4,8 +4,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "core/compiled.hpp"
 #include "core/observer.hpp"
 #include "core/partition.hpp"
 
@@ -41,6 +43,15 @@ class CountingSpeedView final : public SpeedFunction {
 
 /// The region between two lines through the origin, tracked as the slope
 /// interval together with the per-processor intersection coordinates.
+///
+/// When compiled_partitioning_enabled() (the default) the constructor
+/// flattens the input through CompiledSpeedList once, and every hot-path
+/// solve (bracket detection, line splits) runs on the compiled kernels with
+/// no virtual dispatch; counted_speeds() then exposes CompiledEntryView
+/// adaptors feeding the same counters, so fine-tuning stays accounted. With
+/// the toggle off the legacy CountingSpeedView path runs instead. Both
+/// paths execute the shared kernels of detail/speed_kernels.hpp and are
+/// bit-identical, counters included.
 class SearchState {
  public:
   /// Initializes from the Figure-18 bracket and solves both lines. The
@@ -66,9 +77,11 @@ class SearchState {
 
   /// Speed-function evaluations observed at the SpeedFunction boundary
   /// (includes bracket-detection probes, unlike intersections()).
-  std::int64_t speed_evals() const noexcept { return speed_evals_; }
+  std::int64_t speed_evals() const noexcept { return counters_.speed_evals; }
   /// c·x = s(x) solves observed at the SpeedFunction boundary.
-  std::int64_t intersect_solves() const noexcept { return intersect_solves_; }
+  std::int64_t intersect_solves() const noexcept {
+    return counters_.intersect_solves;
+  }
 
   /// The counting views over the caller's speeds, for running follow-up
   /// solves (e.g. fine-tuning) under the same counters. Valid only while
@@ -115,16 +128,20 @@ class SearchState {
   void emit(SearchStepKind kind, double slope, bool kept_low,
             std::size_t processor) const;
 
-  std::vector<CountingSpeedView> views_;  // counted views over caller speeds
-  SpeedList speeds_;                      // pointers into views_
+  // Exactly one of the two view vectors is populated, depending on the
+  // compiled-partitioning toggle at construction; speeds_ points into it.
+  // Both kinds of view feed counters_, so the accessors are mode-agnostic.
+  std::optional<CompiledSpeedList> compiled_;   // set in compiled mode
+  std::vector<CompiledEntryView> entry_views_;  // compiled mode
+  std::vector<CountingSpeedView> views_;        // legacy (virtual) mode
+  SpeedList speeds_;                            // pointers into a view vector
   double n_;
   SlopeBracket bracket_;
   std::vector<double> small_;
   std::vector<double> large_;
   int iterations_ = 0;
   int intersections_ = 0;
-  std::int64_t speed_evals_ = 0;
-  std::int64_t intersect_solves_ = 0;
+  EvalCounters counters_;
   const SearchObserver* observer_ = nullptr;
 };
 

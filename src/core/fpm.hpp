@@ -6,6 +6,7 @@
 #include "core/bounded.hpp"
 #include "core/builder.hpp"
 #include "core/combined.hpp"
+#include "core/compiled.hpp"
 #include "core/finetune.hpp"
 #include "core/hierarchy.hpp"
 #include "core/interpolation.hpp"
@@ -14,5 +15,6 @@
 #include "core/partition.hpp"
 #include "core/piecewise.hpp"
 #include "core/policy.hpp"
+#include "core/server.hpp"
 #include "core/speed_function.hpp"
 #include "core/surface.hpp"

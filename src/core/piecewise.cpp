@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/detail/speed_kernels.hpp"
+
 namespace fpm::core {
 namespace {
 
@@ -60,21 +62,23 @@ PiecewiseLinearSpeed::PiecewiseLinearSpeed(std::vector<SpeedPoint> points)
   double max_speed = 0.0;
   for (const SpeedPoint& p : points_) max_speed = std::max(max_speed, p.speed);
   floor_speed_ = std::max(1e-9, max_speed * 1e-9);
+  // Hoist the final-segment slope out of the per-call extrapolation: a
+  // falling segment continues its trend, a flat/rising one (slope kept at
+  // >= 0) extends as a constant — speed never grows beyond the modelled
+  // range (and the ratio requirement would otherwise eventually fail).
+  if (points_.size() >= 2) {
+    const SpeedPoint& p0 = points_[points_.size() - 2];
+    const SpeedPoint& p1 = points_.back();
+    tail_slope_ = (p1.speed - p0.speed) / (p1.size - p0.size);
+  }
 }
 
 double PiecewiseLinearSpeed::speed(double x) const {
   if (x <= points_.front().size) return points_.front().speed;
   if (x >= points_.back().size) {
-    if (points_.size() == 1) return std::max(points_.back().speed, floor_speed_);
-    // Continue a falling final segment's slope, clamped at the positive
-    // floor. A flat or rising final segment extends as a constant — speed
-    // never grows beyond the modelled range (and the ratio requirement
-    // would otherwise eventually fail).
-    const SpeedPoint& p0 = points_[points_.size() - 2];
     const SpeedPoint& p1 = points_.back();
-    const double m = (p1.speed - p0.speed) / (p1.size - p0.size);
-    if (m >= 0.0) return std::max(floor_speed_, p1.speed);
-    return std::max(floor_speed_, p1.speed + m * (x - p1.size));
+    return detail::piecewise_tail_speed(p1.speed, tail_slope_, floor_speed_,
+                                        x - p1.size);
   }
   // Binary search for the segment containing x.
   const auto it = std::upper_bound(
@@ -82,30 +86,20 @@ double PiecewiseLinearSpeed::speed(double x) const {
       [](double v, const SpeedPoint& p) { return v < p.size; });
   const SpeedPoint& hi = *it;
   const SpeedPoint& lo = *(it - 1);
-  const double t = (x - lo.size) / (hi.size - lo.size);
-  return lo.speed + t * (hi.speed - lo.speed);
+  return detail::piecewise_segment_speed(lo.size, lo.speed, hi.size, hi.speed,
+                                         x);
 }
 
 double PiecewiseLinearSpeed::intersect(double slope) const {
   assert(slope > 0.0);
-  const double b = points_.back().size;
+  const SpeedPoint& last = points_.back();
+  const double b = last.size;
   if (speed(b) >= slope * b) {
     // Crossing beyond the modelled range: speed() there continues the last
-    // segment's trend clamped at the positive floor. Try the extended
-    // segment first, then the floor plateau.
-    double m = 0.0;
-    if (points_.size() >= 2) {
-      const SpeedPoint& p0 = points_[points_.size() - 2];
-      const SpeedPoint& p1 = points_.back();
-      m = (p1.speed - p0.speed) / (p1.size - p0.size);
-      if (m < 0.0 && slope != m) {
-        const double x = (p1.speed - m * p1.size) / (slope - m);
-        if (x >= b && p1.speed + m * (x - b) >= floor_speed_) return x;
-      }
-    }
-    if (m >= 0.0 && points_.back().speed > floor_speed_)
-      return points_.back().speed / slope;  // constant extension
-    return floor_speed_ / slope;
+    // segment's cached trend clamped at the positive floor. Try the
+    // extended segment first, then the floor plateau.
+    return detail::piecewise_tail_intersect(b, last.speed, tail_slope_,
+                                            floor_speed_, slope);
   }
   // Flat head: s = s0 for x <= x0, so if the line reaches s0 before x0 the
   // crossing is s0/slope.
@@ -126,11 +120,10 @@ double PiecewiseLinearSpeed::intersect(double slope) const {
   }
   const SpeedPoint& p0 = points_[lo];
   const SpeedPoint& p1 = points_[hi];
-  // Solve c*x = s0 + m*(x - x0) on [x0, x1].
+  // Solve c*x = s0 + m*(x - x0) on [x0, x1], clamped against round-off.
   const double m = (p1.speed - p0.speed) / (p1.size - p0.size);
-  const double x = (p0.speed - m * p0.size) / (slope - m);
-  // Guard against round-off pushing outside the segment.
-  return std::clamp(x, p0.size, p1.size);
+  return detail::piecewise_segment_intersect(p0.size, p0.speed, m, slope,
+                                             p0.size, p1.size);
 }
 
 std::vector<SpeedPoint> repair_shape_requirement(

@@ -51,9 +51,17 @@ class PiecewiseLinearSpeed final : public SpeedFunction {
 
   std::span<const SpeedPoint> points() const noexcept { return points_; }
 
+  /// Positive floor used beyond the last point.
+  double floor_speed() const noexcept { return floor_speed_; }
+  /// Cached slope of the final segment (0 for a single point); negative
+  /// values drive the beyond-the-range extrapolation, which is therefore
+  /// allocation- and division-free per call.
+  double tail_slope() const noexcept { return tail_slope_; }
+
  private:
   std::vector<SpeedPoint> points_;
-  double floor_speed_;  ///< positive floor used beyond the last point
+  double floor_speed_;      ///< positive floor used beyond the last point
+  double tail_slope_ = 0.0; ///< final-segment slope, hoisted from speed()
 };
 
 /// Adjusts a sorted point list so the ratio speed/size is strictly

@@ -1,0 +1,198 @@
+#include "core/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/compiled.hpp"
+
+namespace fpm::core {
+namespace {
+
+void append_hex64(std::string& out, std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4)
+    out.push_back(kDigits[(v >> shift) & 0xf]);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PartitionCache
+// ---------------------------------------------------------------------------
+
+PartitionCache::PartitionCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity), shards_(std::max<std::size_t>(1, shards)) {
+  // Ceiling division so the shard sum never undercuts the requested total;
+  // a zero capacity keeps every shard empty (lookups all miss).
+  per_shard_capacity_ =
+      capacity_ == 0 ? 0 : (capacity_ + shards_.size() - 1) / shards_.size();
+}
+
+std::string PartitionCache::make_key(const SpeedList& speeds, std::int64_t n,
+                                     const PartitionPolicy& policy) {
+  std::string key;
+  key.reserve(64);
+  append_hex64(key, CompiledSpeedList::compile(speeds).fingerprint());
+  key.push_back('|');
+  key += std::to_string(n);
+  key.push_back('|');
+  key += format_policy(policy);
+  // format_policy covers the algorithm id and options but not the capacity
+  // bounds, which change the bounded algorithm's answer — append them.
+  for (const std::int64_t b : policy.bounds) {
+    key.push_back('|');
+    key += std::to_string(b);
+  }
+  return key;
+}
+
+PartitionCache::Shard& PartitionCache::shard_for(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+bool PartitionCache::lookup(const std::string& key, PartitionResult& out) {
+  Shard& sh = shard_for(key);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  const auto it = sh.index.find(key);
+  if (it == sh.index.end()) {
+    ++sh.misses;
+    return false;
+  }
+  sh.lru.splice(sh.lru.begin(), sh.lru, it->second);  // move to front (MRU)
+  ++sh.hits;
+  out = it->second->second;
+  return true;
+}
+
+void PartitionCache::insert(const std::string& key,
+                            const PartitionResult& value) {
+  if (per_shard_capacity_ == 0) return;
+  Shard& sh = shard_for(key);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  const auto it = sh.index.find(key);
+  if (it != sh.index.end()) {
+    // A concurrent miss on the same key already computed and stored the
+    // (identical) result; refresh recency and keep the incumbent.
+    sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+    return;
+  }
+  sh.lru.emplace_front(key, value);
+  sh.index.emplace(key, sh.lru.begin());
+  if (sh.lru.size() > per_shard_capacity_) {
+    sh.index.erase(sh.lru.back().first);
+    sh.lru.pop_back();
+    ++sh.evictions;
+  }
+}
+
+void PartitionCache::clear() {
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    sh.lru.clear();
+    sh.index.clear();
+  }
+}
+
+CacheStats PartitionCache::stats() const {
+  CacheStats s;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    s.hits += sh.hits;
+    s.misses += sh.misses;
+    s.evictions += sh.evictions;
+    s.entries += sh.lru.size();
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// PartitionServer
+// ---------------------------------------------------------------------------
+
+PartitionServer::PartitionServer(ServerOptions options)
+    : threads_(options.threads != 0
+                   ? options.threads
+                   : std::max(1u, std::thread::hardware_concurrency())),
+      cache_(options.cache_capacity, options.cache_shards) {
+  workers_.reserve(threads_);
+  for (unsigned i = 0; i < threads_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+PartitionServer::~PartitionServer() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void PartitionServer::worker_loop() {
+  for (;;) {
+    std::packaged_task<PartitionResult()> task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+PartitionResult PartitionServer::serve(const SpeedList& speeds, std::int64_t n,
+                                       const PartitionPolicy& policy) {
+  if (policy.observer) {
+    // The observer is a side effect the caller expects on every call; a
+    // cached answer would silently swallow the step trace.
+    uncacheable_.fetch_add(1, std::memory_order_relaxed);
+    return partition(speeds, n, policy);
+  }
+  if (cache_.capacity() == 0) return partition(speeds, n, policy);
+  const std::string key = PartitionCache::make_key(speeds, n, policy);
+  PartitionResult result;
+  if (cache_.lookup(key, result)) return result;
+  result = partition(speeds, n, policy);
+  cache_.insert(key, result);
+  return result;
+}
+
+std::future<PartitionResult> PartitionServer::submit(BatchRequest request) {
+  std::packaged_task<PartitionResult()> task([this, req = std::move(request)] {
+    return serve(req.speeds, req.n, req.policy);
+  });
+  std::future<PartitionResult> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+std::vector<PartitionResult> PartitionServer::run_batch(
+    std::vector<BatchRequest> requests) {
+  std::vector<std::future<PartitionResult>> futures;
+  futures.reserve(requests.size());
+  for (BatchRequest& req : requests) futures.push_back(submit(std::move(req)));
+  std::vector<PartitionResult> results;
+  results.reserve(futures.size());
+  for (std::future<PartitionResult>& f : futures) results.push_back(f.get());
+  return results;
+}
+
+CacheStats PartitionServer::cache_stats() const {
+  CacheStats s = cache_.stats();
+  s.uncacheable = uncacheable_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<PartitionResult> partition_batch(std::vector<BatchRequest> requests,
+                                             const ServerOptions& options) {
+  PartitionServer server(options);
+  return server.run_batch(std::move(requests));
+}
+
+}  // namespace fpm::core

@@ -1,0 +1,156 @@
+// Concurrent batch partitioning: a fixed worker pool plus a sharded LRU
+// result cache in front of the core::partition() engine.
+//
+// Production deployments of the partitioner (schedulers, rebalancing loops,
+// what-if explorers) issue many partition calls against a small set of
+// recurring (model, n, policy) triples. PartitionServer answers repeats from
+// a thread-safe cache keyed by the CompiledSpeedList content fingerprint —
+// two structurally equal model lists share entries regardless of object
+// identity — and fans cache misses out over a fixed pool of worker threads.
+// Results are bit-identical to calling core::partition() directly: the
+// cache stores exactly what the engine returned, stats included.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace fpm::core {
+
+/// One partitioning problem of a batch. The speed-function objects are
+/// borrowed: they must stay alive until the request's result is available.
+struct BatchRequest {
+  SpeedList speeds;
+  std::int64_t n = 0;
+  PartitionPolicy policy{};
+};
+
+struct ServerOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency() (min 1).
+  unsigned threads = 0;
+  /// Total cached results across all shards; 0 disables caching.
+  std::size_t cache_capacity = 4096;
+  /// Lock shards; more shards = less contention, slightly coarser LRU.
+  std::size_t cache_shards = 16;
+};
+
+/// Aggregate cache counters (monotonic except `entries`).
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t evictions = 0;
+  /// Requests that bypassed the cache (observer-carrying policies: their
+  /// step-trace side effects must fire on every call).
+  std::int64_t uncacheable = 0;
+  std::size_t entries = 0;  ///< currently cached results
+};
+
+/// Sharded, thread-safe LRU map from partition-request keys to results.
+/// Each shard is an independently locked list+index pair, so concurrent
+/// lookups of different keys rarely contend; eviction is LRU per shard.
+class PartitionCache {
+ public:
+  PartitionCache(std::size_t capacity, std::size_t shards);
+
+  /// True plus a copy of the cached result on a hit (the entry becomes the
+  /// shard's most recently used); false on a miss. Counts either way.
+  bool lookup(const std::string& key, PartitionResult& out);
+
+  /// Inserts or refreshes `key`, evicting the shard's least recently used
+  /// entry beyond capacity. Concurrent same-key inserts keep one winner.
+  void insert(const std::string& key, const PartitionResult& value);
+
+  void clear();
+  CacheStats stats() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// The canonical cache key: compiled-model fingerprint | n | formatted
+  /// policy | capacity bounds. Policies with equal fingerprints, n, and
+  /// observable options map to the same entry.
+  static std::string make_key(const SpeedList& speeds, std::int64_t n,
+                              const PartitionPolicy& policy);
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used; pairs of (key, result).
+    std::list<std::pair<std::string, PartitionResult>> lru;
+    std::unordered_map<
+        std::string,
+        std::list<std::pair<std::string, PartitionResult>>::iterator>
+        index;
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+  };
+
+  Shard& shard_for(const std::string& key);
+
+  std::size_t capacity_;
+  std::size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+};
+
+/// A long-lived partitioning service: serve() for synchronous calls on the
+/// caller's thread, submit()/run_batch() to fan work out over the pool.
+/// All entry points share the cache and may be called concurrently.
+class PartitionServer {
+ public:
+  explicit PartitionServer(ServerOptions options = {});
+  ~PartitionServer();
+
+  PartitionServer(const PartitionServer&) = delete;
+  PartitionServer& operator=(const PartitionServer&) = delete;
+
+  /// Partitions on the calling thread, consulting the cache first. A
+  /// cache hit returns the stored result verbatim; a miss computes via
+  /// core::partition() and stores. Policies carrying an observer always
+  /// compute (their callbacks must fire) and are never cached.
+  PartitionResult serve(const SpeedList& speeds, std::int64_t n,
+                        const PartitionPolicy& policy = {});
+
+  /// Enqueues one request for the worker pool. The borrowed speed objects
+  /// must outlive the future's completion. Exceptions thrown by the engine
+  /// (e.g. unknown algorithm id) surface through future::get().
+  std::future<PartitionResult> submit(BatchRequest request);
+
+  /// Runs the whole batch over the pool and returns results in request
+  /// order, rethrowing the first engine exception encountered.
+  std::vector<PartitionResult> run_batch(std::vector<BatchRequest> requests);
+
+  unsigned threads() const noexcept { return threads_; }
+  /// Cache counters including the server-side uncacheable tally.
+  CacheStats cache_stats() const;
+  void clear_cache() { cache_.clear(); }
+
+ private:
+  void worker_loop();
+
+  unsigned threads_;
+  PartitionCache cache_;
+  std::atomic<std::int64_t> uncacheable_{0};
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::packaged_task<PartitionResult()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// One-shot convenience: spins up a PartitionServer with `options`, runs
+/// the batch, and tears the pool down. For recurring traffic keep a
+/// PartitionServer alive instead, so the cache persists across batches.
+std::vector<PartitionResult> partition_batch(std::vector<BatchRequest> requests,
+                                             const ServerOptions& options = {});
+
+}  // namespace fpm::core

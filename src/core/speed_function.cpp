@@ -5,30 +5,17 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/detail/speed_kernels.hpp"
+
 namespace fpm::core {
 
 double SpeedFunction::intersect(double slope) const {
   assert(slope > 0.0);
-  // The ratio r(x) = speed(x)/x is strictly decreasing with r(0+) = +inf.
-  // Speed functions remain defined beyond max_size() (continuing their
-  // decay trend), so when even at x = b the curve is above the line the
-  // bracket expands geometrically until it straddles the crossing: the
-  // partitioning problem stays well-posed even when n exceeds the sum of
-  // the modelled ranges.
-  double hi = max_size();
-  for (int i = 0; i < 256 && speed(hi) >= slope * hi; ++i) hi *= 2.0;
-  double lo = 0.0;  // ratio(lo) > slope (limit at 0+)
-  // 200 halvings of [0, b] reach ~b/2^200: far below any representable
-  // spacing, so the loop is effectively exact; bail early on fixpoint.
-  for (int i = 0; i < 200; ++i) {
-    const double mid = 0.5 * (lo + hi);
-    if (mid <= lo || mid >= hi) break;
-    if (speed(mid) > slope * mid)
-      lo = mid;
-    else
-      hi = mid;
-  }
-  return 0.5 * (lo + hi);
+  // The shared bisection kernel (see detail/speed_kernels.hpp): bracket
+  // expansion beyond max_size() keeps the problem well-posed for any n,
+  // then 200 halvings reach round-off exactness.
+  return detail::generic_intersect([this](double x) { return speed(x); },
+                                   max_size(), slope);
 }
 
 bool satisfies_shape_requirement(const SpeedFunction& f, int samples) {
@@ -61,7 +48,7 @@ ConstantSpeed::ConstantSpeed(double s0, double max_size)
 double ConstantSpeed::intersect(double slope) const {
   // The constant model has no memory wall: the crossing is exact and may
   // lie beyond the modelled range (consistent with speed() everywhere s0).
-  return s0_ / slope;
+  return detail::constant_intersect(s0_, slope);
 }
 
 LinearDecaySpeed::LinearDecaySpeed(double s0, double max_size,
@@ -73,15 +60,13 @@ LinearDecaySpeed::LinearDecaySpeed(double s0, double max_size,
 }
 
 double LinearDecaySpeed::speed(double x) const {
-  return std::max(floor_, s0_ * (1.0 - x / max_size_));
+  return detail::linear_decay_speed(s0_, max_size_, floor_, x);
 }
 
 double LinearDecaySpeed::intersect(double slope) const {
-  // c·x = s0·(1 - x/B)  =>  x = s0 / (c + s0/B); valid while above floor.
-  const double x = s0_ / (slope + s0_ / max_size_);
-  if (s0_ * (1.0 - x / max_size_) >= floor_) return x;
-  // On the floor plateau the crossing is floor/c (possibly beyond B).
-  return floor_ / slope;
+  // c·x = s0·(1 - x/B)  =>  x = s0 / (c + s0/B); valid while above floor,
+  // then the floor plateau crossing floor/c (possibly beyond B).
+  return detail::linear_decay_intersect(s0_, max_size_, floor_, slope);
 }
 
 PowerDecaySpeed::PowerDecaySpeed(double s0, double x0, double exponent,
@@ -92,8 +77,12 @@ PowerDecaySpeed::PowerDecaySpeed(double s0, double x0, double exponent,
 }
 
 double PowerDecaySpeed::speed(double x) const {
-  if (x <= 0.0) return s0_;
-  return s0_ / (1.0 + std::pow(x / x0_, k_));
+  return detail::power_decay_speed(s0_, x0_, k_, x);
+}
+
+double PowerDecaySpeed::intersect(double slope) const {
+  assert(slope > 0.0);
+  return detail::power_decay_intersect(s0_, x0_, k_, max_size_, slope);
 }
 
 UnimodalSpeed::UnimodalSpeed(double s_low, double s_peak, double x_peak,
@@ -111,19 +100,7 @@ UnimodalSpeed::UnimodalSpeed(double s_low, double s_peak, double x_peak,
 }
 
 double UnimodalSpeed::speed(double x) const {
-  double s;
-  if (x <= 0.0) {
-    s = s_low_;
-  } else if (x < x_peak_) {
-    // Concave sqrt ramp with positive intercept keeps speed(x)/x decreasing.
-    s = s_low_ + (s_peak_ - s_low_) * std::sqrt(x / x_peak_);
-  } else {
-    s = s_peak_;
-  }
-  // Decay engages smoothly around x0 (>= x_peak in sensible configurations).
-  const double decay =
-      x <= 0.0 ? 1.0 : 1.0 / (1.0 + std::pow(x / x0_, k_));
-  return s * decay;
+  return detail::unimodal_speed(s_low_, s_peak_, x_peak_, x0_, k_, x);
 }
 
 SteppedSpeed::SteppedSpeed(double s0, std::vector<Step> steps, double max_size)
@@ -148,9 +125,7 @@ double SteppedSpeed::speed(double x) const {
   double s = s0_;
   double level = s0_;
   for (const Step& st : steps_) {
-    const double t = 0.5 * (1.0 + std::tanh((x - st.at) / st.width));
-    const double factor = st.to / level;
-    s *= (1.0 - t) + t * factor;
+    s *= detail::stepped_step_factor(st.at, st.to, st.width, level, x);
     level = st.to;
   }
   return s;
@@ -165,7 +140,12 @@ ExpDecaySpeed::ExpDecaySpeed(double s0, double lambda, double max_size)
 double ExpDecaySpeed::speed(double x) const {
   // A tiny positive floor keeps times finite (and the ratio decreasing)
   // even when exp(-x/lambda) underflows for absurdly oversized problems.
-  return std::max(s0_ * std::exp(-x / lambda_), 1e-280);
+  return detail::exp_decay_speed(s0_, lambda_, x);
+}
+
+double ExpDecaySpeed::intersect(double slope) const {
+  assert(slope > 0.0);
+  return detail::exp_decay_intersect(s0_, lambda_, max_size_, slope);
 }
 
 GranularSpeed::GranularSpeed(std::shared_ptr<const SpeedFunction> base,

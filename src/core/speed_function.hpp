@@ -85,6 +85,8 @@ class ConstantSpeed final : public SpeedFunction {
   double max_size() const override { return max_size_; }
   double intersect(double slope) const override;
 
+  double s0() const noexcept { return s0_; }
+
  private:
   double s0_;
   double max_size_;
@@ -102,6 +104,9 @@ class LinearDecaySpeed final : public SpeedFunction {
   double max_size() const override { return max_size_; }
   double intersect(double slope) const override;
 
+  double s0() const noexcept { return s0_; }
+  double floor_speed() const noexcept { return floor_; }
+
  private:
   double s0_;
   double max_size_;
@@ -116,6 +121,13 @@ class PowerDecaySpeed final : public SpeedFunction {
   PowerDecaySpeed(double s0, double x0, double exponent, double max_size);
   double speed(double x) const override;
   double max_size() const override { return max_size_; }
+  /// Closed form: bracketed Newton on slope·x·(1+(x/x0)^k) = s0, with
+  /// bisection fallback steps whenever Newton would leave the sign bracket.
+  double intersect(double slope) const override;
+
+  double s0() const noexcept { return s0_; }
+  double x0() const noexcept { return x0_; }
+  double exponent() const noexcept { return k_; }
 
  private:
   double s0_;
@@ -134,6 +146,12 @@ class UnimodalSpeed final : public SpeedFunction {
                 double decay_exponent, double max_size);
   double speed(double x) const override;
   double max_size() const override { return max_size_; }
+
+  double s_low() const noexcept { return s_low_; }
+  double s_peak() const noexcept { return s_peak_; }
+  double x_peak() const noexcept { return x_peak_; }
+  double decay_x0() const noexcept { return x0_; }
+  double decay_exponent() const noexcept { return k_; }
 
  private:
   double s_low_;
@@ -160,6 +178,9 @@ class SteppedSpeed final : public SpeedFunction {
   double speed(double x) const override;
   double max_size() const override { return max_size_; }
 
+  double s0() const noexcept { return s0_; }
+  const std::vector<Step>& steps() const noexcept { return steps_; }
+
  private:
   double s0_;
   std::vector<Step> steps_;
@@ -175,6 +196,13 @@ class ExpDecaySpeed final : public SpeedFunction {
   ExpDecaySpeed(double s0, double lambda, double max_size);
   double speed(double x) const override;
   double max_size() const override { return max_size_; }
+  /// Closed form: bracketed Newton on slope·x = s0·exp(-x/lambda) — the
+  /// family whose optimal slope decays exponentially in n, so this is the
+  /// hottest generic-bisection call site it replaces.
+  double intersect(double slope) const override;
+
+  double s0() const noexcept { return s0_; }
+  double lambda() const noexcept { return lambda_; }
 
  private:
   double s0_;
@@ -189,6 +217,9 @@ class ScaledSpeed final : public SpeedFunction {
   ScaledSpeed(std::shared_ptr<const SpeedFunction> base, double factor);
   double speed(double x) const override;
   double max_size() const override;
+
+  const SpeedFunction& base() const noexcept { return *base_; }
+  double factor() const noexcept { return factor_; }
 
  private:
   std::shared_ptr<const SpeedFunction> base_;
@@ -208,6 +239,9 @@ class GranularSpeed final : public SpeedFunction {
   double speed(double items) const override;
   double max_size() const override;
 
+  const SpeedFunction& base() const noexcept { return *base_; }
+  double elements_per_item() const noexcept { return k_; }
+
  private:
   std::shared_ptr<const SpeedFunction> base_;
   double k_;
@@ -220,6 +254,9 @@ class GranularSpeedView final : public SpeedFunction {
   GranularSpeedView(const SpeedFunction& base, double elements_per_item);
   double speed(double items) const override;
   double max_size() const override;
+
+  const SpeedFunction& base() const noexcept { return *base_; }
+  double elements_per_item() const noexcept { return k_; }
 
  private:
   const SpeedFunction* base_;

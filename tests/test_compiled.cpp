@@ -1,0 +1,254 @@
+// Equivalence tests for the compiled speed-model layer (core/compiled.*):
+// bit-identical speed() / intersect() per family, closed-form intersections
+// against the generic bisection, bit-identical distributions and stats for
+// every registry algorithm with the compiled path toggled on and off, and
+// content-hash fingerprint semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/fpm.hpp"
+#include "helpers.hpp"
+
+namespace fpm {
+namespace {
+
+using core::CompiledSpeedList;
+
+/// RAII guard flipping the process-wide compiled-partitioning switch.
+class CompiledToggle {
+ public:
+  explicit CompiledToggle(bool enabled)
+      : old_(core::compiled_partitioning_enabled()) {
+    core::set_compiled_partitioning(enabled);
+  }
+  ~CompiledToggle() { core::set_compiled_partitioning(old_); }
+
+ private:
+  bool old_;
+};
+
+/// Every ensemble the suite knows, plus mixed and a piecewise curve set.
+std::vector<test::Ensemble> equivalence_ensembles() {
+  auto out = test::all_ensembles(4);
+  out.push_back(test::mixed_ensemble());
+  test::Ensemble pw{"piecewise", {}};
+  for (int i = 0; i < 3; ++i) {
+    const double d = static_cast<double>(i);
+    std::vector<core::SpeedPoint> pts{{1e3, 180.0 + 20.0 * d},
+                                      {5e5, 160.0 + 20.0 * d},
+                                      {2e7, 90.0 + 10.0 * d},
+                                      {4e8, 12.0 + d}};
+    pw.owned.push_back(
+        std::make_shared<core::PiecewiseLinearSpeed>(std::move(pts)));
+  }
+  out.push_back(std::move(pw));
+  return out;
+}
+
+TEST(Compiled, SpeedAndIntersectBitIdenticalPerFamily) {
+  for (const test::Ensemble& e : equivalence_ensembles()) {
+    const core::SpeedList list = e.list();
+    const CompiledSpeedList compiled = CompiledSpeedList::compile(list);
+    ASSERT_EQ(compiled.size(), list.size());
+    EXPECT_TRUE(compiled.fully_compiled()) << e.name;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      for (double x = 1.0; x <= 4e9; x *= 3.7)
+        EXPECT_EQ(compiled.speed(i, x), list[i]->speed(x))
+            << e.name << " curve " << i << " at x=" << x;
+      for (double x = 10.0; x <= 1e8; x *= 10.0) {
+        const double slope = list[i]->speed(x) / x;
+        EXPECT_EQ(compiled.intersect(i, slope), list[i]->intersect(slope))
+            << e.name << " curve " << i << " slope through x=" << x;
+      }
+    }
+  }
+}
+
+TEST(Compiled, WrappersCompileOneLevelDeep) {
+  auto power = std::make_shared<core::PowerDecaySpeed>(170.0, 3e7, 1.1, 1e9);
+  auto exp = std::make_shared<core::ExpDecaySpeed>(150.0, 5e4, 2e6);
+  const core::ScaledSpeed scaled(power, 0.75);
+  const core::GranularSpeed granular(exp, 48.0);
+  const core::GranularSpeedView view(*power, 9.0);
+
+  const core::SpeedList list{&scaled, &granular, &view};
+  const CompiledSpeedList compiled = CompiledSpeedList::compile(list);
+  EXPECT_TRUE(compiled.fully_compiled());
+  EXPECT_EQ(compiled.wrap(0), CompiledSpeedList::Wrap::Scaled);
+  EXPECT_EQ(compiled.family(0), CompiledSpeedList::Family::PowerDecay);
+  EXPECT_EQ(compiled.wrap(1), CompiledSpeedList::Wrap::Granular);
+  EXPECT_EQ(compiled.family(1), CompiledSpeedList::Family::ExpDecay);
+  EXPECT_EQ(compiled.wrap(2), CompiledSpeedList::Wrap::Granular);
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    EXPECT_EQ(compiled.max_size(i), list[i]->max_size());
+    for (double x = 1.0; x <= 1e8; x *= 2.9)
+      EXPECT_EQ(compiled.speed(i, x), list[i]->speed(x)) << "curve " << i;
+    for (double x = 100.0; x <= 1e6; x *= 10.0) {
+      const double slope = list[i]->speed(x) / x;
+      EXPECT_EQ(compiled.intersect(i, slope), list[i]->intersect(slope))
+          << "curve " << i;
+    }
+  }
+}
+
+/// An unknown SpeedFunction subclass must fall back to a Generic entry that
+/// forwards to the virtual object.
+class OddSpeed final : public core::SpeedFunction {
+ public:
+  double speed(double x) const override { return 130.0 / (1.0 + x / 1e6); }
+  double max_size() const override { return 1e8; }
+};
+
+TEST(Compiled, UnknownSubclassFallsBackToGeneric) {
+  const OddSpeed odd;
+  auto constant = std::make_shared<core::ConstantSpeed>(100.0, 1e9);
+  const core::SpeedList list{&odd, constant.get()};
+  const CompiledSpeedList compiled = CompiledSpeedList::compile(list);
+  EXPECT_FALSE(compiled.fully_compiled());
+  EXPECT_EQ(compiled.generic_entries(), 1u);
+  EXPECT_EQ(compiled.family(0), CompiledSpeedList::Family::Generic);
+  EXPECT_EQ(compiled.family(1), CompiledSpeedList::Family::Constant);
+  for (double x = 1.0; x <= 1e8; x *= 5.1)
+    EXPECT_EQ(compiled.speed(0, x), odd.speed(x));
+  for (double slope : {1e-4, 1e-2, 1.0, 50.0})
+    EXPECT_EQ(compiled.intersect(0, slope), odd.intersect(slope));
+}
+
+/// Satellite regression: the closed-form intersections of the power- and
+/// exponential-decay families must agree with the generic bisection (the
+/// SpeedFunction base implementation, reached via a qualified call) to 1e-9
+/// relative across slopes spanning ~300 orders of magnitude.
+void expect_close(double a, double b, const char* what, double slope) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  EXPECT_LE(std::abs(a - b), 1e-9 * scale)
+      << what << " at slope " << slope << ": closed " << a << " generic " << b;
+}
+
+TEST(Compiled, PowerDecayClosedFormMatchesBisection) {
+  for (const double x0 : {3e5, 2e7}) {
+    for (const double k : {0.5, 1.0, 2.0, 3.5, 8.0, 20.0}) {
+      const core::PowerDecaySpeed f(150.0, x0, k, 1e9);
+      for (int e = -300; e <= 6; e += 3)
+        expect_close(f.intersect(std::pow(10.0, e)),
+                     f.SpeedFunction::intersect(std::pow(10.0, e)),
+                     "power-decay", std::pow(10.0, e));
+    }
+  }
+}
+
+TEST(Compiled, ExpDecayClosedFormMatchesBisection) {
+  for (const double lambda : {5e3, 4.5e4, 4e5, 2e6, 1.2e7}) {
+    const core::ExpDecaySpeed f(150.0, lambda, 2e6);
+    for (int e = -300; e <= 6; e += 3)
+      expect_close(f.intersect(std::pow(10.0, e)),
+                   f.SpeedFunction::intersect(std::pow(10.0, e)), "exp-decay",
+                   std::pow(10.0, e));
+  }
+}
+
+TEST(Compiled, AllAlgorithmsBitIdenticalAcrossToggle) {
+  std::vector<test::Ensemble> ensembles = equivalence_ensembles();
+  for (const test::Ensemble& e : ensembles) {
+    const core::SpeedList list = e.list();
+    for (const std::string& alg : core::partitioner_registry().ids()) {
+      core::PartitionPolicy policy;
+      policy.algorithm = alg;
+      for (const std::int64_t n : {1000LL, 1000000LL}) {
+        core::PartitionResult on, off;
+        {
+          CompiledToggle guard(true);
+          on = core::partition(list, n, policy);
+        }
+        {
+          CompiledToggle guard(false);
+          off = core::partition(list, n, policy);
+        }
+        EXPECT_EQ(on.distribution.counts, off.distribution.counts)
+            << e.name << " " << alg << " n=" << n;
+        EXPECT_EQ(on.stats.iterations, off.stats.iterations)
+            << e.name << " " << alg << " n=" << n;
+        EXPECT_EQ(on.stats.intersections, off.stats.intersections)
+            << e.name << " " << alg << " n=" << n;
+        EXPECT_EQ(on.stats.final_slope, off.stats.final_slope)
+            << e.name << " " << alg << " n=" << n;
+        EXPECT_EQ(on.stats.speed_evals, off.stats.speed_evals)
+            << e.name << " " << alg << " n=" << n;
+        EXPECT_EQ(on.stats.intersect_solves, off.stats.intersect_solves)
+            << e.name << " " << alg << " n=" << n;
+        EXPECT_EQ(on.stats.switched_to_modified, off.stats.switched_to_modified)
+            << e.name << " " << alg << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Compiled, BracketAndSizesMatchVirtualHelpers) {
+  for (const test::Ensemble& e : equivalence_ensembles()) {
+    const core::SpeedList list = e.list();
+    const CompiledSpeedList compiled = CompiledSpeedList::compile(list);
+    for (const std::int64_t n : {100LL, 5000000LL}) {
+      core::EvalCounters counters;
+      const core::SlopeBracket a = detect_bracket(compiled, n, &counters);
+      const core::SlopeBracket b = detect_bracket(list, n);
+      EXPECT_EQ(a.lo_slope, b.lo_slope) << e.name << " n=" << n;
+      EXPECT_EQ(a.hi_slope, b.hi_slope) << e.name << " n=" << n;
+      EXPECT_GT(counters.speed_evals, 0) << e.name;
+      EXPECT_GT(counters.intersect_solves, 0) << e.name;
+      EXPECT_EQ(sizes_at(compiled, a.lo_slope, nullptr),
+                sizes_at(list, b.lo_slope))
+          << e.name << " n=" << n;
+      EXPECT_EQ(total_size_at(compiled, a.hi_slope, nullptr),
+                total_size_at(list, b.hi_slope))
+          << e.name << " n=" << n;
+    }
+  }
+}
+
+TEST(Compiled, FingerprintIsContentHashForKnownFamilies) {
+  const test::Ensemble a = test::power_ensemble(5);
+  const test::Ensemble b = test::power_ensemble(5);  // distinct objects
+  EXPECT_EQ(CompiledSpeedList::compile(a.list()).fingerprint(),
+            CompiledSpeedList::compile(b.list()).fingerprint());
+
+  const test::Ensemble c = test::power_ensemble(4);  // different p
+  EXPECT_NE(CompiledSpeedList::compile(a.list()).fingerprint(),
+            CompiledSpeedList::compile(c.list()).fingerprint());
+
+  const core::PowerDecaySpeed p1(90.0, 2e7, 0.8, 1e9);
+  const core::PowerDecaySpeed p2(90.0, 2e7, 0.9, 1e9);  // one param differs
+  EXPECT_NE(CompiledSpeedList::compile({&p1}).fingerprint(),
+            CompiledSpeedList::compile({&p2}).fingerprint());
+
+  // Families with identical raw parameters must still hash apart.
+  const core::ConstantSpeed k1(100.0, 1e9);
+  const core::ExpDecaySpeed k2(100.0, 1e9, 1e9);
+  EXPECT_NE(CompiledSpeedList::compile({&k1}).fingerprint(),
+            CompiledSpeedList::compile({&k2}).fingerprint());
+}
+
+TEST(Compiled, FingerprintUsesIdentityForGenericEntries) {
+  const OddSpeed odd1, odd2;
+  EXPECT_EQ(CompiledSpeedList::compile({&odd1}).fingerprint(),
+            CompiledSpeedList::compile({&odd1}).fingerprint());
+  EXPECT_NE(CompiledSpeedList::compile({&odd1}).fingerprint(),
+            CompiledSpeedList::compile({&odd2}).fingerprint());
+}
+
+TEST(Compiled, CompiledEntryViewCountsAtTheBoundary) {
+  const test::Ensemble e = test::power_ensemble(3);
+  const core::SpeedList list = e.list();
+  const CompiledSpeedList compiled = CompiledSpeedList::compile(list);
+  core::EvalCounters counters;
+  core::CompiledEntryView view(compiled, 1, &counters);
+  EXPECT_EQ(view.speed(1e6), list[1]->speed(1e6));
+  EXPECT_EQ(view.max_size(), list[1]->max_size());
+  EXPECT_EQ(view.intersect(1e-3), list[1]->intersect(1e-3));
+  EXPECT_EQ(counters.speed_evals, 1);
+  EXPECT_EQ(counters.intersect_solves, 1);
+}
+
+}  // namespace
+}  // namespace fpm

@@ -1,0 +1,199 @@
+// Concurrency tests for the batch-partitioning engine (core/server.hpp):
+// many threads hammering one PartitionServer must produce results
+// bit-identical to direct core::partition() calls, the sharded LRU cache
+// must stay consistent under contention, observer-carrying policies must
+// bypass the cache, and the Rebalancer must behave identically with and
+// without a shared server. Run under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "balance/rebalancer.hpp"
+#include "core/fpm.hpp"
+#include "helpers.hpp"
+
+namespace fpm {
+namespace {
+
+TEST(PartitionServer, ServesBitIdenticalResultsFromManyThreads) {
+  const test::Ensemble e = test::mixed_ensemble();
+  const core::SpeedList list = e.list();
+  // 8 distinct problem sizes: every thread cycles through all of them, so
+  // the cache sees a racy mix of cold misses and hot hits on every key.
+  std::vector<std::int64_t> ns;
+  for (int i = 0; i < 8; ++i) ns.push_back(10000 + 7919LL * i);
+  std::vector<core::Distribution> expected;
+  for (const std::int64_t n : ns)
+    expected.push_back(core::partition(list, n).distribution);
+
+  core::PartitionServer server;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::size_t j = static_cast<std::size_t>(t + i) % ns.size();
+        const core::PartitionResult r = server.serve(list, ns[j], {});
+        if (r.distribution.counts != expected[j].counts) ++mismatches;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const core::CacheStats stats = server.cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kPerThread);
+  // Concurrent first touches of one key may each miss, but never fewer
+  // misses than distinct keys and never an unreasonable number more.
+  EXPECT_GE(stats.misses, static_cast<std::int64_t>(ns.size()));
+  EXPECT_LE(stats.misses, static_cast<std::int64_t>(ns.size()) * kThreads);
+  EXPECT_EQ(stats.uncacheable, 0);
+  EXPECT_LE(stats.entries, core::ServerOptions{}.cache_capacity);
+}
+
+TEST(PartitionServer, RunBatchPreservesRequestOrder) {
+  const test::Ensemble e = test::power_ensemble(5);
+  const core::SpeedList list = e.list();
+  core::ServerOptions opts;
+  opts.threads = 4;
+  core::PartitionServer server(opts);
+  std::vector<core::BatchRequest> batch;
+  for (int i = 0; i < 40; ++i)
+    batch.push_back({list, 5000 + 991LL * i, {}});
+  const std::vector<core::PartitionResult> results =
+      server.run_batch(std::move(batch));
+  ASSERT_EQ(results.size(), 40u);
+  for (int i = 0; i < 40; ++i) {
+    const core::PartitionResult direct = core::partition(list, 5000 + 991LL * i);
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].distribution.counts,
+              direct.distribution.counts)
+        << "request " << i;
+  }
+}
+
+TEST(PartitionServer, PartitionBatchConvenienceMatchesDirectCalls) {
+  const test::Ensemble e = test::exponential_ensemble(3);
+  const core::SpeedList list = e.list();
+  std::vector<core::BatchRequest> batch;
+  for (int i = 0; i < 12; ++i) batch.push_back({list, 1000 + 313LL * i, {}});
+  const auto results = core::partition_batch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    EXPECT_EQ(results[i].distribution.counts,
+              core::partition(list, batch[i].n).distribution.counts);
+}
+
+TEST(PartitionServer, LruEvictsLeastRecentlyUsed) {
+  const test::Ensemble e = test::constant_ensemble(3);
+  const core::SpeedList list = e.list();
+  core::ServerOptions opts;
+  opts.threads = 1;
+  opts.cache_capacity = 4;
+  opts.cache_shards = 1;
+  core::PartitionServer server(opts);
+  for (int i = 0; i < 8; ++i) (void)server.serve(list, 1000 + i, {});
+  core::CacheStats stats = server.cache_stats();
+  EXPECT_EQ(stats.misses, 8);
+  EXPECT_EQ(stats.entries, 4);
+  EXPECT_EQ(stats.evictions, 4);
+  // The four most recent keys are hits; the four oldest were evicted.
+  for (int i = 4; i < 8; ++i) (void)server.serve(list, 1000 + i, {});
+  stats = server.cache_stats();
+  EXPECT_EQ(stats.hits, 4);
+  (void)server.serve(list, 1000, {});  // evicted earlier: a miss again
+  EXPECT_EQ(server.cache_stats().misses, 9);
+}
+
+TEST(PartitionServer, ObserverPoliciesBypassTheCache) {
+  const test::Ensemble e = test::power_ensemble(4);
+  const core::SpeedList list = e.list();
+  core::PartitionServer server;
+  std::atomic<int> steps{0};
+  core::PartitionPolicy traced;
+  traced.observer = [&steps](const core::SearchStep&) { ++steps; };
+  const core::PartitionResult first = server.serve(list, 100000, traced);
+  const int steps_per_run = steps.load();
+  EXPECT_GT(steps_per_run, 0);
+  for (int i = 0; i < 4; ++i) {
+    const core::PartitionResult again = server.serve(list, 100000, traced);
+    EXPECT_EQ(again.distribution.counts, first.distribution.counts);
+  }
+  // The observer fired on every call — nothing was answered from cache.
+  EXPECT_EQ(steps.load(), 5 * steps_per_run);
+  const core::CacheStats stats = server.cache_stats();
+  EXPECT_EQ(stats.uncacheable, 5);
+  EXPECT_EQ(stats.hits + stats.misses, 0);
+}
+
+TEST(PartitionServer, CacheKeyDistinguishesModelsAndPolicies) {
+  const test::Ensemble a = test::power_ensemble(4);
+  const test::Ensemble b = test::power_ensemble(4);  // structurally equal
+  core::PartitionServer server;
+  (void)server.serve(a.list(), 50000, {});
+  // Same models (by content), same n, same policy: a hit.
+  (void)server.serve(b.list(), 50000, {});
+  EXPECT_EQ(server.cache_stats().hits, 1);
+  // Different algorithm: a distinct key.
+  core::PartitionPolicy basic;
+  basic.algorithm = core::kAlgorithmBasic;
+  (void)server.serve(a.list(), 50000, basic);
+  EXPECT_EQ(server.cache_stats().misses, 2);
+  // Different bounds: a distinct key even though format_policy omits them.
+  core::PartitionPolicy bounded;
+  bounded.algorithm = core::kAlgorithmBounded;
+  bounded.bounds = {20000, 20000, 20000, 20000};
+  (void)server.serve(a.list(), 50000, bounded);
+  core::PartitionPolicy bounded2 = bounded;
+  bounded2.bounds.back() = 30000;
+  (void)server.serve(a.list(), 50000, bounded2);
+  EXPECT_EQ(server.cache_stats().misses, 4);
+}
+
+TEST(PartitionServer, ClearCacheResetsEntries) {
+  const test::Ensemble e = test::constant_ensemble(2);
+  core::PartitionServer server;
+  (void)server.serve(e.list(), 1234, {});
+  EXPECT_EQ(server.cache_stats().entries, 1);
+  server.clear_cache();
+  EXPECT_EQ(server.cache_stats().entries, 0);
+  (void)server.serve(e.list(), 1234, {});
+  EXPECT_EQ(server.cache_stats().misses, 2);
+}
+
+TEST(Rebalancer, SharedServerIsBehaviourallyInvisible) {
+  balance::OnlineModelOptions model;
+  model.min_size = 10.0;
+  model.max_size = 1e6;
+  model.buckets = 16;
+  balance::RebalancerOptions plain;
+  plain.warmup_iterations = 2;
+  core::PartitionServer server;
+  balance::RebalancerOptions shared = plain;
+  shared.server = &server;
+
+  balance::Rebalancer rb_plain(4, 100000, model, plain);
+  balance::Rebalancer rb_shared(4, 100000, model, shared);
+  const std::vector<double> times{8.0, 2.0, 1.0, 1.5};
+  for (int i = 0; i < 12; ++i) {
+    const bool a = rb_plain.step(times);
+    const bool b = rb_shared.step(times);
+    EXPECT_EQ(a, b) << "iteration " << i;
+    EXPECT_EQ(rb_plain.distribution().counts, rb_shared.distribution().counts)
+        << "iteration " << i;
+  }
+  EXPECT_EQ(rb_plain.repartitions(), rb_shared.repartitions());
+  EXPECT_GT(rb_shared.repartitions(), 0);
+  // The shared instance's repartitions (and rejected candidates) actually
+  // went through the server.
+  const core::CacheStats stats = server.cache_stats();
+  EXPECT_GE(stats.hits + stats.misses,
+            static_cast<std::int64_t>(rb_shared.repartitions()));
+}
+
+}  // namespace
+}  // namespace fpm

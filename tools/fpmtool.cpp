@@ -32,6 +32,7 @@
 //       makespans. Default network: Table 2 with NAME in {mm}.
 //
 // Exit status: 0 on success, 1 on CLI errors, 2 on runtime failures.
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -48,6 +49,7 @@
 #include "simcluster/presets.hpp"
 #include "simcluster/spec_io.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -65,7 +67,7 @@ int usage() {
          "  fpmtool partition --models FILE --n N [--algorithm ID]\n"
          "          [--options \"KEY VALUE ...\"] [--bounds B1,B2,...] "
          "[--trace]\n"
-         "          [--single-number REF] [--csv]\n"
+         "          [--single-number REF] [--csv] [--repeat R] [--threads T]\n"
          "  fpmtool partition --list-algorithms\n"
          "  fpmtool simulate --app NAME --n MATRIX_N [--cluster FILE] "
          "[--reference REF_N]\n";
@@ -241,7 +243,48 @@ int cmd_partition(const util::CliArgs& args) {
   core::StepTrace trace;
   if (args.flag("--trace")) policy.observer = trace.observer();
 
-  const core::PartitionResult result = core::partition(speeds, n, policy);
+  const auto repeat =
+      static_cast<std::int64_t>(args.number("--repeat", 1));
+  const auto threads = static_cast<unsigned>(args.number("--threads", 0));
+  if (repeat < 1) throw std::invalid_argument("--repeat must be >= 1");
+  if (args.flag("--trace") && (repeat > 1 || threads > 0))
+    throw std::invalid_argument(
+        "--trace cannot be combined with --repeat/--threads (the trace "
+        "would interleave across requests)");
+
+  core::PartitionResult result;
+  if (repeat > 1 || threads > 0) {
+    // Throughput mode: hammer a PartitionServer with the same request and
+    // report the service rate; the printed partition is the first answer
+    // (all of them are identical).
+    core::ServerOptions sopts;
+    sopts.threads = threads == 0 ? 1 : threads;
+    core::PartitionServer server(sopts);
+    std::vector<core::BatchRequest> batch(
+        static_cast<std::size_t>(repeat),
+        core::BatchRequest{speeds, n, policy});
+    util::Timer timer;
+    std::vector<core::PartitionResult> results =
+        server.run_batch(std::move(batch));
+    const double seconds = timer.seconds();
+    result = std::move(results.front());
+    const core::CacheStats cs = server.cache_stats();
+    const double total =
+        static_cast<double>(cs.hits + cs.misses + cs.uncacheable);
+    std::cout << "served " << repeat << " requests on " << server.threads()
+              << " thread(s) in " << util::fmt(seconds * 1e3, 2) << " ms ("
+              << util::fmt(static_cast<double>(repeat) /
+                               std::max(seconds, 1e-12),
+                           0)
+              << " req/s, cache hit rate "
+              << util::fmt(total > 0.0
+                               ? 100.0 * static_cast<double>(cs.hits) / total
+                               : 0.0,
+                           1)
+              << "%)\n";
+  } else {
+    result = core::partition(speeds, n, policy);
+  }
 
   std::optional<core::Distribution> baseline;
   if (const auto ref = args.get("--single-number"))
