@@ -11,10 +11,19 @@
 //                 devirtualization + SoA win and must never regress.
 //   3. server   — PartitionServer::run_batch on an all-distinct (cache-miss)
 //                 request batch at increasing thread counts.
+//   4. serve_hit — the cache-hit path: keying via the allocation-free
+//                 CompiledSpeedList::fingerprint_of against the old
+//                 compile-to-fingerprint approach, plus the end-to-end
+//                 serve() latency on a warm cache.
 //
-// `--gate` turns the first two into pass/fail checks for CI: exit 1 when
-// the kernel speedup drops below 2x or compiled partitioning is slower than
-// the virtual baseline (with a small tolerance for timer noise).
+// The process metrics registry (obs::metrics) is embedded in the JSON dump
+// under "metrics", so one artifact carries both the timings and the
+// engine's own accounting of the run.
+//
+// `--gate` turns measurements 1, 2, and 4 into pass/fail checks for CI:
+// exit 1 when the kernel speedup drops below 2x, compiled partitioning is
+// slower than the virtual baseline, or fingerprint keying is not faster
+// than compile keying (each with a small tolerance for timer noise).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -29,6 +38,7 @@
 
 #include "common.hpp"
 #include "core/fpm.hpp"
+#include "obs/metrics.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -207,6 +217,25 @@ int main(int argc, char** argv) {
   for (const unsigned t : thread_counts)
     rates.push_back(server_miss_rate(t, requests, se));
 
+  // --- 4. serve_hit: warm-cache latency and cache keying ----------------
+  // A hit needs only the key, so serving from a warm cache must not pay
+  // for a full model compilation; compare the allocation-free fingerprint
+  // against compiling just to read the fingerprint (the old keying).
+  const core::SpeedList hit_list = se.list();
+  const double t_key_compile = best_of(5, 200, [&] {
+    return core::CompiledSpeedList::compile(hit_list).fingerprint();
+  });
+  const double t_key_fp = best_of(5, 200, [&] {
+    return core::CompiledSpeedList::fingerprint_of(hit_list);
+  });
+  const double keying_speedup = t_key_compile / t_key_fp;
+  core::PartitionServer hit_server({.threads = 1});
+  const std::int64_t hit_n = 1000000;
+  hit_server.serve(hit_list, hit_n);  // warm the cache: one miss
+  const double t_hit = best_of(5, 200, [&] {
+    return hit_server.serve(hit_list, hit_n).distribution.counts[0];
+  });
+
   util::Table t("partition throughput",
                 {"metric", "baseline", "optimized", "speedup"});
   t.add_row({"intersect kernel (ms/pass)", util::fmt(t_generic * 1e3, 3),
@@ -218,6 +247,9 @@ int main(int argc, char** argv) {
                    " thread(s) (req/s)",
                util::fmt(rates[0], 0), util::fmt(rates[i], 0),
                util::fmt(rates[i] / rates[0], 2)});
+  t.add_row({"cache keying (us)", util::fmt(t_key_compile * 1e6, 3),
+             util::fmt(t_key_fp * 1e6, 3), util::fmt(keying_speedup, 2)});
+  t.add_row({"serve cache hit (us)", "-", util::fmt(t_hit * 1e6, 3), "-"});
   bench::emit(t);
 
   std::ofstream json(out);
@@ -234,7 +266,12 @@ int main(int argc, char** argv) {
          << ", \"requests\": " << requests
          << ", \"requests_per_s\": " << rates[i]
          << ", \"scaling\": " << rates[i] / rates[0] << "}";
-  json << "]\n}\n";
+  json << "],\n"
+       << "  \"serve_hit\": {\"key_compile_s\": " << t_key_compile
+       << ", \"key_fingerprint_s\": " << t_key_fp
+       << ", \"keying_speedup\": " << keying_speedup
+       << ", \"hit_s\": " << t_hit << "},\n"
+       << "  \"metrics\": " << obs::metrics().to_json() << "}\n";
   std::cout << "wrote " << out << "\n";
 
   if (gate) {
@@ -253,9 +290,20 @@ int main(int argc, char** argv) {
                 << util::fmt(t_virtual * 1e3, 3) << " ms\n";
       ok = false;
     }
+    // The fingerprint key skips entry/pool materialization entirely, so it
+    // must beat compile-to-fingerprint comfortably; 1.2x leaves room for
+    // timer noise on tiny ensembles.
+    if (t_key_fp > t_key_compile / 1.2) {
+      std::cerr << "GATE FAIL: fingerprint keying "
+                << util::fmt(t_key_fp * 1e6, 3)
+                << " us not faster than compile keying "
+                << util::fmt(t_key_compile * 1e6, 3) << " us\n";
+      ok = false;
+    }
     if (!ok) return 1;
     std::cout << "gate passed: kernel " << util::fmt(kernel_speedup, 2)
-              << "x, partition " << util::fmt(partition_speedup, 2) << "x\n";
+              << "x, partition " << util::fmt(partition_speedup, 2)
+              << "x, keying " << util::fmt(keying_speedup, 2) << "x\n";
   }
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include "core/policy.hpp"
 #include "core/server.hpp"
+#include "obs/metrics.hpp"
 
 namespace fpm::balance {
 
@@ -66,6 +67,7 @@ bool Rebalancer::step(std::span<const double> seconds) {
     throw std::invalid_argument("Rebalancer::step: size mismatch");
   ++iterations_seen_;
   last_migration_s_ = 0.0;
+  obs::metrics().counter(obs::names::kRebalanceRounds).add(1);
 
   // Ingest observations, compute the iteration's imbalance, and track the
   // two collapse signals: speed far below the model's own estimate
@@ -109,6 +111,7 @@ bool Rebalancer::step(std::span<const double> seconds) {
     if (missing_collapse || speed_collapse) {
       active_[i] = 0;
       ++evacuations_;
+      obs::metrics().counter(obs::names::kRebalanceEvacuations).add(1);
       drained = true;
     }
   }
@@ -122,6 +125,7 @@ bool Rebalancer::step(std::span<const double> seconds) {
         static_cast<double>(moved) * opts_.migration_cost_per_element_s;
     dist_ = std::move(candidate);
     ++repartitions_;
+    obs::metrics().counter(obs::names::kRebalanceRepartitions).add(1);
     last_repartition_iteration_ = iterations_seen_;
     return true;
   }
@@ -166,6 +170,7 @@ bool Rebalancer::step(std::span<const double> seconds) {
 
   dist_ = std::move(candidate);
   ++repartitions_;
+  obs::metrics().counter(obs::names::kRebalanceRepartitions).add(1);
   last_repartition_iteration_ = iterations_seen_;
   last_migration_s_ = migration;
   return true;

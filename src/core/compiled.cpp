@@ -34,7 +34,114 @@ inline std::uint64_t fnv_mix(std::uint64_t h, double v) {
 
 std::atomic<bool> g_compiled_enabled{true};
 
+/// Thread-local precompiled hint installed by PrecompiledGuard.
+thread_local const SpeedList* g_precompiled_speeds = nullptr;
+thread_local const CompiledSpeedList* g_precompiled_list = nullptr;
+
+/// The shared classification of one speed function: which family/wrap it
+/// compiles to and the scalar parameters, with typed pointers for the
+/// families whose data lives in pools. Both compile() and fingerprint_of()
+/// run exactly this walk, so the fingerprint of a list never depends on
+/// which of the two computed it.
+struct Classified {
+  CompiledSpeedList::Family family = CompiledSpeedList::Family::Generic;
+  CompiledSpeedList::Wrap wrap = CompiledSpeedList::Wrap::None;
+  double wrap_param = 1.0;
+  double a = 0.0, b = 0.0, c = 0.0, d = 0.0;
+  std::uint32_t count = 0;
+  const UnimodalSpeed* unimodal = nullptr;
+  const SteppedSpeed* stepped = nullptr;
+  const PiecewiseLinearSpeed* piecewise = nullptr;
+};
+
+Classified classify(const SpeedFunction& f) {
+  using Family = CompiledSpeedList::Family;
+  using Wrap = CompiledSpeedList::Wrap;
+  Classified out;
+  const SpeedFunction* inner = &f;
+  Wrap wrap = Wrap::None;
+  double wrap_param = 1.0;
+  if (const auto* sc = dynamic_cast<const ScaledSpeed*>(&f)) {
+    wrap = Wrap::Scaled;
+    wrap_param = sc->factor();
+    inner = &sc->base();
+  } else if (const auto* g = dynamic_cast<const GranularSpeed*>(&f)) {
+    wrap = Wrap::Granular;
+    wrap_param = g->elements_per_item();
+    inner = &g->base();
+  } else if (const auto* gv = dynamic_cast<const GranularSpeedView*>(&f)) {
+    wrap = Wrap::Granular;
+    wrap_param = gv->elements_per_item();
+    inner = &gv->base();
+  }
+  if (const auto* c = dynamic_cast<const ConstantSpeed*>(inner)) {
+    out.family = Family::Constant;
+    out.a = c->s0();
+  } else if (const auto* l = dynamic_cast<const LinearDecaySpeed*>(inner)) {
+    out.family = Family::LinearDecay;
+    out.a = l->s0();
+    out.b = l->max_size();
+    out.c = l->floor_speed();
+  } else if (const auto* pd = dynamic_cast<const PowerDecaySpeed*>(inner)) {
+    out.family = Family::PowerDecay;
+    out.a = pd->s0();
+    out.b = pd->x0();
+    out.c = pd->exponent();
+    out.d = pd->max_size();
+  } else if (const auto* ed = dynamic_cast<const ExpDecaySpeed*>(inner)) {
+    out.family = Family::ExpDecay;
+    out.a = ed->s0();
+    out.b = ed->lambda();
+    out.d = ed->max_size();
+  } else if (const auto* u = dynamic_cast<const UnimodalSpeed*>(inner)) {
+    out.family = Family::Unimodal;
+    out.a = u->s_low();
+    out.b = u->s_peak();
+    out.c = u->x_peak();
+    out.count = 2;
+    out.unimodal = u;
+  } else if (const auto* st = dynamic_cast<const SteppedSpeed*>(inner)) {
+    out.family = Family::Stepped;
+    out.a = st->s0();
+    out.count = static_cast<std::uint32_t>(st->steps().size());
+    out.stepped = st;
+  } else if (const auto* pw =
+                 dynamic_cast<const PiecewiseLinearSpeed*>(inner)) {
+    out.family = Family::Piecewise;
+    out.a = pw->floor_speed();
+    out.b = pw->tail_slope();
+    out.count = static_cast<std::uint32_t>(pw->points().size());
+    out.piecewise = pw;
+  } else {
+    // Unknown family (or a wrapper around one, or nested wrappers): keep
+    // the whole object behind the virtual interface.
+    return Classified{};
+  }
+  out.wrap = wrap;
+  out.wrap_param = wrap_param;
+  return out;
+}
+
 }  // namespace
+
+PrecompiledGuard::PrecompiledGuard(const SpeedList& speeds,
+                                   const CompiledSpeedList& compiled) noexcept
+    : prev_speeds_(g_precompiled_speeds), prev_compiled_(g_precompiled_list) {
+  g_precompiled_speeds = &speeds;
+  g_precompiled_list = &compiled;
+}
+
+PrecompiledGuard::~PrecompiledGuard() {
+  g_precompiled_speeds = prev_speeds_;
+  g_precompiled_list = prev_compiled_;
+}
+
+const CompiledSpeedList* precompiled_match(const SpeedList& speeds) noexcept {
+  if (g_precompiled_speeds == nullptr) return nullptr;
+  if (g_precompiled_speeds != &speeds && *g_precompiled_speeds != speeds)
+    return nullptr;
+  return g_precompiled_list;
+}
 
 bool compiled_partitioning_enabled() noexcept {
   return g_compiled_enabled.load(std::memory_order_relaxed);
@@ -44,153 +151,112 @@ void set_compiled_partitioning(bool enabled) noexcept {
   g_compiled_enabled.store(enabled, std::memory_order_relaxed);
 }
 
-bool CompiledSpeedList::compile_inner(const SpeedFunction& f, Entry& e) {
-  if (const auto* c = dynamic_cast<const ConstantSpeed*>(&f)) {
-    e.family = Family::Constant;
-    e.a = c->s0();
-    return true;
-  }
-  if (const auto* l = dynamic_cast<const LinearDecaySpeed*>(&f)) {
-    e.family = Family::LinearDecay;
-    e.a = l->s0();
-    e.b = l->max_size();
-    e.c = l->floor_speed();
-    return true;
-  }
-  if (const auto* pd = dynamic_cast<const PowerDecaySpeed*>(&f)) {
-    e.family = Family::PowerDecay;
-    e.a = pd->s0();
-    e.b = pd->x0();
-    e.c = pd->exponent();
-    e.d = pd->max_size();
-    return true;
-  }
-  if (const auto* ed = dynamic_cast<const ExpDecaySpeed*>(&f)) {
-    e.family = Family::ExpDecay;
-    e.a = ed->s0();
-    e.b = ed->lambda();
-    e.d = ed->max_size();
-    return true;
-  }
-  if (const auto* u = dynamic_cast<const UnimodalSpeed*>(&f)) {
-    e.family = Family::Unimodal;
-    e.a = u->s_low();
-    e.b = u->s_peak();
-    e.c = u->x_peak();
-    e.offset = static_cast<std::uint32_t>(aux_.size());
-    e.count = 2;
-    aux_.push_back(u->decay_x0());
-    aux_.push_back(u->decay_exponent());
-    return true;
-  }
-  if (const auto* st = dynamic_cast<const SteppedSpeed*>(&f)) {
-    e.family = Family::Stepped;
-    e.a = st->s0();
-    e.offset = static_cast<std::uint32_t>(steps_.size());
-    e.count = static_cast<std::uint32_t>(st->steps().size());
-    steps_.insert(steps_.end(), st->steps().begin(), st->steps().end());
-    return true;
-  }
-  if (const auto* pw = dynamic_cast<const PiecewiseLinearSpeed*>(&f)) {
-    e.family = Family::Piecewise;
-    e.a = pw->floor_speed();
-    e.b = pw->tail_slope();
-    const auto pts = pw->points();
-    e.offset = static_cast<std::uint32_t>(px_.size());
-    e.count = static_cast<std::uint32_t>(pts.size());
-    for (const SpeedPoint& p : pts) {
-      px_.push_back(p.size);
-      ps_.push_back(p.speed);
-    }
-    // Segment slopes computed with the exact expression of
-    // PiecewiseLinearSpeed::intersect, so the compiled segment solve feeds
-    // piecewise_segment_intersect the same m it would compute per call.
-    // One padding slot per function keeps pm_ aligned with px_/ps_.
-    for (std::size_t i = 1; i < pts.size(); ++i)
-      pm_.push_back((pts[i].speed - pts[i - 1].speed) /
-                    (pts[i].size - pts[i - 1].size));
-    pm_.push_back(0.0);
-    return true;
-  }
-  return false;
-}
-
 CompiledSpeedList CompiledSpeedList::compile(const SpeedList& speeds) {
   CompiledSpeedList list;
   list.entries_.reserve(speeds.size());
   for (const SpeedFunction* f : speeds) {
     if (f == nullptr)
       throw std::invalid_argument("CompiledSpeedList: null speed function");
+    const Classified cl = classify(*f);
     Entry e;
     e.base = f;
-    const SpeedFunction* inner = f;
-    if (const auto* sc = dynamic_cast<const ScaledSpeed*>(f)) {
-      e.wrap = Wrap::Scaled;
-      e.wrap_param = sc->factor();
-      inner = &sc->base();
-    } else if (const auto* g = dynamic_cast<const GranularSpeed*>(f)) {
-      e.wrap = Wrap::Granular;
-      e.wrap_param = g->elements_per_item();
-      inner = &g->base();
-    } else if (const auto* gv = dynamic_cast<const GranularSpeedView*>(f)) {
-      e.wrap = Wrap::Granular;
-      e.wrap_param = gv->elements_per_item();
-      inner = &gv->base();
-    }
-    if (!list.compile_inner(*inner, e)) {
-      // Unknown family (or a wrapper around one, or nested wrappers): keep
-      // the whole object behind the virtual interface. compile_inner only
-      // touches the pools on success, so a failed attempt leaves no debris.
-      e = Entry{};
-      e.base = f;
-      ++list.generic_entries_;
+    e.family = cl.family;
+    e.wrap = cl.wrap;
+    e.wrap_param = cl.wrap_param;
+    e.a = cl.a;
+    e.b = cl.b;
+    e.c = cl.c;
+    e.d = cl.d;
+    e.count = cl.count;
+    switch (cl.family) {
+      case Family::Unimodal:
+        e.offset = static_cast<std::uint32_t>(list.aux_.size());
+        list.aux_.push_back(cl.unimodal->decay_x0());
+        list.aux_.push_back(cl.unimodal->decay_exponent());
+        break;
+      case Family::Stepped:
+        e.offset = static_cast<std::uint32_t>(list.steps_.size());
+        list.steps_.insert(list.steps_.end(), cl.stepped->steps().begin(),
+                           cl.stepped->steps().end());
+        break;
+      case Family::Piecewise: {
+        const auto pts = cl.piecewise->points();
+        e.offset = static_cast<std::uint32_t>(list.px_.size());
+        for (const SpeedPoint& p : pts) {
+          list.px_.push_back(p.size);
+          list.ps_.push_back(p.speed);
+        }
+        // Segment slopes computed with the exact expression of
+        // PiecewiseLinearSpeed::intersect, so the compiled segment solve
+        // feeds piecewise_segment_intersect the same m it would compute per
+        // call. One padding slot per function keeps pm_ aligned with
+        // px_/ps_.
+        for (std::size_t i = 1; i < pts.size(); ++i)
+          list.pm_.push_back((pts[i].speed - pts[i - 1].speed) /
+                             (pts[i].size - pts[i - 1].size));
+        list.pm_.push_back(0.0);
+        break;
+      }
+      case Family::Generic:
+        ++list.generic_entries_;
+        break;
+      default:
+        break;
     }
     e.max_size = f->max_size();
     list.entries_.push_back(e);
   }
+  list.fingerprint_ = fingerprint_of(speeds);
+  return list;
+}
+
+std::uint64_t CompiledSpeedList::fingerprint_of(const SpeedList& speeds) {
   // Content fingerprint (Generic entries degrade to pointer identity).
+  // Classification only reads the objects — no pools, no allocations — so
+  // the server's cache-hit path keys requests without compiling them.
   std::uint64_t h = kFnvOffset;
-  h = fnv_mix(h, static_cast<std::uint64_t>(list.entries_.size()));
-  for (const Entry& e : list.entries_) {
-    h = fnv_mix(h, (static_cast<std::uint64_t>(e.family) << 8) |
-                       static_cast<std::uint64_t>(e.wrap));
-    if (e.family == Family::Generic) {
-      h = fnv_mix(h, static_cast<std::uint64_t>(
-                         reinterpret_cast<std::uintptr_t>(e.base)));
+  h = fnv_mix(h, static_cast<std::uint64_t>(speeds.size()));
+  for (const SpeedFunction* f : speeds) {
+    if (f == nullptr)
+      throw std::invalid_argument("CompiledSpeedList: null speed function");
+    const Classified cl = classify(*f);
+    h = fnv_mix(h, (static_cast<std::uint64_t>(cl.family) << 8) |
+                       static_cast<std::uint64_t>(cl.wrap));
+    if (cl.family == Family::Generic) {
+      h = fnv_mix(
+          h, static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(f)));
       continue;
     }
-    h = fnv_mix(h, e.wrap_param);
-    h = fnv_mix(h, e.max_size);
-    h = fnv_mix(h, e.a);
-    h = fnv_mix(h, e.b);
-    h = fnv_mix(h, e.c);
-    h = fnv_mix(h, e.d);
-    h = fnv_mix(h, static_cast<std::uint64_t>(e.count));
-    switch (e.family) {
+    h = fnv_mix(h, cl.wrap_param);
+    h = fnv_mix(h, f->max_size());
+    h = fnv_mix(h, cl.a);
+    h = fnv_mix(h, cl.b);
+    h = fnv_mix(h, cl.c);
+    h = fnv_mix(h, cl.d);
+    h = fnv_mix(h, static_cast<std::uint64_t>(cl.count));
+    switch (cl.family) {
       case Family::Unimodal:
-        for (std::uint32_t i = 0; i < e.count; ++i)
-          h = fnv_mix(h, list.aux_[e.offset + i]);
+        h = fnv_mix(h, cl.unimodal->decay_x0());
+        h = fnv_mix(h, cl.unimodal->decay_exponent());
         break;
       case Family::Stepped:
-        for (std::uint32_t i = 0; i < e.count; ++i) {
-          const SteppedSpeed::Step& st = list.steps_[e.offset + i];
+        for (const SteppedSpeed::Step& st : cl.stepped->steps()) {
           h = fnv_mix(h, st.at);
           h = fnv_mix(h, st.to);
           h = fnv_mix(h, st.width);
         }
         break;
       case Family::Piecewise:
-        for (std::uint32_t i = 0; i < e.count; ++i) {
-          h = fnv_mix(h, list.px_[e.offset + i]);
-          h = fnv_mix(h, list.ps_[e.offset + i]);
+        for (const SpeedPoint& p : cl.piecewise->points()) {
+          h = fnv_mix(h, p.size);
+          h = fnv_mix(h, p.speed);
         }
         break;
       default:
         break;
     }
   }
-  list.fingerprint_ = h;
-  return list;
+  return h;
 }
 
 double CompiledSpeedList::raw_speed(const Entry& e, double x) const {

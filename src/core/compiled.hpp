@@ -91,6 +91,13 @@ class CompiledSpeedList {
   /// two structurally equal unknown subclasses never share a cache line.
   std::uint64_t fingerprint() const noexcept { return fingerprint_; }
 
+  /// The fingerprint `compile(speeds)` would produce, computed without
+  /// materializing the compiled entries or SoA pools (no allocations).
+  /// This is the cache-key fast path of core/server.hpp: a cache hit needs
+  /// only the key, so it must not pay for a full compilation. compile()
+  /// itself delegates here, keeping one hashing routine.
+  static std::uint64_t fingerprint_of(const SpeedList& speeds);
+
  private:
   struct Entry {
     Family family = Family::Generic;
@@ -114,10 +121,6 @@ class CompiledSpeedList {
   double raw_speed(const Entry& e, double x) const;
   double entry_speed(const Entry& e, double x) const;
   double entry_intersect(const Entry& e, double slope) const;
-
-  /// Fills `e` from the concrete (unwrapped) function; returns false when
-  /// the family is unknown.
-  bool compile_inner(const SpeedFunction& f, Entry& e);
 
   std::vector<Entry> entries_;
   // Piecewise SoA slabs (all functions concatenated; entry.offset/count
@@ -176,5 +179,29 @@ SlopeBracket detect_bracket(const CompiledSpeedList& speeds, std::int64_t n,
 /// virtual-dispatch baseline) and for the equivalence tests.
 bool compiled_partitioning_enabled() noexcept;
 void set_compiled_partitioning(bool enabled) noexcept;
+
+/// RAII thread-local hint installing an already-compiled model for a
+/// specific SpeedList: while in scope, detail::SearchState construction
+/// over an *identical* list (same pointers, same order) reuses `compiled`
+/// instead of compiling again. The batch server compiles each request once
+/// and wraps the engine call in a guard, halving the per-miss compile work;
+/// nested guards save and restore the outer hint. `speeds` and `compiled`
+/// must outlive the guard.
+class PrecompiledGuard {
+ public:
+  PrecompiledGuard(const SpeedList& speeds,
+                   const CompiledSpeedList& compiled) noexcept;
+  ~PrecompiledGuard();
+  PrecompiledGuard(const PrecompiledGuard&) = delete;
+  PrecompiledGuard& operator=(const PrecompiledGuard&) = delete;
+
+ private:
+  const SpeedList* prev_speeds_;
+  const CompiledSpeedList* prev_compiled_;
+};
+
+/// The currently installed hint when it was built from `speeds` (element-
+/// wise pointer equality); nullptr otherwise.
+const CompiledSpeedList* precompiled_match(const SpeedList& speeds) noexcept;
 
 }  // namespace fpm::core

@@ -14,7 +14,14 @@ SearchState::SearchState(const SpeedList& speeds, std::int64_t n,
     // Compiled mode: flatten once, then run the bracket detection and both
     // initial line solves on the devirtualized kernels. The entry views only
     // exist so counted_speeds() keeps its SpeedList shape for fine-tuning.
-    compiled_.emplace(CompiledSpeedList::compile(speeds));
+    // A PrecompiledGuard hint for this exact list (the batch server compiles
+    // each request once up front) short-circuits the compilation entirely.
+    if (const CompiledSpeedList* pre = precompiled_match(speeds)) {
+      compiled_ = pre;
+    } else {
+      compiled_storage_.emplace(CompiledSpeedList::compile(speeds));
+      compiled_ = &*compiled_storage_;
+    }
     entry_views_.reserve(speeds.size());
     for (std::size_t i = 0; i < speeds.size(); ++i) {
       entry_views_.emplace_back(*compiled_, i, &counters_);

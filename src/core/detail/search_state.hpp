@@ -131,8 +131,12 @@ class SearchState {
   // Exactly one of the two view vectors is populated, depending on the
   // compiled-partitioning toggle at construction; speeds_ points into it.
   // Both kinds of view feed counters_, so the accessors are mode-agnostic.
-  std::optional<CompiledSpeedList> compiled_;   // set in compiled mode
-  std::vector<CompiledEntryView> entry_views_;  // compiled mode
+  // In compiled mode compiled_ points either at compiled_storage_ (we
+  // compiled here) or at a caller-owned model installed via
+  // PrecompiledGuard (the batch server's once-per-request compilation).
+  std::optional<CompiledSpeedList> compiled_storage_;
+  const CompiledSpeedList* compiled_ = nullptr;  // set in compiled mode
+  std::vector<CompiledEntryView> entry_views_;   // compiled mode
   std::vector<CountingSpeedView> views_;        // legacy (virtual) mode
   SpeedList speeds_;                            // pointers into a view vector
   double n_;

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace fpm::core {
 
 namespace {
@@ -174,7 +176,19 @@ const PartitionerRegistry& partitioner_registry() {
 
 PartitionResult partition(const SpeedList& speeds, std::int64_t n,
                           const PartitionPolicy& policy) {
-  return partitioner_registry().run(speeds, n, policy);
+  PartitionResult result = partitioner_registry().run(speeds, n, policy);
+  // Roll the per-call PartitionStats accounting into the process-wide
+  // registry: one invocation counter per algorithm id, plus the
+  // SpeedFunction-boundary totals. Registry lookup cost is negligible next
+  // to the search itself.
+  obs::MetricsRegistry& reg = obs::metrics();
+  reg.counter(std::string(obs::names::kPartitionInvocationsPrefix) +
+              result.stats.algorithm)
+      .add(1);
+  reg.counter(obs::names::kPartitionSpeedEvals).add(result.stats.speed_evals);
+  reg.counter(obs::names::kPartitionIntersectSolves)
+      .add(result.stats.intersect_solves);
+  return result;
 }
 
 PartitionPolicy parse_policy(std::string_view algorithm,

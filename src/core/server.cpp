@@ -1,6 +1,7 @@
 #include "core/server.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <utility>
 
 #include "core/compiled.hpp"
@@ -30,9 +31,14 @@ PartitionCache::PartitionCache(std::size_t capacity, std::size_t shards)
 
 std::string PartitionCache::make_key(const SpeedList& speeds, std::int64_t n,
                                      const PartitionPolicy& policy) {
+  return make_key(CompiledSpeedList::fingerprint_of(speeds), n, policy);
+}
+
+std::string PartitionCache::make_key(std::uint64_t fingerprint, std::int64_t n,
+                                     const PartitionPolicy& policy) {
   std::string key;
   key.reserve(64);
-  append_hex64(key, CompiledSpeedList::compile(speeds).fingerprint());
+  append_hex64(key, fingerprint);
   key.push_back('|');
   key += std::to_string(n);
   key.push_back('|');
@@ -64,9 +70,9 @@ bool PartitionCache::lookup(const std::string& key, PartitionResult& out) {
   return true;
 }
 
-void PartitionCache::insert(const std::string& key,
+bool PartitionCache::insert(const std::string& key,
                             const PartitionResult& value) {
-  if (per_shard_capacity_ == 0) return;
+  if (per_shard_capacity_ == 0) return false;
   Shard& sh = shard_for(key);
   std::lock_guard<std::mutex> lock(sh.mu);
   const auto it = sh.index.find(key);
@@ -74,7 +80,7 @@ void PartitionCache::insert(const std::string& key,
     // A concurrent miss on the same key already computed and stored the
     // (identical) result; refresh recency and keep the incumbent.
     sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
-    return;
+    return false;
   }
   sh.lru.emplace_front(key, value);
   sh.index.emplace(key, sh.lru.begin());
@@ -82,7 +88,9 @@ void PartitionCache::insert(const std::string& key,
     sh.index.erase(sh.lru.back().first);
     sh.lru.pop_back();
     ++sh.evictions;
+    return true;
   }
+  return false;
 }
 
 void PartitionCache::clear() {
@@ -113,7 +121,14 @@ PartitionServer::PartitionServer(ServerOptions options)
     : threads_(options.threads != 0
                    ? options.threads
                    : std::max(1u, std::thread::hardware_concurrency())),
-      cache_(options.cache_capacity, options.cache_shards) {
+      cache_(options.cache_capacity, options.cache_shards),
+      metrics_{
+          obs::metrics().histogram(obs::names::kServerServeLatency),
+          obs::metrics().gauge(obs::names::kServerQueueDepth),
+          obs::metrics().counter(obs::names::kServerCacheHits),
+          obs::metrics().counter(obs::names::kServerCacheMisses),
+          obs::metrics().counter(obs::names::kServerCacheEvictions),
+          obs::metrics().counter(obs::names::kServerCacheUncacheable)} {
   workers_.reserve(threads_);
   for (unsigned i = 0; i < threads_; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -138,24 +153,50 @@ void PartitionServer::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    metrics_.queue_depth.add(-1);
     task();
   }
 }
 
 PartitionResult PartitionServer::serve(const SpeedList& speeds, std::int64_t n,
                                        const PartitionPolicy& policy) {
+  obs::TimerSpan span(metrics_.serve_latency);
   if (policy.observer) {
     // The observer is a side effect the caller expects on every call; a
     // cached answer would silently swallow the step trace.
     uncacheable_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.uncacheable.add(1);
     return partition(speeds, n, policy);
   }
-  if (cache_.capacity() == 0) return partition(speeds, n, policy);
-  const std::string key = PartitionCache::make_key(speeds, n, policy);
+  if (cache_.capacity() == 0) {
+    // Caching disabled: still count the request (as uncacheable) so the
+    // hit-rate denominator hits + misses + uncacheable matches the request
+    // count, and still compile once so the engine skips its own pass.
+    uncacheable_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.uncacheable.add(1);
+    const CompiledSpeedList compiled = CompiledSpeedList::compile(speeds);
+    PrecompiledGuard guard(speeds, compiled);
+    return partition(speeds, n, policy);
+  }
+  // Key via the allocation-free fingerprint: a hit must not pay for a
+  // compilation it will never use.
+  const std::string key =
+      PartitionCache::make_key(CompiledSpeedList::fingerprint_of(speeds), n,
+                               policy);
   PartitionResult result;
-  if (cache_.lookup(key, result)) return result;
-  result = partition(speeds, n, policy);
-  cache_.insert(key, result);
+  if (cache_.lookup(key, result)) {
+    metrics_.hits.add(1);
+    return result;
+  }
+  metrics_.misses.add(1);
+  // Miss: compile once here and hand the model to the engine through the
+  // thread-local guard, so SearchState does not compile a second time.
+  const CompiledSpeedList compiled = CompiledSpeedList::compile(speeds);
+  {
+    PrecompiledGuard guard(speeds, compiled);
+    result = partition(speeds, n, policy);
+  }
+  if (cache_.insert(key, result)) metrics_.evictions.add(1);
   return result;
 }
 
@@ -168,6 +209,7 @@ std::future<PartitionResult> PartitionServer::submit(BatchRequest request) {
     std::lock_guard<std::mutex> lock(queue_mu_);
     queue_.push_back(std::move(task));
   }
+  metrics_.queue_depth.add(1);
   queue_cv_.notify_one();
   return future;
 }
@@ -179,7 +221,19 @@ std::vector<PartitionResult> PartitionServer::run_batch(
   for (BatchRequest& req : requests) futures.push_back(submit(std::move(req)));
   std::vector<PartitionResult> results;
   results.reserve(futures.size());
-  for (std::future<PartitionResult>& f : futures) results.push_back(f.get());
+  // Drain every future before letting any exception unwind: the requests
+  // borrow their SpeedFunction objects, and rethrowing while later tasks
+  // are still running would free models a worker is reading. Waiting on
+  // every future first guarantees the pool is done with the whole batch.
+  std::exception_ptr first_error;
+  for (std::future<PartitionResult>& f : futures) {
+    try {
+      results.push_back(f.get());
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
   return results;
 }
 

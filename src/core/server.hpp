@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/policy.hpp"
+#include "obs/metrics.hpp"
 
 namespace fpm::core {
 
@@ -50,8 +51,10 @@ struct CacheStats {
   std::int64_t hits = 0;
   std::int64_t misses = 0;
   std::int64_t evictions = 0;
-  /// Requests that bypassed the cache (observer-carrying policies: their
-  /// step-trace side effects must fire on every call).
+  /// Requests that bypassed the cache: observer-carrying policies (their
+  /// step-trace side effects must fire on every call) and every request
+  /// served with caching disabled (cache_capacity = 0). Counted so that
+  /// hits + misses + uncacheable always equals the serve() call count.
   std::int64_t uncacheable = 0;
   std::size_t entries = 0;  ///< currently cached results
 };
@@ -69,7 +72,8 @@ class PartitionCache {
 
   /// Inserts or refreshes `key`, evicting the shard's least recently used
   /// entry beyond capacity. Concurrent same-key inserts keep one winner.
-  void insert(const std::string& key, const PartitionResult& value);
+  /// Returns true when the insert displaced an existing entry.
+  bool insert(const std::string& key, const PartitionResult& value);
 
   void clear();
   CacheStats stats() const;
@@ -78,6 +82,10 @@ class PartitionCache {
   /// The canonical cache key: compiled-model fingerprint | n | formatted
   /// policy | capacity bounds. Policies with equal fingerprints, n, and
   /// observable options map to the same entry.
+  static std::string make_key(std::uint64_t fingerprint, std::int64_t n,
+                              const PartitionPolicy& policy);
+  /// Convenience overload fingerprinting `speeds` first (no compilation —
+  /// CompiledSpeedList::fingerprint_of is allocation-free).
   static std::string make_key(const SpeedList& speeds, std::int64_t n,
                               const PartitionPolicy& policy);
 
@@ -114,9 +122,13 @@ class PartitionServer {
   PartitionServer& operator=(const PartitionServer&) = delete;
 
   /// Partitions on the calling thread, consulting the cache first. A
-  /// cache hit returns the stored result verbatim; a miss computes via
-  /// core::partition() and stores. Policies carrying an observer always
-  /// compute (their callbacks must fire) and are never cached.
+  /// cache hit returns the stored result verbatim (the key is computed via
+  /// the allocation-free fingerprint, no compilation); a miss compiles the
+  /// model once, computes via core::partition() under a PrecompiledGuard
+  /// (so the engine reuses the compilation), and stores. Policies carrying
+  /// an observer always compute (their callbacks must fire) and are never
+  /// cached; with caching disabled every request counts as uncacheable.
+  /// Every call records its latency in the serve-latency histogram.
   PartitionResult serve(const SpeedList& speeds, std::int64_t n,
                         const PartitionPolicy& policy = {});
 
@@ -126,7 +138,10 @@ class PartitionServer {
   std::future<PartitionResult> submit(BatchRequest request);
 
   /// Runs the whole batch over the pool and returns results in request
-  /// order, rethrowing the first engine exception encountered.
+  /// order, rethrowing the first engine exception encountered (in request
+  /// order). Every future is drained before any rethrow, so the borrowed
+  /// speed objects of the batch are guaranteed unreferenced by the pool
+  /// once this returns — normally or by exception.
   std::vector<PartitionResult> run_batch(std::vector<BatchRequest> requests);
 
   unsigned threads() const noexcept { return threads_; }
@@ -137,8 +152,20 @@ class PartitionServer {
  private:
   void worker_loop();
 
+  /// Cached references into the process registry (stable for its
+  /// lifetime), so the hot path never takes the registry lock.
+  struct Metrics {
+    obs::Histogram& serve_latency;
+    obs::Gauge& queue_depth;
+    obs::Counter& hits;
+    obs::Counter& misses;
+    obs::Counter& evictions;
+    obs::Counter& uncacheable;
+  };
+
   unsigned threads_;
   PartitionCache cache_;
+  Metrics metrics_;
   std::atomic<std::int64_t> uncacheable_{0};
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;

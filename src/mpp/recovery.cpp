@@ -9,6 +9,7 @@
 #include "core/policy.hpp"
 #include "linalg/kernels.hpp"
 #include "mpp/fault.hpp"
+#include "obs/metrics.hpp"
 
 namespace fpm::mpp {
 
@@ -90,6 +91,10 @@ std::vector<std::int64_t> partition_over(const std::vector<int>& active,
 /// itself has been declared failed (it must die, not recover).
 void rendezvous(Communicator& comm, CheckpointStore& store,
                 std::atomic<int>& recoveries) {
+  // Per-rank recovery wall time; the protocol may restart on further
+  // failures, and the span covers every restart until quiescence.
+  obs::TimerSpan span(
+      obs::metrics().histogram(obs::names::kMppRecoveryDuration));
   for (;;) {
     try {
       comm.barrier();
@@ -97,6 +102,7 @@ void rendezvous(Communicator& comm, CheckpointStore& store,
       if (comm.rank() == active.front()) {
         store.purge_after(store.latest_complete());
         recoveries.fetch_add(1, std::memory_order_relaxed);
+        obs::metrics().counter(obs::names::kMppRecoveries).add(1);
       }
       comm.purge_inbox();
       comm.barrier();

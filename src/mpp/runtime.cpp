@@ -9,6 +9,7 @@
 #include <tuple>
 
 #include "mpp/fault.hpp"
+#include "obs/metrics.hpp"
 
 namespace fpm::mpp {
 namespace detail {
@@ -68,6 +69,7 @@ struct World {
     failed[i] = 1;
     --alive;
     ++failure_epoch;
+    obs::metrics().counter(obs::names::kMppFailureEpochs).add(1);
     last_failed = r;
     if (barrier_arrived[i]) {
       barrier_arrived[i] = 0;

@@ -5,6 +5,21 @@
 
 namespace fpm::util {
 
+std::int64_t parse_int64(const std::string& text, const std::string& what) {
+  std::size_t consumed = 0;
+  std::int64_t value = 0;
+  try {
+    value = std::stoll(text, &consumed, 10);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(what + " expects a non-negative integer, got '" +
+                                text + "'");
+  }
+  if (consumed != text.size() || value < 0)
+    throw std::invalid_argument(what + " expects a non-negative integer, got '" +
+                                text + "'");
+  return value;
+}
+
 CliArgs::CliArgs(int argc, const char* const* argv,
                  std::vector<std::string> switches, int first)
     : switches_(std::move(switches)) {
@@ -49,6 +64,13 @@ double CliArgs::number(const std::string& key, double fallback) const {
     throw std::invalid_argument("flag " + key + " expects a number, got '" +
                                 *v + "'");
   }
+}
+
+std::int64_t CliArgs::integer(const std::string& key,
+                              std::int64_t fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  return parse_int64(*v, "flag " + key);
 }
 
 }  // namespace fpm::util

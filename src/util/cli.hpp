@@ -4,12 +4,20 @@
 // framework's worth of options.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 namespace fpm::util {
+
+/// Strict non-negative integer parse: the whole string must be a base-10
+/// integer with no trailing characters, no fractional part, and no sign
+/// tricks ("100abc", "12.7", "-5", and out-of-range values all throw
+/// std::invalid_argument naming `what`). Use for counts (--n, --repeat)
+/// where a silent truncation would corrupt the experiment.
+std::int64_t parse_int64(const std::string& text, const std::string& what);
 
 class CliArgs {
  public:
@@ -28,6 +36,10 @@ class CliArgs {
   /// Numeric flag with a fallback; throws std::invalid_argument when the
   /// value is present but not a number.
   double number(const std::string& key, double fallback) const;
+
+  /// Strict non-negative integer flag with a fallback (see parse_int64);
+  /// throws std::invalid_argument when the value is present but invalid.
+  std::int64_t integer(const std::string& key, std::int64_t fallback) const;
 
   /// True when a switch (or any flag) was given.
   bool flag(const std::string& key) const { return get(key).has_value(); }

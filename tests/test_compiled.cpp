@@ -237,6 +237,52 @@ TEST(Compiled, FingerprintUsesIdentityForGenericEntries) {
             CompiledSpeedList::compile({&odd2}).fingerprint());
 }
 
+TEST(Compiled, FingerprintOfMatchesCompileAcrossAllEnsembles) {
+  // fingerprint_of is the cache-key fast path: it must reproduce the exact
+  // hash compile() stores, for every family, wrapper, and the piecewise
+  // breakpoint pools.
+  for (const test::Ensemble& e : equivalence_ensembles()) {
+    const core::SpeedList list = e.list();
+    EXPECT_EQ(CompiledSpeedList::fingerprint_of(list),
+              CompiledSpeedList::compile(list).fingerprint())
+        << e.name;
+  }
+  // Wrappers and generic (unknown-subclass) entries.
+  const OddSpeed odd;
+  auto base = std::make_shared<core::ConstantSpeed>(100.0, 1e9);
+  const core::ScaledSpeed scaled(base, 0.5);
+  const core::GranularSpeed granular(base, 8.0);
+  const core::SpeedList wrapped{&odd, &scaled, &granular, base.get()};
+  EXPECT_EQ(CompiledSpeedList::fingerprint_of(wrapped),
+            CompiledSpeedList::compile(wrapped).fingerprint());
+  EXPECT_THROW(CompiledSpeedList::fingerprint_of({nullptr}),
+               std::invalid_argument);
+}
+
+TEST(Compiled, PrecompiledGuardReusesTheInstalledModel) {
+  const test::Ensemble e = test::mixed_ensemble();
+  const core::SpeedList list = e.list();
+  const core::PartitionResult plain = core::partition(list, 123456);
+  const CompiledSpeedList compiled = CompiledSpeedList::compile(list);
+  {
+    core::PrecompiledGuard guard(list, compiled);
+    EXPECT_EQ(core::precompiled_match(list), &compiled);
+    // An element-wise equal copy of the list matches too (the server's
+    // BatchRequest copies the pointer vector).
+    const core::SpeedList copy = list;
+    EXPECT_EQ(core::precompiled_match(copy), &compiled);
+    // A different list (e.g. a hierarchy sub-list) must not match.
+    core::SpeedList sub(list.begin(), list.begin() + 2);
+    EXPECT_EQ(core::precompiled_match(sub), nullptr);
+    // Partitioning under the guard is bit-identical to compiling inline.
+    const core::PartitionResult guarded = core::partition(list, 123456);
+    EXPECT_EQ(guarded.distribution.counts, plain.distribution.counts);
+    EXPECT_EQ(guarded.stats.speed_evals, plain.stats.speed_evals);
+    EXPECT_EQ(guarded.stats.intersect_solves, plain.stats.intersect_solves);
+  }
+  EXPECT_EQ(core::precompiled_match(list), nullptr);  // guard restored
+}
+
 TEST(Compiled, CompiledEntryViewCountsAtTheBoundary) {
   const test::Ensemble e = test::power_ensemble(3);
   const core::SpeedList list = e.list();

@@ -14,6 +14,7 @@
 #include "balance/rebalancer.hpp"
 #include "core/fpm.hpp"
 #include "helpers.hpp"
+#include "obs/metrics.hpp"
 
 namespace fpm {
 namespace {
@@ -163,6 +164,102 @@ TEST(PartitionServer, ClearCacheResetsEntries) {
   EXPECT_EQ(server.cache_stats().entries, 0);
   (void)server.serve(e.list(), 1234, {});
   EXPECT_EQ(server.cache_stats().misses, 2);
+}
+
+TEST(PartitionServer, RunBatchDrainsAllTasksBeforeRethrowing) {
+  // Regression test: run_batch used to rethrow the first failed future
+  // while later requests of the batch could still be running on workers —
+  // and those requests borrow their SpeedFunction objects, so unwinding
+  // the caller freed models a worker was still reading. The batch (and
+  // its ensemble) is scoped so that a premature rethrow becomes a
+  // use-after-free, which ASan/TSan in CI turn into a hard failure.
+  core::ServerOptions opts;
+  opts.threads = 4;
+  core::PartitionServer server(opts);
+  {
+    const test::Ensemble e = test::mixed_ensemble();
+    std::vector<core::BatchRequest> batch;
+    for (int i = 0; i < 64; ++i) {
+      core::PartitionPolicy policy;
+      if (i == 3) policy.algorithm = "no-such-algorithm";  // fails fast
+      batch.push_back({e.list(), 50000 + 101LL * i, policy});
+    }
+    EXPECT_THROW(server.run_batch(std::move(batch)), std::invalid_argument);
+  }  // ensemble destroyed here: every worker must already be done with it
+  // The server stays usable after a failed batch.
+  const test::Ensemble e2 = test::constant_ensemble(3);
+  const auto results = server.run_batch({{e2.list(), 999, {}}});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].distribution.total(), 999);
+}
+
+TEST(PartitionServer, DisabledCacheCountsEveryRequestAsUncacheable) {
+  // With cache_capacity = 0 every serve() must still be counted, so the
+  // hit-rate denominator hits + misses + uncacheable equals the request
+  // count instead of silently shrinking.
+  core::ServerOptions opts;
+  opts.threads = 2;
+  opts.cache_capacity = 0;
+  core::PartitionServer server(opts);
+  const test::Ensemble e = test::mixed_ensemble();
+  constexpr int kRequests = 10;
+  for (int i = 0; i < kRequests; ++i)
+    (void)server.serve(e.list(), 10000 + i, {});
+  const core::CacheStats cs = server.cache_stats();
+  EXPECT_EQ(cs.hits, 0);
+  EXPECT_EQ(cs.misses, 0);
+  EXPECT_EQ(cs.uncacheable, kRequests);
+  EXPECT_EQ(cs.entries, 0u);
+  EXPECT_EQ(cs.hits + cs.misses + cs.uncacheable, kRequests);
+}
+
+TEST(PartitionServer, ServeReportsIntoTheMetricsRegistry) {
+  obs::metrics().reset();
+  const test::Ensemble e = test::mixed_ensemble();
+  core::PartitionServer server({.threads = 2});
+  constexpr int kRequests = 12;
+  core::StepTrace trace;
+  for (int i = 0; i < kRequests; ++i) {
+    core::PartitionPolicy policy;
+    if (i % 4 == 3) policy.observer = trace.observer();  // uncacheable
+    (void)server.serve(e.list(), 20000 + (i % 3), policy);
+  }
+  obs::MetricsRegistry& reg = obs::metrics();
+  const std::int64_t hits =
+      reg.counter(obs::names::kServerCacheHits).value();
+  const std::int64_t misses =
+      reg.counter(obs::names::kServerCacheMisses).value();
+  const std::int64_t uncacheable =
+      reg.counter(obs::names::kServerCacheUncacheable).value();
+  EXPECT_EQ(hits + misses + uncacheable, kRequests);
+  EXPECT_EQ(uncacheable, kRequests / 4);
+  EXPECT_EQ(misses, 3);  // three distinct cacheable keys
+  const auto latency =
+      reg.histogram(obs::names::kServerServeLatency).snapshot();
+  EXPECT_EQ(latency.count, kRequests);
+  // The engine rollups fired for every non-hit request.
+  std::int64_t invocations = 0;
+  for (const auto& [name, value] : reg.snapshot().counters)
+    if (name.rfind(obs::names::kPartitionInvocationsPrefix, 0) == 0)
+      invocations += value;
+  EXPECT_EQ(invocations, misses + uncacheable);
+  EXPECT_GT(reg.counter(obs::names::kPartitionIntersectSolves).value(), 0);
+}
+
+TEST(PartitionServer, CacheHitIsBitIdenticalToPrecompiledMiss) {
+  // The miss path now computes under a PrecompiledGuard (the server's
+  // once-per-request compilation); hits and direct partition() calls must
+  // still agree bit for bit.
+  const test::Ensemble e = test::mixed_ensemble();
+  const core::SpeedList list = e.list();
+  const core::PartitionResult direct = core::partition(list, 123457);
+  core::PartitionServer server;
+  const core::PartitionResult miss = server.serve(list, 123457);
+  const core::PartitionResult hit = server.serve(list, 123457);
+  EXPECT_EQ(miss.distribution.counts, direct.distribution.counts);
+  EXPECT_EQ(hit.distribution.counts, direct.distribution.counts);
+  EXPECT_EQ(hit.stats.speed_evals, direct.stats.speed_evals);
+  EXPECT_EQ(hit.stats.intersect_solves, direct.stats.intersect_solves);
 }
 
 TEST(Rebalancer, SharedServerIsBehaviourallyInvisible) {

@@ -1,0 +1,245 @@
+// Tests for the observability subsystem (src/obs/metrics.*): registry
+// semantics, histogram bucketing, exporter formats, and — under TSan in CI
+// — concurrent recording against concurrent snapshotting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace fpm;
+
+TEST(MetricsRegistry, LookupCreatesOnceAndReturnsStableReferences) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("x.count");
+  obs::Counter& b = reg.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3);
+  obs::Gauge& g = reg.gauge("x.depth");
+  g.set(7);
+  EXPECT_EQ(reg.gauge("x.depth").value(), 7);
+  obs::Histogram& h = reg.histogram("x.latency");
+  h.record(0.5);
+  EXPECT_EQ(reg.histogram("x.latency").snapshot().count, 1);
+}
+
+TEST(MetricsRegistry, NameCannotChangeKind) {
+  obs::MetricsRegistry reg;
+  reg.counter("taken");
+  EXPECT_THROW(reg.gauge("taken"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("taken"), std::invalid_argument);
+  reg.histogram("latency");
+  EXPECT_THROW(reg.counter("latency"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsRegistrations) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("c");
+  obs::Gauge& g = reg.gauge("g");
+  obs::Histogram& h = reg.histogram("h");
+  c.add(5);
+  g.set(-2);
+  h.record(1.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.snapshot().count, 0);
+  // Same references still valid and live.
+  c.add(1);
+  EXPECT_EQ(reg.counter("c").value(), 1);
+}
+
+TEST(Histogram, BucketsAreLogSpacedWithLeSemantics) {
+  obs::HistogramOptions opts;
+  opts.first_bound = 1.0;
+  opts.growth = 2.0;
+  opts.buckets = 3;  // bounds 1, 2, 4 (+ overflow)
+  obs::Histogram h(opts);
+  h.record(0.5);  // <= 1
+  h.record(1.0);  // <= 1 (le semantics: lands in its bound's bucket)
+  h.record(1.5);  // <= 2
+  h.record(4.0);  // <= 4
+  h.record(100.0);  // overflow
+  h.record(-3.0);   // clamps to zero -> first bucket
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.bounds.size(), 3u);
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 3);
+  EXPECT_EQ(s.counts[1], 1);
+  EXPECT_EQ(s.counts[2], 1);
+  EXPECT_EQ(s.counts[3], 1);
+  EXPECT_EQ(s.count, 6);
+  EXPECT_DOUBLE_EQ(s.sum, 0.5 + 1.0 + 1.5 + 4.0 + 100.0);
+}
+
+TEST(Histogram, DefaultLayoutCoversMicrosecondsToSeconds) {
+  obs::Histogram h;
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.bounds.size(), 22u);
+  EXPECT_DOUBLE_EQ(s.bounds.front(), 1e-6);
+  EXPECT_GT(s.bounds.back(), 2.0);  // 1e-6 * 2^21 ~ 2.1 s
+}
+
+TEST(TimerSpan, RecordsOnceOnStopOrDestruction) {
+  obs::Histogram h;
+  {
+    obs::TimerSpan span(h);
+    const double secs = span.stop();
+    EXPECT_GE(secs, 0.0);
+    EXPECT_EQ(span.stop(), 0.0);  // disarmed: no second sample
+  }  // destructor must not record again
+  EXPECT_EQ(h.snapshot().count, 1);
+  { obs::TimerSpan span(h); }
+  EXPECT_EQ(h.snapshot().count, 2);
+}
+
+TEST(Exporters, JsonListsEveryKindAndOverflowBucket) {
+  obs::MetricsRegistry reg;
+  reg.counter("requests").add(2);
+  reg.gauge("depth").set(1);
+  obs::HistogramOptions opts;
+  opts.buckets = 2;
+  reg.histogram("lat", opts).record(1e-7);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"requests\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"+Inf\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST(Exporters, PrometheusUsesCumulativeBucketsAndLegalNames) {
+  obs::MetricsRegistry reg;
+  reg.counter("server.cache.hits").add(4);
+  obs::HistogramOptions opts;
+  opts.first_bound = 1.0;
+  opts.growth = 2.0;
+  opts.buckets = 2;  // bounds 1, 2
+  obs::Histogram& h = reg.histogram("serve-latency", opts);
+  h.record(0.5);
+  h.record(1.5);
+  h.record(9.0);
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE fpm_server_cache_hits counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fpm_server_cache_hits 4"), std::string::npos);
+  // Cumulative: le="1" -> 1, le="2" -> 2, le="+Inf" -> 3.
+  EXPECT_NE(prom.find("fpm_serve_latency_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fpm_serve_latency_bucket{le=\"2\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fpm_serve_latency_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fpm_serve_latency_count 3"), std::string::npos);
+}
+
+TEST(Catalogue, EveryEntryHasNameKindAndHelp) {
+  const auto cat = obs::metric_catalogue();
+  EXPECT_GE(cat.size(), 15u);
+  for (const obs::MetricInfo& info : cat) {
+    EXPECT_NE(info.name, nullptr);
+    ASSERT_NE(info.kind, nullptr);
+    const std::string kind = info.kind;
+    EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "histogram")
+        << info.name;
+    EXPECT_GT(std::string(info.help).size(), 10u) << info.name;
+  }
+}
+
+// --- concurrency (run under TSan in CI) ---------------------------------
+
+TEST(MetricsConcurrency, ParallelCounterIncrementsAllLand) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&reg] {
+      // Mix cached-reference and by-name access: both must be safe.
+      obs::Counter& c = reg.counter("hits");
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add(1);
+        if (i % 1024 == 0) reg.counter("hits").add(0);
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter("hits").value(),
+            static_cast<std::int64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsConcurrency, ParallelHistogramRecordsTotalCorrectly) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("lat");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.record(1e-6 * static_cast<double>((t * 31 + i) % 1000));
+    });
+  for (auto& t : threads) t.join();
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::int64_t>(kThreads) * kPerThread);
+  std::int64_t bucket_total = 0;
+  for (const std::int64_t c : s.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, s.count);
+}
+
+TEST(MetricsConcurrency, SnapshotWhileRecordingIsConsistent) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("lat");
+  obs::Counter& c = reg.counter("ops");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t)
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        h.record(1e-5);
+        c.add(1);
+      }
+    });
+  // Every observed snapshot must be internally consistent: bucket counts
+  // sum to the total, and exporters never crash mid-traffic.
+  for (int i = 0; i < 200; ++i) {
+    const auto s = h.snapshot();
+    std::int64_t bucket_total = 0;
+    for (const std::int64_t n : s.counts) bucket_total += n;
+    ASSERT_EQ(bucket_total, s.count);
+    if (i % 50 == 0) {
+      ASSERT_FALSE(reg.to_json().empty());
+      ASSERT_FALSE(reg.to_prometheus().empty());
+    }
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, c.value());
+}
+
+TEST(MetricsConcurrency, ParallelRegistrationOfDistinctNames) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&reg, t] {
+      for (int i = 0; i < 100; ++i) {
+        reg.counter("c." + std::to_string(t) + "." + std::to_string(i % 10))
+            .add(1);
+        reg.histogram("h." + std::to_string(t)).record(1e-6);
+      }
+    });
+  for (auto& t : threads) t.join();
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.size(), static_cast<std::size_t>(kThreads) * 10);
+  EXPECT_EQ(snap.histograms.size(), static_cast<std::size_t>(kThreads));
+  for (const auto& [name, value] : snap.counters) EXPECT_EQ(value, 10) << name;
+}
+
+}  // namespace

@@ -2,6 +2,7 @@
 // sanity, statistics helpers, the matrix container, and table formatting.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "util/cli.hpp"
@@ -226,6 +227,40 @@ TEST(CliArgs, RejectsMalformedInput) {
   const CliArgs args(4, bad_number);
   EXPECT_THROW(args.number("--n", 0.0), std::invalid_argument);
   EXPECT_THROW(args.require("--missing"), std::invalid_argument);
+}
+
+TEST(ParseInt64, AcceptsPlainNonNegativeIntegers) {
+  EXPECT_EQ(parse_int64("0", "--n"), 0);
+  EXPECT_EQ(parse_int64("100", "--n"), 100);
+  EXPECT_EQ(parse_int64("9223372036854775807", "--n"),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(ParseInt64, RejectsGarbageFractionsNegativesAndOverflow) {
+  // The regression this guards: --n used to go through stod + truncation,
+  // silently accepting "100abc" (as 100) and "12.7" (as 12).
+  EXPECT_THROW(parse_int64("100abc", "--n"), std::invalid_argument);
+  EXPECT_THROW(parse_int64("12.7", "--n"), std::invalid_argument);
+  EXPECT_THROW(parse_int64("1e6", "--n"), std::invalid_argument);
+  EXPECT_THROW(parse_int64("-5", "--n"), std::invalid_argument);
+  EXPECT_THROW(parse_int64("", "--n"), std::invalid_argument);
+  EXPECT_THROW(parse_int64("abc", "--n"), std::invalid_argument);
+  EXPECT_THROW(parse_int64("9223372036854775808", "--n"),
+               std::invalid_argument);
+  try {
+    parse_int64("12.7", "--repeat");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    EXPECT_NE(std::string(err.what()).find("--repeat"), std::string::npos);
+  }
+}
+
+TEST(CliArgs, IntegerParsingStrictWithFallback) {
+  const char* argv[] = {"prog", "cmd", "--repeat", "250", "--n", "12.7"};
+  const CliArgs args(6, argv);
+  EXPECT_EQ(args.integer("--repeat", 1), 250);
+  EXPECT_EQ(args.integer("--missing", 7), 7);
+  EXPECT_THROW(args.integer("--n", 1), std::invalid_argument);
 }
 
 TEST(Timer, MeasuresElapsedTime) {

@@ -17,12 +17,17 @@
 //       Print the models in a file; with --at, the speeds at size X.
 //   partition --models FILE --n N [--algorithm ID] [--options "KEY V ..."]
 //             [--bounds B1,B2,...] [--trace] [--single-number REF] [--csv]
+//             [--repeat R] [--threads T] [--metrics]
 //       Distribute N elements over the modelled processors and print the
 //       result (optionally also the single-number baseline at size REF).
 //       --algorithm takes any id from the partitioner registry (see
 //       --list-algorithms); --trace dumps every bracket/slope decision of
 //       the search. The bounded algorithm derives per-processor capacity
-//       bounds from the curves unless --bounds overrides them.
+//       bounds from the curves unless --bounds overrides them. With
+//       --repeat/--threads the request is served repeatedly through a
+//       PartitionServer; --metrics dumps the process metrics registry
+//       (serve-latency histogram, cache counters, engine rollups) after
+//       the run.
 //   partition --list-algorithms
 //       Print the registered partitioners (id, cost, description).
 //   simulate --app NAME --n MATRIX_N [--cluster FILE] [--reference REF_N]
@@ -30,6 +35,10 @@
 //       plan the striped matrix multiplication of an N x N matrix with the
 //       functional and single-number models, and print both simulated
 //       makespans. Default network: Table 2 with NAME in {mm}.
+//   metrics [--format table|json|prometheus]
+//       Print the metric catalogue (every metric the library exports, with
+//       its kind and meaning), or dump the registry's current values as
+//       JSON / Prometheus text.
 //
 // Exit status: 0 on success, 1 on CLI errors, 2 on runtime failures.
 #include <algorithm>
@@ -42,6 +51,7 @@
 #include <vector>
 
 #include "core/fpm.hpp"
+#include "obs/metrics.hpp"
 #include "util/cli.hpp"
 #include "apps/striped_mm.hpp"
 #include "core/model_io.hpp"
@@ -67,10 +77,12 @@ int usage() {
          "  fpmtool partition --models FILE --n N [--algorithm ID]\n"
          "          [--options \"KEY VALUE ...\"] [--bounds B1,B2,...] "
          "[--trace]\n"
-         "          [--single-number REF] [--csv] [--repeat R] [--threads T]\n"
+         "          [--single-number REF] [--csv] [--repeat R] [--threads T]"
+         " [--metrics]\n"
          "  fpmtool partition --list-algorithms\n"
          "  fpmtool simulate --app NAME --n MATRIX_N [--cluster FILE] "
-         "[--reference REF_N]\n";
+         "[--reference REF_N]\n"
+         "  fpmtool metrics [--format table|json|prometheus]\n";
   return 1;
 }
 
@@ -218,11 +230,63 @@ std::vector<std::int64_t> parse_bounds_csv(const std::string& text) {
   return bounds;
 }
 
+/// Human scale for a histogram bucket bound in seconds.
+std::string fmt_seconds(double s) {
+  if (s < 1e-3) return util::fmt(s * 1e6, 1) + " us";
+  if (s < 1.0) return util::fmt(s * 1e3, 2) + " ms";
+  return util::fmt(s, 3) + " s";
+}
+
+/// Dumps the process metrics registry: one table for counters and gauges,
+/// one per non-empty histogram (zero buckets skipped for readability).
+void print_metrics_report(std::ostream& os) {
+  const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+  util::Table scalars("metrics: counters & gauges", {"name", "value"});
+  for (const auto& [name, value] : snap.counters)
+    scalars.add_row({name, util::fmt(static_cast<long long>(value))});
+  for (const auto& [name, value] : snap.gauges)
+    scalars.add_row({name, util::fmt(static_cast<long long>(value))});
+  scalars.print(os);
+  for (const auto& [name, h] : snap.histograms) {
+    if (h.count == 0) continue;
+    util::Table t("histogram: " + name, {"le", "count"});
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (h.counts[i] == 0) continue;
+      t.add_row({i < h.bounds.size() ? fmt_seconds(h.bounds[i]) : "+Inf",
+                 util::fmt(static_cast<long long>(h.counts[i]))});
+    }
+    t.print(os);
+    os << "  count " << h.count << ", mean "
+       << fmt_seconds(h.sum / static_cast<double>(h.count)) << "\n";
+  }
+}
+
+int cmd_metrics(const util::CliArgs& args) {
+  const std::string format = args.get("--format").value_or("table");
+  if (format == "json") {
+    std::cout << obs::metrics().to_json() << "\n";
+    return 0;
+  }
+  if (format == "prometheus") {
+    std::cout << obs::metrics().to_prometheus();
+    return 0;
+  }
+  if (format != "table")
+    throw std::invalid_argument("--format must be table, json, or prometheus");
+  util::Table t("metric catalogue", {"name", "kind", "measures"});
+  for (const obs::MetricInfo& info : obs::metric_catalogue())
+    t.add_row({info.name, info.kind, info.help});
+  t.print(std::cout);
+  return 0;
+}
+
 int cmd_partition(const util::CliArgs& args) {
   if (args.flag("--list-algorithms")) return cmd_list_algorithms();
   const auto models = core::load_models_file(args.require("--models"));
   if (models.empty()) throw std::runtime_error("no models in file");
-  const auto n = static_cast<std::int64_t>(std::stod(args.require("--n")));
+  // Strict parse: "100abc" or "12.7" must be a CLI error, not a silent
+  // truncation that partitions the wrong n.
+  const std::int64_t n = util::parse_int64(args.require("--n"), "--n");
   const std::string algo = args.get("--algorithm").value_or(
       core::kAlgorithmCombined);
   if (!core::partitioner_registry().contains(algo))
@@ -243,9 +307,8 @@ int cmd_partition(const util::CliArgs& args) {
   core::StepTrace trace;
   if (args.flag("--trace")) policy.observer = trace.observer();
 
-  const auto repeat =
-      static_cast<std::int64_t>(args.number("--repeat", 1));
-  const auto threads = static_cast<unsigned>(args.number("--threads", 0));
+  const std::int64_t repeat = args.integer("--repeat", 1);
+  const auto threads = static_cast<unsigned>(args.integer("--threads", 0));
   if (repeat < 1) throw std::invalid_argument("--repeat must be >= 1");
   if (args.flag("--trace") && (repeat > 1 || threads > 0))
     throw std::invalid_argument(
@@ -282,6 +345,10 @@ int cmd_partition(const util::CliArgs& args) {
                                : 0.0,
                            1)
               << "%)\n";
+    std::cout << "cache: " << cs.hits << " hits, " << cs.misses
+              << " misses, " << cs.uncacheable << " uncacheable, "
+              << cs.evictions << " evictions, " << cs.entries
+              << " entries\n";
   } else {
     result = core::partition(speeds, n, policy);
   }
@@ -337,6 +404,7 @@ int cmd_partition(const util::CliArgs& args) {
                    "stats.iterations ("
                 << result.stats.iterations << ")\n";
   }
+  if (args.flag("--metrics")) print_metrics_report(std::cout);
   return 0;
 }
 
@@ -386,14 +454,15 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
-    const util::CliArgs args(argc, argv,
-                             {"--csv", "--trace", "--list-algorithms"});
+    const util::CliArgs args(
+        argc, argv, {"--csv", "--trace", "--list-algorithms", "--metrics"});
     if (command == "save-cluster") return cmd_save_cluster(args);
     if (command == "demo-models") return cmd_demo_models(args);
     if (command == "measure") return cmd_measure(args);
     if (command == "show") return cmd_show(args);
     if (command == "partition") return cmd_partition(args);
     if (command == "simulate") return cmd_simulate(args);
+    if (command == "metrics") return cmd_metrics(args);
     std::cerr << "unknown command '" << command << "'\n";
     return usage();
   } catch (const std::invalid_argument& err) {
