@@ -15,15 +15,23 @@
 //                 CompiledSpeedList::fingerprint_of against the old
 //                 compile-to-fingerprint approach, plus the end-to-end
 //                 serve() latency on a warm cache.
+//   5. near_miss — serve() under near-miss traffic (same models, drifting
+//                 n: every request a cache miss) with the server's
+//                 per-fingerprint warm-start on vs. off. The slope hint
+//                 narrows each search without changing the distribution,
+//                 so both the deterministic search_speed_evals counters and
+//                 the end-to-end wall clock must improve.
 //
 // The process metrics registry (obs::metrics) is embedded in the JSON dump
 // under "metrics", so one artifact carries both the timings and the
 // engine's own accounting of the run.
 //
-// `--gate` turns measurements 1, 2, and 4 into pass/fail checks for CI:
+// `--gate` turns measurements 1, 2, 4, and 5 into pass/fail checks for CI:
 // exit 1 when the kernel speedup drops below 2x, compiled partitioning is
-// slower than the virtual baseline, or fingerprint keying is not faster
-// than compile keying (each with a small tolerance for timer noise).
+// slower than the virtual baseline, fingerprint keying is not faster than
+// compile keying (each with a small tolerance for timer noise), the
+// near-miss warm-start saves fewer than 3x the search-phase speed
+// evaluations, or hinted serve() is slower than cold serve().
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -168,6 +176,48 @@ double server_miss_rate(unsigned threads, int requests,
   return static_cast<double>(requests) / std::max(secs, 1e-12);
 }
 
+/// Near-miss traffic: one model list, a different n per request, so every
+/// request misses the result cache but (with warm-starting on) reuses the
+/// fingerprint's remembered slope.
+constexpr int kNearMissRequests = 200;
+
+std::int64_t near_miss_n(int i) { return 1000000 + 37LL * i; }
+
+struct NearMissOutcome {
+  std::int64_t search_evals = 0;
+  std::int64_t speed_evals = 0;
+  int warm_hits = 0;
+  int warm_stale = 0;
+};
+
+NearMissOutcome serve_near_miss(core::PartitionServer& server,
+                                const core::SpeedList& list) {
+  NearMissOutcome o;
+  for (int i = 0; i < kNearMissRequests; ++i) {
+    const core::PartitionResult r = server.serve(list, near_miss_n(i));
+    o.search_evals += r.stats.search_speed_evals;
+    o.speed_evals += r.stats.speed_evals;
+    if (r.stats.warmstart == core::WarmStart::Hit) ++o.warm_hits;
+    if (r.stats.warmstart == core::WarmStart::Stale) ++o.warm_stale;
+  }
+  return o;
+}
+
+/// Seconds per request for one pass of the near-miss sequence. The result
+/// cache is cleared before each pass (the point is the miss path); the
+/// server's slope hints persist, which is the steady state being measured.
+double near_miss_pass(core::PartitionServer& server,
+                      const core::SpeedList& list) {
+  server.clear_cache();
+  util::Timer timer;
+  double acc = 0.0;
+  for (int i = 0; i < kNearMissRequests; ++i)
+    acc += static_cast<double>(
+        server.serve(list, near_miss_n(i)).distribution.counts[0]);
+  benchmark::DoNotOptimize(acc);
+  return timer.seconds() / kNearMissRequests;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -236,6 +286,27 @@ int main(int argc, char** argv) {
     return hit_server.serve(hit_list, hit_n).distribution.counts[0];
   });
 
+  // --- 5. near_miss: drifting-n serve() with warm-start on vs off -------
+  // Fresh single-thread servers so the returned stats are the engine's own
+  // (every request is a miss). The counter comparison is deterministic;
+  // the wall clock backs it with an end-to-end speedup.
+  core::PartitionServer nm_cold({.threads = 1, .warm_start = false});
+  core::PartitionServer nm_warm({.threads = 1});
+  const NearMissOutcome nm_cold_out = serve_near_miss(nm_cold, hit_list);
+  const NearMissOutcome nm_warm_out = serve_near_miss(nm_warm, hit_list);
+  const double nm_eval_ratio =
+      nm_warm_out.search_evals > 0
+          ? static_cast<double>(nm_cold_out.search_evals) /
+                static_cast<double>(nm_warm_out.search_evals)
+          : std::numeric_limits<double>::infinity();
+  double t_nm_cold = std::numeric_limits<double>::infinity();
+  double t_nm_warm = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < 5; ++r) {
+    t_nm_cold = std::min(t_nm_cold, near_miss_pass(nm_cold, hit_list));
+    t_nm_warm = std::min(t_nm_warm, near_miss_pass(nm_warm, hit_list));
+  }
+  const double nm_speedup = t_nm_cold / t_nm_warm;
+
   util::Table t("partition throughput",
                 {"metric", "baseline", "optimized", "speedup"});
   t.add_row({"intersect kernel (ms/pass)", util::fmt(t_generic * 1e3, 3),
@@ -250,6 +321,11 @@ int main(int argc, char** argv) {
   t.add_row({"cache keying (us)", util::fmt(t_key_compile * 1e6, 3),
              util::fmt(t_key_fp * 1e6, 3), util::fmt(keying_speedup, 2)});
   t.add_row({"serve cache hit (us)", "-", util::fmt(t_hit * 1e6, 3), "-"});
+  t.add_row({"serve near-miss (us/req)", util::fmt(t_nm_cold * 1e6, 3),
+             util::fmt(t_nm_warm * 1e6, 3), util::fmt(nm_speedup, 2)});
+  t.add_row({"near-miss search evals", util::fmt(nm_cold_out.search_evals),
+             util::fmt(nm_warm_out.search_evals),
+             util::fmt(nm_eval_ratio, 2)});
   bench::emit(t);
 
   std::ofstream json(out);
@@ -271,6 +347,15 @@ int main(int argc, char** argv) {
        << ", \"key_fingerprint_s\": " << t_key_fp
        << ", \"keying_speedup\": " << keying_speedup
        << ", \"hit_s\": " << t_hit << "},\n"
+       << "  \"near_miss\": {\"requests\": " << kNearMissRequests
+       << ", \"cold_search_speed_evals\": " << nm_cold_out.search_evals
+       << ", \"warm_search_speed_evals\": " << nm_warm_out.search_evals
+       << ", \"search_eval_ratio\": " << nm_eval_ratio
+       << ", \"warm_hits\": " << nm_warm_out.warm_hits
+       << ", \"warm_stale\": " << nm_warm_out.warm_stale
+       << ", \"cold_s_per_req\": " << t_nm_cold
+       << ", \"warm_s_per_req\": " << t_nm_warm
+       << ", \"speedup\": " << nm_speedup << "},\n"
        << "  \"metrics\": " << obs::metrics().to_json() << "}\n";
   std::cout << "wrote " << out << "\n";
 
@@ -300,10 +385,33 @@ int main(int argc, char** argv) {
                 << util::fmt(t_key_compile * 1e6, 3) << " us\n";
       ok = false;
     }
+    // Deterministic counter check: the per-fingerprint slope hint must
+    // collapse the search phase of every post-first miss.
+    if (nm_eval_ratio < 3.0) {
+      std::cerr << "GATE FAIL: near-miss search_speed_evals reduction "
+                << util::fmt(nm_eval_ratio, 2) << "x < 3x\n";
+      ok = false;
+    }
+    if (nm_warm_out.speed_evals > nm_cold_out.speed_evals) {
+      std::cerr << "GATE FAIL: hinted near-miss speed_evals "
+                << nm_warm_out.speed_evals << " exceed cold "
+                << nm_cold_out.speed_evals << "\n";
+      ok = false;
+    }
+    // The wall clock must follow the counters; 10% tolerance for noise.
+    if (t_nm_warm > t_nm_cold * 1.1) {
+      std::cerr << "GATE FAIL: hinted near-miss serve "
+                << util::fmt(t_nm_warm * 1e6, 3)
+                << " us/req slower than cold "
+                << util::fmt(t_nm_cold * 1e6, 3) << " us/req\n";
+      ok = false;
+    }
     if (!ok) return 1;
     std::cout << "gate passed: kernel " << util::fmt(kernel_speedup, 2)
               << "x, partition " << util::fmt(partition_speedup, 2)
-              << "x, keying " << util::fmt(keying_speedup, 2) << "x\n";
+              << "x, keying " << util::fmt(keying_speedup, 2)
+              << "x, near-miss evals " << util::fmt(nm_eval_ratio, 2)
+              << "x (serve " << util::fmt(nm_speedup, 2) << "x)\n";
   }
   return 0;
 }

@@ -29,7 +29,7 @@ Rebalancer::Rebalancer(core::Distribution initial,
   missing_streak_.assign(dist_.counts.size(), 0);
 }
 
-core::Distribution Rebalancer::partition_active() const {
+core::Distribution Rebalancer::partition_active() {
   std::vector<std::size_t> alive;
   for (std::size_t i = 0; i < active_.size(); ++i)
     if (active_[i]) alive.push_back(i);
@@ -48,12 +48,26 @@ core::Distribution Rebalancer::partition_active() const {
     core::SpeedList speeds;
     speeds.reserve(curves.size());
     for (const auto& c : curves) speeds.push_back(&c);
-    const core::Distribution sub =
-        opts_.server
-            ? opts_.server->serve(speeds, n_, opts_.policy).distribution
-            : core::partition(speeds, n_, opts_.policy).distribution;
+    core::PartitionPolicy policy = opts_.policy;
+    if (!policy.hint) policy.hint = hint_;
+    const core::PartitionResult res =
+        opts_.server ? opts_.server->serve(speeds, n_, policy)
+                     : core::partition(speeds, n_, policy);
+    // Carry the accepted slope across rounds. Keep the baseline iteration
+    // count from the last cold solve so iterations_saved measures warm
+    // against cold rather than warm against warm.
+    if (std::isfinite(res.stats.final_slope) && res.stats.final_slope > 0.0) {
+      core::PartitionHint next;
+      next.slope = res.stats.final_slope;
+      next.n = n_;
+      next.baseline_iterations =
+          hint_ && res.stats.warmstart == core::WarmStart::Hit
+              ? hint_->baseline_iterations
+              : res.stats.iterations;
+      hint_ = std::move(next);
+    }
     for (std::size_t j = 0; j < alive.size(); ++j)
-      out.counts[alive[j]] = sub.counts[j];
+      out.counts[alive[j]] = res.distribution.counts[j];
   } else {
     const core::Distribution sub = core::partition_even(n_, alive.size());
     for (std::size_t j = 0; j < alive.size(); ++j)

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -104,7 +105,10 @@ class Rebalancer {
  private:
   /// Repartitions n_ over the active processors (zero share elsewhere)
   /// using their learned curves, or evenly when a curve is not ready yet.
-  core::Distribution partition_active() const;
+  /// Model-based solves warm-start from the previous accepted slope (the
+  /// curves drift a little per round, so each solve is a near miss of the
+  /// last) and refresh that hint afterwards.
+  core::Distribution partition_active();
 
   core::Distribution dist_;
   std::int64_t n_;
@@ -119,6 +123,10 @@ class Rebalancer {
   int repartitions_ = 0;
   double last_imbalance_ = 0.0;
   double last_migration_s_ = 0.0;
+  /// Slope of the last accepted model-based repartition. fingerprint stays
+  /// 0 (the re-learned curves legitimately differ every round); the
+  /// engine's bracket verification alone decides whether the hint holds.
+  std::optional<core::PartitionHint> hint_;
 };
 
 }  // namespace fpm::balance

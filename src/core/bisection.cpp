@@ -1,5 +1,6 @@
 #include "core/bisection.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -28,15 +29,22 @@ PartitionResult partition_basic(const SpeedList& speeds, std::int64_t n,
     result.distribution.counts.assign(speeds.size(), 0);
     return result;
   }
-  detail::SearchState state(speeds, n, &opts.observer);
+  detail::SearchState state(speeds, n, &opts.observer,
+                            opts.hint ? &*opts.hint : nullptr);
   while (!state.converged() && state.iterations() < opts.max_iterations)
     state.step_basic(opts.bisect_angles);
   result.stats.iterations = state.iterations();
   result.stats.intersections = state.intersections();
   result.stats.final_slope = state.hi_slope();
+  result.stats.search_speed_evals = state.speed_evals();
+  result.stats.search_intersect_solves = state.intersect_solves();
   result.distribution = fine_tune(state.counted_speeds(), n, state.small());
   result.stats.speed_evals = state.speed_evals();
   result.stats.intersect_solves = state.intersect_solves();
+  result.stats.warmstart = state.warmstart();
+  if (result.stats.warmstart == WarmStart::Hit)
+    result.stats.iterations_saved = std::max(
+        0, opts.hint->baseline_iterations - result.stats.iterations);
   return result;
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "core/observer.hpp"
 #include "core/partition.hpp"
@@ -24,6 +25,9 @@ struct BasicBisectionOptions {
   /// Optional per-step trace callback (see core/observer.hpp). Empty
   /// disables instrumentation.
   SearchObserver observer{};
+  /// Optional warm-start hint from a previous solve of a nearby problem
+  /// (see PartitionHint); never changes the distribution, only the cost.
+  std::optional<PartitionHint> hint{};
 };
 
 /// Partitions n elements over speeds.size() processors with the basic

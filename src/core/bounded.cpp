@@ -31,15 +31,29 @@ PartitionResult partition_bounded(const SpeedList& speeds, std::int64_t n,
   std::iota(active.begin(), active.end(), std::size_t{0});
   std::int64_t remaining = n;
 
+  CombinedOptions inner = opts.inner;
+  bool first_round = true;
   while (remaining > 0 && !active.empty()) {
     SpeedList sub;
     sub.reserve(active.size());
     for (const std::size_t i : active) sub.push_back(speeds[i]);
-    PartitionResult sub_result = partition_combined(sub, remaining, opts.inner);
+    PartitionResult sub_result = partition_combined(sub, remaining, inner);
+    if (first_round) {
+      // The hint describes the full unclamped problem; the residual rounds
+      // solve a different one (fewer processors, fewer elements), so only
+      // the first inner search warm-starts.
+      result.stats.warmstart = sub_result.stats.warmstart;
+      result.stats.iterations_saved = sub_result.stats.iterations_saved;
+      inner.hint.reset();
+      first_round = false;
+    }
     result.stats.iterations += sub_result.stats.iterations;
     result.stats.intersections += sub_result.stats.intersections;
     result.stats.speed_evals += sub_result.stats.speed_evals;
     result.stats.intersect_solves += sub_result.stats.intersect_solves;
+    result.stats.search_speed_evals += sub_result.stats.search_speed_evals;
+    result.stats.search_intersect_solves +=
+        sub_result.stats.search_intersect_solves;
     result.stats.final_slope = sub_result.stats.final_slope;
     result.stats.switched_to_modified |= sub_result.stats.switched_to_modified;
 

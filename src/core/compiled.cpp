@@ -33,6 +33,7 @@ inline std::uint64_t fnv_mix(std::uint64_t h, double v) {
 }
 
 std::atomic<bool> g_compiled_enabled{true};
+std::atomic<bool> g_batched_enabled{true};
 
 /// Thread-local precompiled hint installed by PrecompiledGuard.
 thread_local const SpeedList* g_precompiled_speeds = nullptr;
@@ -151,6 +152,14 @@ void set_compiled_partitioning(bool enabled) noexcept {
   g_compiled_enabled.store(enabled, std::memory_order_relaxed);
 }
 
+bool batched_kernels_enabled() noexcept {
+  return g_batched_enabled.load(std::memory_order_relaxed);
+}
+
+void set_batched_kernels(bool enabled) noexcept {
+  g_batched_enabled.store(enabled, std::memory_order_relaxed);
+}
+
 CompiledSpeedList CompiledSpeedList::compile(const SpeedList& speeds) {
   CompiledSpeedList list;
   list.entries_.reserve(speeds.size());
@@ -205,6 +214,45 @@ CompiledSpeedList CompiledSpeedList::compile(const SpeedList& speeds) {
     }
     e.max_size = f->max_size();
     list.entries_.push_back(e);
+  }
+  // Batch plan for intersect_all(): group the unwrapped closed-form
+  // families into SoA parameter lanes; everything else (wrapped entries,
+  // pool-backed families, Generic) keeps the per-entry dispatch.
+  for (std::size_t i = 0; i < list.entries_.size(); ++i) {
+    const Entry& e = list.entries_[i];
+    const auto dst = static_cast<std::uint32_t>(i);
+    if (e.wrap != Wrap::None) {
+      list.batch_other_.push_back(dst);
+      continue;
+    }
+    switch (e.family) {
+      case Family::Constant:
+        list.lane_constant_.idx.push_back(dst);
+        list.lane_constant_.a.push_back(e.a);
+        break;
+      case Family::LinearDecay:
+        list.lane_linear_.idx.push_back(dst);
+        list.lane_linear_.a.push_back(e.a);
+        list.lane_linear_.b.push_back(e.b);
+        list.lane_linear_.c.push_back(e.c);
+        break;
+      case Family::PowerDecay:
+        list.lane_power_.idx.push_back(dst);
+        list.lane_power_.a.push_back(e.a);
+        list.lane_power_.b.push_back(e.b);
+        list.lane_power_.c.push_back(e.c);
+        list.lane_power_.d.push_back(e.d);
+        break;
+      case Family::ExpDecay:
+        list.lane_exp_.idx.push_back(dst);
+        list.lane_exp_.a.push_back(e.a);
+        list.lane_exp_.b.push_back(e.b);
+        list.lane_exp_.d.push_back(e.d);
+        break;
+      default:
+        list.batch_other_.push_back(dst);
+        break;
+    }
   }
   list.fingerprint_ = fingerprint_of(speeds);
   return list;
@@ -385,11 +433,36 @@ double CompiledSpeedList::intersect(std::size_t i, double slope) const {
   return entry_intersect(entries_[i], slope);
 }
 
+void CompiledSpeedList::intersect_all(double slope,
+                                      std::span<double> out) const {
+  assert(out.size() == entries_.size());
+  if (!lane_constant_.empty())
+    detail::constant_intersect_batch(lane_constant_.idx, lane_constant_.a,
+                                     slope, out);
+  if (!lane_linear_.empty())
+    detail::linear_decay_intersect_batch(lane_linear_.idx, lane_linear_.a,
+                                         lane_linear_.b, lane_linear_.c, slope,
+                                         out);
+  if (!lane_power_.empty())
+    detail::power_decay_intersect_batch(lane_power_.idx, lane_power_.a,
+                                        lane_power_.b, lane_power_.c,
+                                        lane_power_.d, slope, out);
+  if (!lane_exp_.empty())
+    detail::exp_decay_intersect_batch(lane_exp_.idx, lane_exp_.a, lane_exp_.b,
+                                      lane_exp_.d, slope, out);
+  for (const std::uint32_t i : batch_other_)
+    out[i] = entry_intersect(entries_[i], slope);
+}
+
 std::vector<double> sizes_at(const CompiledSpeedList& speeds, double slope,
                              EvalCounters* counters) {
   std::vector<double> xs(speeds.size());
-  for (std::size_t i = 0; i < speeds.size(); ++i)
-    xs[i] = speeds.intersect(i, slope);
+  if (batched_kernels_enabled()) {
+    speeds.intersect_all(slope, xs);
+  } else {
+    for (std::size_t i = 0; i < speeds.size(); ++i)
+      xs[i] = speeds.intersect(i, slope);
+  }
   if (counters)
     counters->intersect_solves += static_cast<std::int64_t>(speeds.size());
   return xs;
@@ -398,8 +471,18 @@ std::vector<double> sizes_at(const CompiledSpeedList& speeds, double slope,
 double total_size_at(const CompiledSpeedList& speeds, double slope,
                      EvalCounters* counters) {
   double sum = 0.0;
-  for (std::size_t i = 0; i < speeds.size(); ++i)
-    sum += speeds.intersect(i, slope);
+  if (batched_kernels_enabled()) {
+    // The batch fills a scratch row first so the final reduction still runs
+    // in entry order: lane-local partial sums would reorder the floating-
+    // point additions and break bit-identity with the per-entry path.
+    static thread_local std::vector<double> scratch;
+    scratch.resize(speeds.size());
+    speeds.intersect_all(slope, scratch);
+    for (const double x : scratch) sum += x;
+  } else {
+    for (std::size_t i = 0; i < speeds.size(); ++i)
+      sum += speeds.intersect(i, slope);
+  }
   if (counters)
     counters->intersect_solves += static_cast<std::int64_t>(speeds.size());
   return sum;

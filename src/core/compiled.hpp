@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/partition.hpp"
@@ -84,6 +85,20 @@ class CompiledSpeedList {
   /// exists and the shared generic bisection otherwise.
   double intersect(std::size_t i, double slope) const;
 
+  /// Solves slope·x = s_i(x) for every entry in one structure-of-arrays
+  /// pass: the closed-form families (Constant, LinearDecay, PowerDecay,
+  /// ExpDecay, unwrapped) run out of contiguous parameter lanes built at
+  /// compile time (detail/speed_kernels.hpp batch kernels); the remaining
+  /// entries fall back to the per-entry dispatch. out.size() must equal
+  /// size(). Bit-identical to calling intersect(i, slope) per entry.
+  void intersect_all(double slope, std::span<double> out) const;
+
+  /// How many entries run through a closed-form batch lane (the rest take
+  /// the per-entry fallback inside intersect_all).
+  std::size_t batched_entries() const noexcept {
+    return entries_.size() - batch_other_.size();
+  }
+
   /// Content hash over (family, wrap, parameters, breakpoints) of every
   /// entry, in order — equal model lists hash equal regardless of object
   /// identity. Generic entries hash their object address instead (identity
@@ -122,7 +137,23 @@ class CompiledSpeedList {
   double entry_speed(const Entry& e, double x) const;
   double entry_intersect(const Entry& e, double slope) const;
 
+  /// One SoA lane of the batch plan: the destination entry indices plus the
+  /// parameter columns the family's batch kernel consumes.
+  struct BatchLane {
+    std::vector<std::uint32_t> idx;
+    std::vector<double> a, b, c, d;
+    bool empty() const noexcept { return idx.empty(); }
+  };
+
   std::vector<Entry> entries_;
+  // Batch plan for intersect_all(), grouped at compile time: one lane per
+  // closed-form family (unwrapped entries only) and an index list for
+  // everything else.
+  BatchLane lane_constant_;
+  BatchLane lane_linear_;
+  BatchLane lane_power_;
+  BatchLane lane_exp_;
+  std::vector<std::uint32_t> batch_other_;
   // Piecewise SoA slabs (all functions concatenated; entry.offset/count
   // delimit a function's breakpoints, segment i spans [i, i+1]):
   std::vector<double> px_;  ///< breakpoint sizes
@@ -179,6 +210,13 @@ SlopeBracket detect_bracket(const CompiledSpeedList& speeds, std::int64_t n,
 /// virtual-dispatch baseline) and for the equivalence tests.
 bool compiled_partitioning_enabled() noexcept;
 void set_compiled_partitioning(bool enabled) noexcept;
+
+/// Process-wide switch (default on) selecting whether the compiled
+/// sizes_at/total_size_at helpers evaluate a candidate line through
+/// CompiledSpeedList::intersect_all (the SoA batch plan) or entry by entry.
+/// Bit-identical either way; off measures the per-entry dispatch baseline.
+bool batched_kernels_enabled() noexcept;
+void set_batched_kernels(bool enabled) noexcept;
 
 /// RAII thread-local hint installing an already-compiled model for a
 /// specific SpeedList: while in scope, detail::SearchState construction

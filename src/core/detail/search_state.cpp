@@ -6,8 +6,25 @@
 
 namespace fpm::core::detail {
 
+namespace {
+
+// Warm-bracket tuning. The first probes straddle the hinted slope at
+// 1 ± ~2^-12 (≈0.02%) — tight enough that a near-exact hint leaves only a
+// handful of integers inside the bracket and the bisection finishes in a
+// few steps. Each side that fails to straddle n widens quartically in log
+// space (2^-12 → 2^-10 → 2^-8 → ...), so percent-level drift costs two or
+// three extra line solves and the abandon threshold (spread 16x) is
+// reached after seven widenings. The budget caps the line solves a garbage
+// hint can burn before the search falls back to the cold bracket.
+constexpr double kWarmInitialSpread = 1.0 + 0x1p-12;
+constexpr double kWarmMaxSpread = 16.0;
+constexpr int kWarmProbeBudget = 12;
+
+}  // namespace
+
 SearchState::SearchState(const SpeedList& speeds, std::int64_t n,
-                         const SearchObserver* observer)
+                         const SearchObserver* observer,
+                         const PartitionHint* hint)
     : n_(static_cast<double>(n)), observer_(observer) {
   speeds_.reserve(speeds.size());
   if (compiled_partitioning_enabled()) {
@@ -27,9 +44,6 @@ SearchState::SearchState(const SpeedList& speeds, std::int64_t n,
       entry_views_.emplace_back(*compiled_, i, &counters_);
       speeds_.push_back(&entry_views_.back());
     }
-    bracket_ = detect_bracket(*compiled_, n, &counters_);
-    small_ = sizes_at(*compiled_, bracket_.hi_slope, &counters_);
-    large_ = sizes_at(*compiled_, bracket_.lo_slope, &counters_);
   } else {
     views_.reserve(speeds.size());
     for (const SpeedFunction* f : speeds) {
@@ -37,13 +51,93 @@ SearchState::SearchState(const SpeedList& speeds, std::int64_t n,
                           &counters_.intersect_solves);
       speeds_.push_back(&views_.back());
     }
-    bracket_ = detect_bracket(speeds_, n);
-    small_ = sizes_at(speeds_, bracket_.hi_slope);
-    large_ = sizes_at(speeds_, bracket_.lo_slope);
+  }
+  if (hint != nullptr && hint->usable())
+    warmstart_ =
+        try_warm_bracket(*hint, n, speeds) ? WarmStart::Hit : WarmStart::Stale;
+  if (warmstart_ != WarmStart::Hit) {
+    if (compiled_ != nullptr) {
+      bracket_ = detect_bracket(*compiled_, n, &counters_);
+      small_ = sizes_at(*compiled_, bracket_.hi_slope, &counters_);
+      large_ = sizes_at(*compiled_, bracket_.lo_slope, &counters_);
+    } else {
+      bracket_ = detect_bracket(speeds_, n);
+      small_ = sizes_at(speeds_, bracket_.hi_slope);
+      large_ = sizes_at(speeds_, bracket_.lo_slope);
+    }
   }
   intersections_ += static_cast<int>(2 * speeds_.size());
   if (observing())
     emit(SearchStepKind::Bracket, bracket_.hi_slope, false, kNoProcessor);
+}
+
+bool SearchState::try_warm_bracket(const PartitionHint& hint, std::int64_t n,
+                                   const SpeedList& original) {
+  // A hint computed against different models is stale by definition; the
+  // fingerprint check catches silent model swaps behind an unchanged call
+  // site. fingerprint == 0 opts out (callers whose curves legitimately
+  // change every round rely on the bracket verification below instead).
+  if (hint.fingerprint != 0) {
+    const std::uint64_t fp = compiled_ != nullptr
+                                 ? compiled_->fingerprint()
+                                 : CompiledSpeedList::fingerprint_of(original);
+    if (fp != hint.fingerprint) return false;
+  }
+  // When n drifted, rescale: sizes at a slope scale roughly like 1/slope,
+  // so the new optimum sits near slope·(old n / new n).
+  double center = hint.slope;
+  if (hint.n > 0 && hint.n != n)
+    center *= static_cast<double>(hint.n) / static_cast<double>(n);
+  if (!std::isfinite(center) || center <= 0.0) return false;
+
+  const double nd = static_cast<double>(n);
+  int budget = kWarmProbeBudget;
+  const auto solve = [&](double slope, std::vector<double>& sizes) {
+    sizes = compiled_ != nullptr ? sizes_at(*compiled_, slope, &counters_)
+                                 : sizes_at(speeds_, slope);
+    --budget;
+    double total = 0.0;
+    for (const double x : sizes) total += x;
+    return total;
+  };
+
+  // Steep side: need total <= n at hi. A good hint verifies on the first
+  // probe; otherwise widen until it does or the spread says the optimum
+  // moved too far for the hint to be worth anything.
+  double f_hi = kWarmInitialSpread;
+  double hi = center * f_hi;
+  std::vector<double> hi_sizes;
+  double hi_total = solve(hi, hi_sizes);
+  while (hi_total > nd && budget > 0) {
+    f_hi *= f_hi;
+    f_hi *= f_hi;
+    if (f_hi > kWarmMaxSpread) return false;
+    hi = center * f_hi;
+    if (!std::isfinite(hi)) return false;
+    hi_total = solve(hi, hi_sizes);
+  }
+  if (hi_total > nd) return false;
+
+  // Shallow side: need total >= n at lo.
+  double f_lo = kWarmInitialSpread;
+  double lo = center / f_lo;
+  std::vector<double> lo_sizes;
+  double lo_total = solve(lo, lo_sizes);
+  while (lo_total < nd && budget > 0) {
+    f_lo *= f_lo;
+    f_lo *= f_lo;
+    if (f_lo > kWarmMaxSpread) return false;
+    lo = center / f_lo;
+    if (!(lo > 0.0)) return false;
+    lo_total = solve(lo, lo_sizes);
+  }
+  if (lo_total < nd) return false;
+
+  bracket_.lo_slope = lo;
+  bracket_.hi_slope = hi;
+  small_ = std::move(hi_sizes);
+  large_ = std::move(lo_sizes);
+  return true;
 }
 
 std::int64_t SearchState::interior_count(std::size_t i) const {

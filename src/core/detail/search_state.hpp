@@ -57,9 +57,13 @@ class SearchState {
   /// Initializes from the Figure-18 bracket and solves both lines. The
   /// observer pointer, when non-null and pointing at a non-empty function,
   /// receives one SearchStep per bracket/slope decision; it must outlive
-  /// this object.
+  /// this object. A usable `hint` replaces the cold bracket with a tight
+  /// verified one around the hinted slope (see PartitionHint); verification
+  /// failure falls back to the cold bracket, so the search result is
+  /// bit-identical with or without the hint.
   SearchState(const SpeedList& speeds, std::int64_t n,
-              const SearchObserver* observer = nullptr);
+              const SearchObserver* observer = nullptr,
+              const PartitionHint* hint = nullptr);
 
   // speeds_ holds pointers into views_, so shallow copies would dangle.
   SearchState(const SearchState&) = delete;
@@ -82,6 +86,9 @@ class SearchState {
   std::int64_t intersect_solves() const noexcept {
     return counters_.intersect_solves;
   }
+
+  /// What the constructor did with the warm-start hint.
+  WarmStart warmstart() const noexcept { return warmstart_; }
 
   /// The counting views over the caller's speeds, for running follow-up
   /// solves (e.g. fine-tuning) under the same counters. Valid only while
@@ -124,6 +131,12 @@ class SearchState {
   /// (the attempted slope is logged; the bracket is unchanged).
   void degenerate_step(double slope);
 
+  /// Attempts to open a verified bracket around the hinted slope; on
+  /// success fills bracket_/small_/large_ and returns true. On failure the
+  /// members are untouched and the caller runs the cold detection.
+  bool try_warm_bracket(const PartitionHint& hint, std::int64_t n,
+                        const SpeedList& original);
+
   bool observing() const { return observer_ && *observer_; }
   void emit(SearchStepKind kind, double slope, bool kept_low,
             std::size_t processor) const;
@@ -147,6 +160,7 @@ class SearchState {
   int intersections_ = 0;
   EvalCounters counters_;
   const SearchObserver* observer_ = nullptr;
+  WarmStart warmstart_ = WarmStart::None;
 };
 
 }  // namespace fpm::core::detail

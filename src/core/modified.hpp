@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "core/observer.hpp"
 #include "core/partition.hpp"
@@ -22,6 +23,9 @@ struct ModifiedBisectionOptions {
   /// Optional per-step trace callback (see core/observer.hpp). Empty
   /// disables instrumentation.
   SearchObserver observer{};
+  /// Optional warm-start hint from a previous solve of a nearby problem
+  /// (see PartitionHint); never changes the distribution, only the cost.
+  std::optional<PartitionHint> hint{};
 };
 
 /// Partitions n elements with the modified (space-of-solutions) algorithm

@@ -9,6 +9,7 @@
 // and sum(x_i) = n. All algorithms search for that slope.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -42,6 +43,46 @@ struct Distribution {
   std::size_t processors() const noexcept { return counts.size(); }
 };
 
+/// A warm-start hint carried between successive solves of nearly identical
+/// problems (Rebalancer rounds, server near-miss traffic, mpp recovery):
+/// the previous solution's slope, the n it solved, and the models it was
+/// computed against. The search opens a tight verified bracket around the
+/// hinted slope instead of the Figure-18 cold bracket; a stale hint (wrong
+/// models, garbage slope, optimum too far away) falls back to the cold
+/// bracket. Either way the returned distribution is bit-identical to a cold
+/// run — the hint can only change how many solves the search spends.
+struct PartitionHint {
+  /// PartitionStats::final_slope of the previous solve; must be a positive
+  /// finite number to be usable.
+  double slope = 0.0;
+  /// The element count the hint solved. When it differs from the current n
+  /// the hinted slope is rescaled by old-n/new-n before bracketing; 0 means
+  /// "same n" (no rescale).
+  std::int64_t n = 0;
+  /// CompiledSpeedList fingerprint of the models the hint was computed
+  /// against. A mismatch marks the hint stale before any solve is spent.
+  /// 0 skips the check — for callers whose models legitimately change every
+  /// round (e.g. the Rebalancer re-learns its curves), who rely on the
+  /// bracket verification alone.
+  std::uint64_t fingerprint = 0;
+  /// Iteration count of the solve that produced the hint (or of the last
+  /// cold solve), used to report PartitionStats::iterations_saved.
+  int baseline_iterations = 0;
+  /// The previous distribution, for diagnostics and callers that want to
+  /// diff allocations across rounds; not consulted by the search.
+  std::vector<std::int64_t> counts;
+
+  /// True when the slope can seed a bracket at all.
+  bool usable() const noexcept { return std::isfinite(slope) && slope > 0.0; }
+};
+
+/// Outcome of the warm-start attempt for one search.
+enum class WarmStart : std::uint8_t {
+  None,   ///< no usable hint supplied
+  Hit,    ///< hinted bracket verified and adopted
+  Stale,  ///< hint rejected: fingerprint mismatch or verification failed
+};
+
 /// Diagnostics reported by the iterative partitioners.
 ///
 /// Two counter families coexist: `iterations`/`intersections` are the
@@ -59,6 +100,17 @@ struct PartitionStats {
   bool switched_to_modified = false;  ///< combined algorithm fell back
   std::int64_t speed_evals = 0;       ///< s(x) evaluations observed
   std::int64_t intersect_solves = 0;  ///< c·x = s(x) solves observed
+  WarmStart warmstart = WarmStart::None;  ///< what became of the hint
+  /// Iterations below the hint's baseline_iterations (>= 0; only meaningful
+  /// on a WarmStart::Hit with a caller-supplied baseline).
+  int iterations_saved = 0;
+  /// The search-phase portion of speed_evals/intersect_solves: everything
+  /// up to (excluding) the fine-tuning epilogue. Fine-tuning costs the same
+  /// ~1.5p evaluations whether the search started cold or warm, so these
+  /// are the counters a warm-start actually shrinks — the drift ablation
+  /// gates on them.
+  std::int64_t search_speed_evals = 0;
+  std::int64_t search_intersect_solves = 0;
 };
 
 /// A partitioner's output: the integer allocation plus diagnostics.

@@ -43,6 +43,7 @@ PartitionerRegistry build_registry() {
             auto opts = options_for<BasicBisectionOptions>(policy,
                                                           kAlgorithmBasic);
             if (policy.observer) opts.observer = policy.observer;
+            if (policy.hint) opts.hint = policy.hint;
             return partition_basic(speeds, n, opts);
           });
   reg.add({kAlgorithmModified,
@@ -53,6 +54,7 @@ PartitionerRegistry build_registry() {
             auto opts = options_for<ModifiedBisectionOptions>(
                 policy, kAlgorithmModified);
             if (policy.observer) opts.observer = policy.observer;
+            if (policy.hint) opts.hint = policy.hint;
             return partition_modified(speeds, n, opts);
           });
   reg.add({kAlgorithmCombined,
@@ -64,6 +66,7 @@ PartitionerRegistry build_registry() {
             auto opts = options_for<CombinedOptions>(policy,
                                                      kAlgorithmCombined);
             if (policy.observer) opts.observer = policy.observer;
+            if (policy.hint) opts.hint = policy.hint;
             return partition_combined(speeds, n, opts);
           });
   reg.add({kAlgorithmInterpolation,
@@ -74,6 +77,7 @@ PartitionerRegistry build_registry() {
             auto opts = options_for<InterpolationOptions>(
                 policy, kAlgorithmInterpolation);
             if (policy.observer) opts.observer = policy.observer;
+            if (policy.hint) opts.hint = policy.hint;
             return partition_interpolation(speeds, n, opts);
           });
   reg.add({kAlgorithmBounded,
@@ -83,6 +87,7 @@ PartitionerRegistry build_registry() {
              const PartitionPolicy& policy) {
             auto opts = options_for<BoundedOptions>(policy, kAlgorithmBounded);
             if (policy.observer) opts.inner.observer = policy.observer;
+            if (policy.hint) opts.inner.hint = policy.hint;
             const std::vector<std::int64_t> bounds =
                 bounds_or_capacity(policy, speeds);
             return partition_bounded(speeds, n, bounds, opts);
@@ -188,6 +193,13 @@ PartitionResult partition(const SpeedList& speeds, std::int64_t n,
   reg.counter(obs::names::kPartitionSpeedEvals).add(result.stats.speed_evals);
   reg.counter(obs::names::kPartitionIntersectSolves)
       .add(result.stats.intersect_solves);
+  if (result.stats.warmstart == WarmStart::Hit) {
+    reg.counter(obs::names::kPartitionWarmstartHits).add(1);
+    reg.counter(obs::names::kPartitionWarmstartIterationsSaved)
+        .add(result.stats.iterations_saved);
+  } else if (result.stats.warmstart == WarmStart::Stale) {
+    reg.counter(obs::names::kPartitionWarmstartStale).add(1);
+  }
   return result;
 }
 

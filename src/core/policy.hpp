@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -49,6 +50,12 @@ struct PartitionPolicy {
   /// Empty: derived from each curve's max_size() (the paper's point b, the
   /// size at which the processor is effectively paging to a halt).
   std::vector<std::int64_t> bounds{};
+  /// Warm-start hint from a previous solve of a nearby problem, installed
+  /// into the dispatched options like the observer. The result stays
+  /// bit-identical with or without it (a hint only narrows the search
+  /// bracket), which is why format_policy() deliberately ignores it — two
+  /// policies differing only in the hint are the same cache key.
+  std::optional<PartitionHint> hint{};
 };
 
 /// Static description of a registered algorithm.

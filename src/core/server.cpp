@@ -1,6 +1,7 @@
 #include "core/server.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <exception>
 #include <utility>
 
@@ -14,6 +15,10 @@ void append_hex64(std::string& out, std::uint64_t v) {
   for (int shift = 60; shift >= 0; shift -= 4)
     out.push_back(kDigits[(v >> shift) & 0xf]);
 }
+
+/// Per-shard cap on remembered slopes; overflow drops an arbitrary entry
+/// (hints are an optimization, not state — losing one costs a cold solve).
+constexpr std::size_t kHintShardCapacity = 256;
 
 }  // namespace
 
@@ -128,7 +133,8 @@ PartitionServer::PartitionServer(ServerOptions options)
           obs::metrics().counter(obs::names::kServerCacheHits),
           obs::metrics().counter(obs::names::kServerCacheMisses),
           obs::metrics().counter(obs::names::kServerCacheEvictions),
-          obs::metrics().counter(obs::names::kServerCacheUncacheable)} {
+          obs::metrics().counter(obs::names::kServerCacheUncacheable)},
+      warm_start_(options.warm_start) {
   workers_.reserve(threads_);
   for (unsigned i = 0; i < threads_; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -158,12 +164,71 @@ void PartitionServer::worker_loop() {
   }
 }
 
+std::optional<PartitionHint> PartitionServer::lookup_hint(
+    std::uint64_t fingerprint) {
+  HintShard& sh = hint_shards_[fingerprint % hint_shards_.size()];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  const auto it = sh.map.find(fingerprint);
+  if (it == sh.map.end()) return std::nullopt;
+  PartitionHint hint;
+  hint.slope = it->second.slope;
+  hint.n = it->second.n;
+  hint.fingerprint = fingerprint;
+  hint.baseline_iterations = it->second.baseline_iterations;
+  return hint;
+}
+
+void PartitionServer::update_hint(std::uint64_t fingerprint, std::int64_t n,
+                                  const PartitionResult& result) {
+  if (n <= 0) return;
+  if (!std::isfinite(result.stats.final_slope) ||
+      result.stats.final_slope <= 0.0)
+    return;
+  // The bounded algorithm reports the slope of its last residual round — a
+  // sub-problem over the unclamped processors, not the full list — so it
+  // would seed future brackets in the wrong place.
+  if (result.stats.algorithm == kAlgorithmBounded) return;
+  HintShard& sh = hint_shards_[fingerprint % hint_shards_.size()];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  const auto it = sh.map.find(fingerprint);
+  if (it == sh.map.end()) {
+    if (sh.map.size() >= kHintShardCapacity) sh.map.erase(sh.map.begin());
+    sh.map.emplace(fingerprint, SlopeHint{result.stats.final_slope, n,
+                                          result.stats.iterations});
+    return;
+  }
+  it->second.slope = result.stats.final_slope;
+  it->second.n = n;
+  // A warm run's low iteration count is not a cold baseline; keep the last
+  // cold figure so iterations_saved keeps measuring warm versus cold.
+  if (result.stats.warmstart != WarmStart::Hit)
+    it->second.baseline_iterations = result.stats.iterations;
+}
+
+PartitionResult PartitionServer::partition_with_hint(
+    const SpeedList& speeds, std::int64_t n, const PartitionPolicy& policy,
+    std::uint64_t fingerprint) {
+  if (!warm_start_) return partition(speeds, n, policy);
+  PartitionResult result;
+  if (policy.hint) {
+    // The caller brought their own hint; honour it untouched.
+    result = partition(speeds, n, policy);
+  } else {
+    PartitionPolicy hinted = policy;
+    hinted.hint = lookup_hint(fingerprint);
+    result = partition(speeds, n, hinted);
+  }
+  update_hint(fingerprint, n, result);
+  return result;
+}
+
 PartitionResult PartitionServer::serve(const SpeedList& speeds, std::int64_t n,
                                        const PartitionPolicy& policy) {
   obs::TimerSpan span(metrics_.serve_latency);
   if (policy.observer) {
     // The observer is a side effect the caller expects on every call; a
-    // cached answer would silently swallow the step trace.
+    // cached answer would silently swallow the step trace, and a hint would
+    // change the trace's bracket shape — run cold, leave hints alone.
     uncacheable_.fetch_add(1, std::memory_order_relaxed);
     metrics_.uncacheable.add(1);
     return partition(speeds, n, policy);
@@ -171,18 +236,18 @@ PartitionResult PartitionServer::serve(const SpeedList& speeds, std::int64_t n,
   if (cache_.capacity() == 0) {
     // Caching disabled: still count the request (as uncacheable) so the
     // hit-rate denominator hits + misses + uncacheable matches the request
-    // count, and still compile once so the engine skips its own pass.
+    // count, and still compile once so the engine skips its own pass. The
+    // slope hints are independent of result caching and stay live.
     uncacheable_.fetch_add(1, std::memory_order_relaxed);
     metrics_.uncacheable.add(1);
     const CompiledSpeedList compiled = CompiledSpeedList::compile(speeds);
     PrecompiledGuard guard(speeds, compiled);
-    return partition(speeds, n, policy);
+    return partition_with_hint(speeds, n, policy, compiled.fingerprint());
   }
   // Key via the allocation-free fingerprint: a hit must not pay for a
   // compilation it will never use.
-  const std::string key =
-      PartitionCache::make_key(CompiledSpeedList::fingerprint_of(speeds), n,
-                               policy);
+  const std::uint64_t fingerprint = CompiledSpeedList::fingerprint_of(speeds);
+  const std::string key = PartitionCache::make_key(fingerprint, n, policy);
   PartitionResult result;
   if (cache_.lookup(key, result)) {
     metrics_.hits.add(1);
@@ -190,11 +255,13 @@ PartitionResult PartitionServer::serve(const SpeedList& speeds, std::int64_t n,
   }
   metrics_.misses.add(1);
   // Miss: compile once here and hand the model to the engine through the
-  // thread-local guard, so SearchState does not compile a second time.
+  // thread-local guard, so SearchState does not compile a second time. A
+  // near-miss (fingerprint seen before under a different n) warm-starts
+  // from the remembered slope.
   const CompiledSpeedList compiled = CompiledSpeedList::compile(speeds);
   {
     PrecompiledGuard guard(speeds, compiled);
-    result = partition(speeds, n, policy);
+    result = partition_with_hint(speeds, n, policy, fingerprint);
   }
   if (cache_.insert(key, result)) metrics_.evictions.add(1);
   return result;

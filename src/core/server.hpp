@@ -11,6 +11,7 @@
 // cache stores exactly what the engine returned, stats included.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -19,6 +20,7 @@
 #include <future>
 #include <list>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -44,6 +46,12 @@ struct ServerOptions {
   std::size_t cache_capacity = 4096;
   /// Lock shards; more shards = less contention, slightly coarser LRU.
   std::size_t cache_shards = 16;
+  /// Keep a per-fingerprint slope hint beside the result cache and install
+  /// it as a PartitionHint on cache misses, so near-miss traffic (same
+  /// models, nearby n or different tuning) warm-starts instead of solving
+  /// cold. Results stay bit-identical; only the search cost changes.
+  /// Observer-carrying policies always run cold and never update hints.
+  bool warm_start = true;
 };
 
 /// Aggregate cache counters (monotonic except `entries`).
@@ -125,9 +133,13 @@ class PartitionServer {
   /// cache hit returns the stored result verbatim (the key is computed via
   /// the allocation-free fingerprint, no compilation); a miss compiles the
   /// model once, computes via core::partition() under a PrecompiledGuard
-  /// (so the engine reuses the compilation), and stores. Policies carrying
-  /// an observer always compute (their callbacks must fire) and are never
-  /// cached; with caching disabled every request counts as uncacheable.
+  /// (so the engine reuses the compilation), and stores. With warm_start on
+  /// (the default), misses whose fingerprint was solved before — near-miss
+  /// traffic: same models, nearby n — carry the remembered slope into the
+  /// engine as a PartitionHint, which narrows the search without changing
+  /// the distribution. Policies carrying an observer always compute cold
+  /// (their callbacks must fire) and are never cached; with caching
+  /// disabled every request counts as uncacheable but still warm-starts.
   /// Every call records its latency in the serve-latency histogram.
   PartitionResult serve(const SpeedList& speeds, std::int64_t n,
                         const PartitionPolicy& policy = {});
@@ -163,9 +175,36 @@ class PartitionServer {
     obs::Counter& uncacheable;
   };
 
+  /// The remembered slope for one model fingerprint. `baseline_iterations`
+  /// tracks the last *cold* solve so iterations_saved compares warm runs
+  /// against what they replaced, not against each other.
+  struct SlopeHint {
+    double slope = 0.0;
+    std::int64_t n = 0;
+    int baseline_iterations = 0;
+  };
+  struct HintShard {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, SlopeHint> map;
+  };
+
+  /// The stored hint for `fingerprint`, packaged for PartitionPolicy.
+  std::optional<PartitionHint> lookup_hint(std::uint64_t fingerprint);
+  /// Refreshes the stored hint from a just-computed result (no-op for
+  /// results whose final_slope does not describe the full problem).
+  void update_hint(std::uint64_t fingerprint, std::int64_t n,
+                   const PartitionResult& result);
+  /// Runs the engine under `guard` semantics with the per-fingerprint hint
+  /// installed (when warm-starting is on) and refreshes the hint after.
+  PartitionResult partition_with_hint(const SpeedList& speeds, std::int64_t n,
+                                      const PartitionPolicy& policy,
+                                      std::uint64_t fingerprint);
+
   unsigned threads_;
   PartitionCache cache_;
   Metrics metrics_;
+  bool warm_start_;
+  std::array<HintShard, 16> hint_shards_;
   std::atomic<std::int64_t> uncacheable_{0};
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;

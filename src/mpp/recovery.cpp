@@ -59,11 +59,21 @@ namespace {
 /// ranks get 0). Runs the world's partitioner policy over the survivors'
 /// speed curves at item granularity (`elements_per_item` elements each);
 /// falls back to an even split when no usable curves are supplied.
+///
+/// `hint`, when non-null, is an in/out warm-start slot: a usable previous
+/// slope narrows the search (the post-failure problem is a near miss of the
+/// pre-failure one — same curves, fewer ranks) and the accepted slope is
+/// written back. The fingerprint stays 0 because the survivor sub-list
+/// legitimately changes across failures; the engine's bracket verification
+/// alone decides whether the hint holds. Distributions are bit-identical
+/// with or without a hint, so every rank computes the same counts no matter
+/// how its private hint evolved.
 std::vector<std::int64_t> partition_over(const std::vector<int>& active,
                                          int ranks,
                                          const FaultToleranceOptions& options,
                                          std::int64_t n,
-                                         double elements_per_item) {
+                                         double elements_per_item,
+                                         core::PartitionHint* hint = nullptr) {
   const core::SpeedList& speeds = options.speeds;
   std::vector<std::int64_t> counts(static_cast<std::size_t>(ranks), 0);
   core::Distribution d;
@@ -76,7 +86,22 @@ std::vector<std::int64_t> partition_over(const std::vector<int>& active,
     core::SpeedList sub;
     sub.reserve(views.size());
     for (const auto& v : views) sub.push_back(&v);
-    d = core::partition(sub, n, options.policy).distribution;
+    core::PartitionPolicy policy = options.policy;
+    if (hint != nullptr && hint->usable() && !policy.hint)
+      policy.hint = *hint;
+    const core::PartitionResult res = core::partition(sub, n, policy);
+    d = res.distribution;
+    if (hint != nullptr && std::isfinite(res.stats.final_slope) &&
+        res.stats.final_slope > 0.0) {
+      core::PartitionHint next;
+      next.slope = res.stats.final_slope;
+      next.n = n;
+      next.baseline_iterations =
+          hint->usable() && res.stats.warmstart == core::WarmStart::Hit
+              ? hint->baseline_iterations
+              : res.stats.iterations;
+      *hint = next;
+    }
   } else {
     d = core::partition_even(n, active.size());
   }
@@ -171,12 +196,16 @@ FtJacobiResult fault_tolerant_jacobi(const util::MatrixD& grid, int ranks,
 
   const RunReport report = run_parallel(ranks, [&](Communicator& comm) {
     const int me = comm.rank();
+    // Survives recovery restarts: after a failure the repartition over the
+    // survivors warm-starts from the pre-failure slope.
+    core::PartitionHint part_hint;
     for (;;) {
       try {
         const std::vector<int> active = comm.alive_ranks();
         const int from = store.latest_complete();
-        const std::vector<std::int64_t> rows = partition_over(
-            active, ranks, options, n_rows, static_cast<double>(cols));
+        const std::vector<std::int64_t> rows =
+            partition_over(active, ranks, options, n_rows,
+                           static_cast<double>(cols), &part_hint);
         const std::vector<std::size_t> first = prefix_offsets(rows);
 
         // Ring neighbours among non-empty bands (dead ranks own 0 rows).
@@ -292,7 +321,8 @@ namespace {
 std::vector<int> owners_over(std::span<const int> base,
                              const std::vector<int>& active, int ranks,
                              const FaultToleranceOptions& options,
-                             double elements_per_block) {
+                             double elements_per_block,
+                             core::PartitionHint* hint = nullptr) {
   std::vector<char> alive(static_cast<std::size_t>(ranks), 0);
   for (const int r : active) alive[static_cast<std::size_t>(r)] = 1;
   std::vector<int> owners(base.begin(), base.end());
@@ -304,7 +334,7 @@ std::vector<int> owners_over(std::span<const int> base,
   std::vector<std::int64_t> quota =
       partition_over(active, ranks, options,
                      static_cast<std::int64_t>(orphans.size()),
-                     elements_per_block);
+                     elements_per_block, hint);
   std::size_t next_orphan = 0;
   while (next_orphan < orphans.size()) {
     for (const int r : active) {
@@ -368,13 +398,16 @@ FtLuResult fault_tolerant_lu(const util::MatrixD& a, std::size_t block,
 
   const RunReport report = run_parallel(ranks, [&](Communicator& comm) {
     const int me = comm.rank();
+    // Warm-starts each recovery's orphan redistribution from the slope the
+    // previous failure settled on (same curves, one survivor fewer).
+    core::PartitionHint part_hint;
     for (;;) {
       try {
         const std::vector<int> active = comm.alive_ranks();
         const int from = store.latest_complete();
         const std::vector<int> owners =
             owners_over(base_owner, active, ranks, options,
-                        static_cast<double>(n * block));
+                        static_cast<double>(n * block), &part_hint);
 
         std::map<std::size_t, util::MatrixD> mine;
         for (std::size_t kb = 0; kb < nb; ++kb) {
@@ -557,13 +590,15 @@ FtMmResult fault_tolerant_mm_abt(const util::MatrixD& a,
 
   const RunReport report = run_parallel(ranks, [&](Communicator& comm) {
     const int me = comm.rank();
+    // Post-failure restarts warm-start from the pre-failure slope.
+    core::PartitionHint part_hint;
     for (;;) {
       try {
         const std::vector<int> active = comm.alive_ranks();
         const std::vector<std::int64_t> rows =
             partition_over(active, ranks, options,
                            static_cast<std::int64_t>(n),
-                           static_cast<double>(n));
+                           static_cast<double>(n), &part_hint);
         const std::vector<std::size_t> first = prefix_offsets(rows);
         const auto my_rows =
             static_cast<std::size_t>(rows[static_cast<std::size_t>(me)]);

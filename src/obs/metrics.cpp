@@ -295,7 +295,7 @@ MetricsRegistry& metrics() {
 }
 
 std::span<const MetricInfo> metric_catalogue() {
-  static constexpr std::array<MetricInfo, 15> kCatalogue{{
+  static constexpr std::array<MetricInfo, 18> kCatalogue{{
       {"partition.invocations.<algorithm>", "counter",
        "core::partition() calls per registry algorithm (the paper's "
        "basic/modified/combined family, Figs. 7-15)"},
@@ -305,6 +305,15 @@ std::span<const MetricInfo> metric_catalogue() {
       {names::kPartitionIntersectSolves, "counter",
        "c*x = s(x) solves — the paper's complexity unit for the "
        "bisection searches"},
+      {names::kPartitionWarmstartHits, "counter",
+       "searches whose PartitionHint bracket verified, replacing the "
+       "Fig. 18 cold bracket with a tight one around the previous slope"},
+      {names::kPartitionWarmstartStale, "counter",
+       "hints rejected (model fingerprint changed or the optimum drifted "
+       "beyond the verification budget); the search ran cold"},
+      {names::kPartitionWarmstartIterationsSaved, "counter",
+       "bisection iterations saved versus each hint's cold baseline — the "
+       "O(log2 n) vs O(log2 delta) gap on drifting inputs"},
       {names::kServerServeLatency, "histogram",
        "PartitionServer::serve wall time per request (partition cost the "
        "paper bounds by O(p^2 log2 n), Fig. 21)"},

@@ -197,6 +197,14 @@ inline constexpr const char* kPartitionInvocationsPrefix =
 inline constexpr const char* kPartitionSpeedEvals = "partition.speed_evals";
 inline constexpr const char* kPartitionIntersectSolves =
     "partition.intersect_solves";
+// Warm-start layer (PartitionHint): verified-hint hits, rejected hints, and
+// the iterations saved versus each hint's cold baseline.
+inline constexpr const char* kPartitionWarmstartHits =
+    "partition.warmstart.hits";
+inline constexpr const char* kPartitionWarmstartStale =
+    "partition.warmstart.stale";
+inline constexpr const char* kPartitionWarmstartIterationsSaved =
+    "partition.warmstart.iterations_saved";
 // core::PartitionServer (aggregated over every server in the process).
 inline constexpr const char* kServerServeLatency =
     "server.serve_latency_seconds";

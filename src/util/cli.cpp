@@ -1,6 +1,7 @@
 #include "util/cli.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace fpm::util {
@@ -16,6 +17,21 @@ std::int64_t parse_int64(const std::string& text, const std::string& what) {
   }
   if (consumed != text.size() || value < 0)
     throw std::invalid_argument(what + " expects a non-negative integer, got '" +
+                                text + "'");
+  return value;
+}
+
+double parse_double(const std::string& text, const std::string& what) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(what + " expects a finite number, got '" +
+                                text + "'");
+  }
+  if (consumed != text.size() || !std::isfinite(value))
+    throw std::invalid_argument(what + " expects a finite number, got '" +
                                 text + "'");
   return value;
 }
@@ -54,16 +70,7 @@ std::string CliArgs::require(const std::string& key) const {
 double CliArgs::number(const std::string& key, double fallback) const {
   const auto v = get(key);
   if (!v) return fallback;
-  try {
-    std::size_t consumed = 0;
-    const double value = std::stod(*v, &consumed);
-    if (consumed != v->size())
-      throw std::invalid_argument("trailing characters");
-    return value;
-  } catch (const std::exception&) {
-    throw std::invalid_argument("flag " + key + " expects a number, got '" +
-                                *v + "'");
-  }
+  return parse_double(*v, "flag " + key);
 }
 
 std::int64_t CliArgs::integer(const std::string& key,

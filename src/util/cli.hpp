@@ -19,6 +19,14 @@ namespace fpm::util {
 /// where a silent truncation would corrupt the experiment.
 std::int64_t parse_int64(const std::string& text, const std::string& what);
 
+/// Strict finite-double parse: the whole string must be one floating-point
+/// literal — trailing characters ("1.5x"), empty input, and non-finite
+/// values ("nan", "inf", overflowing exponents) all throw
+/// std::invalid_argument naming `what`. Use for measured quantities and
+/// tuning flags where a half-parsed value or a NaN would silently poison
+/// downstream arithmetic.
+double parse_double(const std::string& text, const std::string& what);
+
 class CliArgs {
  public:
   /// Parses argv[first..argc): tokens must alternate --flag value, except
@@ -33,8 +41,8 @@ class CliArgs {
   /// Value of a required flag; throws std::invalid_argument when missing.
   std::string require(const std::string& key) const;
 
-  /// Numeric flag with a fallback; throws std::invalid_argument when the
-  /// value is present but not a number.
+  /// Strict finite-double flag with a fallback (see parse_double); throws
+  /// std::invalid_argument when the value is present but invalid.
   double number(const std::string& key, double fallback) const;
 
   /// Strict non-negative integer flag with a fallback (see parse_int64);

@@ -44,6 +44,20 @@ double median(std::span<const double> xs) {
   return 0.5 * (v[mid - 1] + hi);
 }
 
+double percentile(std::span<const double> xs, double q) {
+  assert(!xs.empty());
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  q = std::clamp(q, 0.0, 100.0);
+  // Linear interpolation between closest ranks (the numpy default): the
+  // q-th percentile sits at fractional rank q/100 * (n-1).
+  const double rank = q / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
 LinearFit fit_line(std::span<const double> xs, std::span<const double> ys) {
   assert(xs.size() == ys.size() && xs.size() >= 2);
   const double mx = mean(xs);

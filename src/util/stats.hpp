@@ -21,6 +21,11 @@ double max_of(std::span<const double> xs) noexcept;
 /// Median (copies and partially sorts); requires a non-empty range.
 double median(std::span<const double> xs);
 
+/// q-th percentile (q in [0, 100]) with linear interpolation between order
+/// statistics; copies and sorts. Requires a non-empty range; q is clamped.
+/// percentile(xs, 50) agrees with median(xs).
+double percentile(std::span<const double> xs, double q);
+
 /// Least-squares straight-line fit y = a + b*x.
 struct LinearFit {
   double intercept = 0.0;  ///< a

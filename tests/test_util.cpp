@@ -99,6 +99,18 @@ TEST(Stats, MedianOddAndEven) {
   EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
 }
 
+TEST(Stats, PercentileInterpolatesBetweenOrderStatistics) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), median(xs));
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 1.75);
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{7.0}, 99.0), 7.0);
+  // Out-of-range quantiles clamp rather than read out of bounds.
+  EXPECT_DOUBLE_EQ(percentile(xs, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 250.0), 4.0);
+}
+
 TEST(Stats, MinMax) {
   const std::vector<double> xs{3.0, -1.0, 7.0};
   EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
@@ -253,6 +265,35 @@ TEST(ParseInt64, RejectsGarbageFractionsNegativesAndOverflow) {
   } catch (const std::invalid_argument& err) {
     EXPECT_NE(std::string(err.what()).find("--repeat"), std::string::npos);
   }
+}
+
+TEST(ParseDouble, AcceptsFiniteLiterals) {
+  EXPECT_DOUBLE_EQ(parse_double("0.25", "--epsilon"), 0.25);
+  EXPECT_DOUBLE_EQ(parse_double("-3", "--shift"), -3.0);
+  EXPECT_DOUBLE_EQ(parse_double("1e6", "--at"), 1e6);
+}
+
+TEST(ParseDouble, RejectsGarbageAndNonFiniteValues) {
+  EXPECT_THROW(parse_double("1.5x", "--at"), std::invalid_argument);
+  EXPECT_THROW(parse_double("", "--at"), std::invalid_argument);
+  EXPECT_THROW(parse_double("abc", "--at"), std::invalid_argument);
+  EXPECT_THROW(parse_double("nan", "--at"), std::invalid_argument);
+  EXPECT_THROW(parse_double("inf", "--at"), std::invalid_argument);
+  EXPECT_THROW(parse_double("-inf", "--at"), std::invalid_argument);
+  EXPECT_THROW(parse_double("1e999", "--at"), std::invalid_argument);
+  try {
+    parse_double("0.5garbage", "--single-number");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    EXPECT_NE(std::string(err.what()).find("--single-number"),
+              std::string::npos);
+  }
+}
+
+TEST(CliArgs, NumberParsingIsStrict) {
+  const char* argv[] = {"prog", "cmd", "--epsilon", "0.25nonsense"};
+  const CliArgs args(4, argv);
+  EXPECT_THROW(args.number("--epsilon", 0.1), std::invalid_argument);
 }
 
 TEST(CliArgs, IntegerParsingStrictWithFallback) {

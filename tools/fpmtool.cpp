@@ -25,9 +25,11 @@
 //       the search. The bounded algorithm derives per-processor capacity
 //       bounds from the curves unless --bounds overrides them. With
 //       --repeat/--threads the request is served repeatedly through a
-//       PartitionServer; --metrics dumps the process metrics registry
-//       (serve-latency histogram, cache counters, engine rollups) after
-//       the run.
+//       PartitionServer from T client threads, and the report includes
+//       p50/p95/p99 per-request latency (--json additionally emits the
+//       summary as one JSON object); --metrics dumps the process metrics
+//       registry (serve-latency histogram, cache counters, engine
+//       rollups) after the run.
 //   partition --list-algorithms
 //       Print the registered partitioners (id, cost, description).
 //   simulate --app NAME --n MATRIX_N [--cluster FILE] [--reference REF_N]
@@ -43,11 +45,14 @@
 // Exit status: 0 on success, 1 on CLI errors, 2 on runtime failures.
 #include <algorithm>
 #include <cstring>
+#include <exception>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/fpm.hpp"
@@ -58,6 +63,7 @@
 #include "linalg/real_source.hpp"
 #include "simcluster/presets.hpp"
 #include "simcluster/spec_io.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -78,7 +84,7 @@ int usage() {
          "          [--options \"KEY VALUE ...\"] [--bounds B1,B2,...] "
          "[--trace]\n"
          "          [--single-number REF] [--csv] [--repeat R] [--threads T]"
-         " [--metrics]\n"
+         " [--json] [--metrics]\n"
          "  fpmtool partition --list-algorithms\n"
          "  fpmtool simulate --app NAME --n MATRIX_N [--cluster FILE] "
          "[--reference REF_N]\n"
@@ -179,7 +185,7 @@ int cmd_show(const util::CliArgs& args) {
     const core::PiecewiseLinearSpeed curve = m.curve();
     double shown;
     if (at) {
-      shown = curve.speed(std::stod(*at));
+      shown = curve.speed(util::parse_double(*at, "flag --at"));
     } else {
       shown = 0.0;
       for (const core::SpeedPoint& p : curve.points())
@@ -317,28 +323,54 @@ int cmd_partition(const util::CliArgs& args) {
 
   core::PartitionResult result;
   if (repeat > 1 || threads > 0) {
-    // Throughput mode: hammer a PartitionServer with the same request and
-    // report the service rate; the printed partition is the first answer
-    // (all of them are identical).
+    // Throughput mode: hammer a shared PartitionServer with the same
+    // request from T client threads, timing every serve() call so the
+    // report can show latency percentiles, not just the aggregate rate.
+    // The printed partition is the first answer (all of them are
+    // identical).
+    const unsigned clients = threads == 0 ? 1 : threads;
     core::ServerOptions sopts;
-    sopts.threads = threads == 0 ? 1 : threads;
+    sopts.threads = 1;  // serve() runs on the client threads; pool is idle
     core::PartitionServer server(sopts);
-    std::vector<core::BatchRequest> batch(
-        static_cast<std::size_t>(repeat),
-        core::BatchRequest{speeds, n, policy});
+    std::vector<double> latency_ms(static_cast<std::size_t>(repeat), 0.0);
+    core::PartitionResult first_result;
+    std::exception_ptr first_error;
+    std::mutex error_mu;
     util::Timer timer;
-    std::vector<core::PartitionResult> results =
-        server.run_batch(std::move(batch));
+    {
+      std::vector<std::thread> pool;
+      pool.reserve(clients);
+      for (unsigned t = 0; t < clients; ++t)
+        pool.emplace_back([&, t] {
+          try {
+            for (auto i = static_cast<std::size_t>(t);
+                 i < latency_ms.size(); i += clients) {
+              util::Timer one;
+              core::PartitionResult r = server.serve(speeds, n, policy);
+              latency_ms[i] = one.seconds() * 1e3;
+              if (i == 0) first_result = std::move(r);
+            }
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+        });
+      for (std::thread& th : pool) th.join();
+    }
+    if (first_error) std::rethrow_exception(first_error);
     const double seconds = timer.seconds();
-    result = std::move(results.front());
+    result = std::move(first_result);
     const core::CacheStats cs = server.cache_stats();
     const double total =
         static_cast<double>(cs.hits + cs.misses + cs.uncacheable);
-    std::cout << "served " << repeat << " requests on " << server.threads()
-              << " thread(s) in " << util::fmt(seconds * 1e3, 2) << " ms ("
-              << util::fmt(static_cast<double>(repeat) /
-                               std::max(seconds, 1e-12),
-                           0)
+    const double rate =
+        static_cast<double>(repeat) / std::max(seconds, 1e-12);
+    const double p50 = util::percentile(latency_ms, 50.0);
+    const double p95 = util::percentile(latency_ms, 95.0);
+    const double p99 = util::percentile(latency_ms, 99.0);
+    std::cout << "served " << repeat << " requests on " << clients
+              << " client thread(s) in " << util::fmt(seconds * 1e3, 2)
+              << " ms (" << util::fmt(rate, 0)
               << " req/s, cache hit rate "
               << util::fmt(total > 0.0
                                ? 100.0 * static_cast<double>(cs.hits) / total
@@ -349,13 +381,35 @@ int cmd_partition(const util::CliArgs& args) {
               << " misses, " << cs.uncacheable << " uncacheable, "
               << cs.evictions << " evictions, " << cs.entries
               << " entries\n";
+    util::Table lat("serve latency over " + std::to_string(repeat) +
+                        " requests (ms)",
+                    {"p50", "p95", "p99", "min", "max", "mean"});
+    lat.add_row({util::fmt(p50, 4), util::fmt(p95, 4), util::fmt(p99, 4),
+                 util::fmt(util::min_of(latency_ms), 4),
+                 util::fmt(util::max_of(latency_ms), 4),
+                 util::fmt(util::mean(latency_ms), 4)});
+    if (args.flag("--csv"))
+      lat.print_csv(std::cout);
+    else
+      lat.print(std::cout);
+    if (args.flag("--json"))
+      std::cout << "{\"requests\":" << repeat << ",\"threads\":" << clients
+                << ",\"seconds\":" << util::fmt(seconds, 6)
+                << ",\"req_per_s\":" << util::fmt(rate, 1)
+                << ",\"latency_ms\":{\"p50\":" << util::fmt(p50, 6)
+                << ",\"p95\":" << util::fmt(p95, 6) << ",\"p99\":"
+                << util::fmt(p99, 6) << ",\"min\":"
+                << util::fmt(util::min_of(latency_ms), 6) << ",\"max\":"
+                << util::fmt(util::max_of(latency_ms), 6) << ",\"mean\":"
+                << util::fmt(util::mean(latency_ms), 6) << "}}\n";
   } else {
     result = core::partition(speeds, n, policy);
   }
 
   std::optional<core::Distribution> baseline;
   if (const auto ref = args.get("--single-number"))
-    baseline = core::partition_single_number_at(speeds, n, std::stod(*ref));
+    baseline = core::partition_single_number_at(
+        speeds, n, util::parse_double(*ref, "flag --single-number"));
 
   util::Table t("partition of " + std::to_string(n) + " elements (" +
                     result.stats.algorithm + ")",
@@ -455,7 +509,8 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const util::CliArgs args(
-        argc, argv, {"--csv", "--trace", "--list-algorithms", "--metrics"});
+        argc, argv,
+        {"--csv", "--trace", "--list-algorithms", "--metrics", "--json"});
     if (command == "save-cluster") return cmd_save_cluster(args);
     if (command == "demo-models") return cmd_demo_models(args);
     if (command == "measure") return cmd_measure(args);
