@@ -172,7 +172,7 @@ double server_miss_rate(unsigned threads, int requests,
   util::Timer timer;
   const auto results = server.run_batch(std::move(batch));
   const double secs = timer.seconds();
-  benchmark::DoNotOptimize(results.front().distribution.counts.data());
+  benchmark::DoNotOptimize(results.front().result.distribution.counts.data());
   return static_cast<double>(requests) / std::max(secs, 1e-12);
 }
 

@@ -34,6 +34,9 @@ inline constexpr const char* kAlgorithmHierarchical = "hierarchical";
 inline constexpr const char* kAlgorithmCommAware = "comm-aware";
 inline constexpr const char* kAlgorithmWeightedContiguous =
     "weighted-contiguous";
+/// PartitionServer degraded answers (core/slo.hpp): a previous solution
+/// rescaled to the requested n, not an engine search.
+inline constexpr const char* kAlgorithmDegraded = "degraded";
 
 /// Integer allocation of the n elements: counts[i] elements to processor i.
 struct Distribution {

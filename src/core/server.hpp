@@ -1,42 +1,70 @@
-// Concurrent batch partitioning: a fixed worker pool plus a sharded LRU
-// result cache in front of the core::partition() engine.
+// Concurrent partitioning service: a fixed worker pool and a sharded LRU
+// result cache in front of the core::partition() engine, with per-request
+// latency SLOs — deadlines, priorities, admission control, load shedding,
+// and degraded answers under overload.
 //
 // Production deployments of the partitioner (schedulers, rebalancing loops,
 // what-if explorers) issue many partition calls against a small set of
-// recurring (model, n, policy) triples. PartitionServer answers repeats from
-// a thread-safe cache keyed by the CompiledSpeedList content fingerprint —
-// two structurally equal model lists share entries regardless of object
-// identity — and fans cache misses out over a fixed pool of worker threads.
-// Results are bit-identical to calling core::partition() directly: the
-// cache stores exactly what the engine returned, stats included.
+// recurring (model, n, policy) triples. PartitionServer answers repeats
+// from a thread-safe cache keyed by the CompiledSpeedList content
+// fingerprint and fans cache misses out over a fixed pool of worker
+// threads. Full answers are bit-identical to calling core::partition()
+// directly: the cache stores exactly what the engine returned.
+//
+// When offered load exceeds capacity the server degrades deliberately
+// instead of letting the queue grow without bound:
+//   - a QueueDelayEstimator (EWMA of observed service times per priority
+//     class, times the queue depth ahead of the newcomer) predicts each
+//     request's completion time at submission;
+//   - the admission controller sheds requests that cannot meet their
+//     deadline — and a bounded queue displaces the lowest-priority,
+//     latest-deadline request first;
+//   - instead of rejecting outright, a sheddable request whose model
+//     fingerprint has been solved before is answered from the hint store:
+//     the previous distribution linearly rescaled to the requested n,
+//     tagged with a computed relative-error bound (core/slo.hpp) so the
+//     caller can decide whether to accept the approximation.
+// Every request submitted with an SLO ends in exactly one of three
+// buckets — admitted (full answer), degraded, or shed — so
+//     offered == admitted + degraded + shed
+// holds at all times (slo_stats(), mirrored in obs::metrics()).
 #pragma once
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <future>
 #include <list>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
 #include "core/policy.hpp"
+#include "core/slo.hpp"
 #include "obs/metrics.hpp"
 
 namespace fpm::core {
 
 /// One partitioning problem of a batch. The speed-function objects are
-/// borrowed: they must stay alive until the request's result is available.
+/// borrowed: they must stay alive until the request's result is available
+/// (run_batch() and drain() both guarantee the pool is done with them
+/// before returning; the destructor sheds still-queued requests without
+/// touching their models).
 struct BatchRequest {
   SpeedList speeds;
   std::int64_t n = 0;
   PartitionPolicy policy{};
+  /// Deadline / priority / degradation consent. Default: no deadline —
+  /// always admitted (subject to queue capacity), never expires.
+  Slo slo{};
 };
 
 struct ServerOptions {
@@ -51,10 +79,28 @@ struct ServerOptions {
   /// models, nearby n or different tuning) warm-starts instead of solving
   /// cold. Results stay bit-identical; only the search cost changes.
   /// Observer-carrying policies always run cold and never update hints.
+  /// The hint store also feeds the degraded-answer path.
   bool warm_start = true;
+  /// Total remembered per-fingerprint hints across all hint shards; the
+  /// store evicts least-recently-used entries beyond this (like the result
+  /// cache), so fingerprint churn cannot grow it without bound. Minimum 1
+  /// per shard.
+  std::size_t hint_capacity = 4096;
+  /// Upper bound on queued (not yet running) requests; 0 = unbounded.
+  /// When the queue is full, a submission displaces the lowest-priority,
+  /// latest-deadline request — which is degraded or shed.
+  std::size_t max_queue_depth = 0;
+  /// EWMA weight of the newest service-time sample in the queue-delay
+  /// estimator (0 < alpha <= 1).
+  double ewma_alpha = 0.2;
+  /// Safety factor on the predicted completion time during admission; a
+  /// request is shed when predicted * admission_slack exceeds its budget.
+  /// > 1 sheds earlier (protects the deadline against estimate error),
+  /// < 1 gambles on the estimate being pessimistic.
+  double admission_slack = 1.0;
 };
 
-/// Aggregate cache counters (monotonic except `entries`).
+/// Aggregate cache counters (monotonic except `entries`/`hint_entries`).
 struct CacheStats {
   std::int64_t hits = 0;
   std::int64_t misses = 0;
@@ -65,6 +111,29 @@ struct CacheStats {
   /// hits + misses + uncacheable always equals the serve() call count.
   std::int64_t uncacheable = 0;
   std::size_t entries = 0;  ///< currently cached results
+  /// Warm-start hint store occupancy and LRU evictions (bounded by
+  /// ServerOptions::hint_capacity).
+  std::size_t hint_entries = 0;
+  std::int64_t hint_evictions = 0;
+};
+
+/// SLO accounting for requests submitted through the deadline-aware entry
+/// points (submit/run_batch/serve_slo; the plain serve() overload has no
+/// SLO semantics and is not counted here). All monotonic.
+/// Invariant: offered == admitted + degraded + shed.
+struct SloStats {
+  std::int64_t offered = 0;   ///< SLO requests received
+  std::int64_t admitted = 0;  ///< answered in full by the engine (or cache)
+  std::int64_t degraded = 0;  ///< answered approximately from the hint store
+  std::int64_t shed = 0;      ///< not answered; the per-reason split below
+  std::int64_t shed_admission = 0;
+  std::int64_t shed_queue_full = 0;
+  std::int64_t shed_expired = 0;
+  std::int64_t shed_shutdown = 0;
+  /// Answers (full or degraded) delivered after their deadline.
+  std::int64_t deadline_misses = 0;
+  /// Most recent queue-delay estimate (seconds, Normal priority).
+  double queue_delay_estimate_s = 0.0;
 };
 
 /// Sharded, thread-safe LRU map from partition-request keys to results.
@@ -77,6 +146,11 @@ class PartitionCache {
   /// True plus a copy of the cached result on a hit (the entry becomes the
   /// shard's most recently used); false on a miss. Counts either way.
   bool lookup(const std::string& key, PartitionResult& out);
+
+  /// Like lookup(), but a miss is not counted — for opportunistic probes
+  /// (the admission fast path) whose miss will be followed by a counted
+  /// lookup or an explicit miss on the serving path.
+  bool peek(const std::string& key, PartitionResult& out);
 
   /// Inserts or refreshes `key`, evicting the shard's least recently used
   /// entry beyond capacity. Concurrent same-key inserts keep one winner.
@@ -111,6 +185,7 @@ class PartitionCache {
     std::int64_t evictions = 0;
   };
 
+  bool find(const std::string& key, PartitionResult& out, bool count_miss);
   Shard& shard_for(const std::string& key);
 
   std::size_t capacity_;
@@ -119,11 +194,17 @@ class PartitionCache {
 };
 
 /// A long-lived partitioning service: serve() for synchronous calls on the
-/// caller's thread, submit()/run_batch() to fan work out over the pool.
-/// All entry points share the cache and may be called concurrently.
+/// caller's thread, serve_slo() for synchronous deadline-aware calls,
+/// submit()/run_batch() to fan work out over the pool with admission
+/// control. All entry points share the cache and may be called
+/// concurrently.
 class PartitionServer {
  public:
   explicit PartitionServer(ServerOptions options = {});
+
+  /// Sheds every still-queued request (ShedReason::Shutdown — their
+  /// promises are fulfilled, never broken), lets in-flight requests
+  /// finish, and joins the pool.
   ~PartitionServer();
 
   PartitionServer(const PartitionServer&) = delete;
@@ -141,28 +222,88 @@ class PartitionServer {
   /// (their callbacks must fire) and are never cached; with caching
   /// disabled every request counts as uncacheable but still warm-starts.
   /// Every call records its latency in the serve-latency histogram.
+  /// No SLO semantics: never shed, never degraded, not in slo_stats().
   PartitionResult serve(const SpeedList& speeds, std::int64_t n,
                         const PartitionPolicy& policy = {});
 
-  /// Enqueues one request for the worker pool. The borrowed speed objects
-  /// must outlive the future's completion. Exceptions thrown by the engine
-  /// (e.g. unknown algorithm id) surface through future::get().
-  std::future<PartitionResult> submit(BatchRequest request);
+  /// Synchronous deadline-aware serve on the calling thread. Admission
+  /// consults the service-time estimate only (no queue is involved): a
+  /// request whose deadline is shorter than the predicted solve is
+  /// degraded (hint store permitting) or shed without spending the solve.
+  /// Admitted requests run exactly like serve() and additionally report
+  /// latency and deadline_met.
+  ServeResult serve_slo(const SpeedList& speeds, std::int64_t n,
+                        const PartitionPolicy& policy = {}, Slo slo = {});
 
-  /// Runs the whole batch over the pool and returns results in request
-  /// order, rethrowing the first engine exception encountered (in request
-  /// order). Every future is drained before any rethrow, so the borrowed
-  /// speed objects of the batch are guaranteed unreferenced by the pool
-  /// once this returns — normally or by exception.
-  std::vector<PartitionResult> run_batch(std::vector<BatchRequest> requests);
+  /// Enqueues one request for the worker pool. The borrowed speed objects
+  /// must outlive the future's completion. Engine exceptions (e.g. unknown
+  /// algorithm id) surface through future::get(); such requests count as
+  /// admitted.
+  ///
+  /// Requests carrying a deadline are admission-controlled at submission
+  /// (predicted completion past the deadline => degraded or shed without
+  /// queueing) and re-checked at dispatch (deadline already passed =>
+  /// degraded or shed without solving). The queue serves highest priority
+  /// first, earliest deadline within a class; when max_queue_depth is
+  /// reached, the lowest-priority latest-deadline request (possibly the
+  /// incoming one) is displaced. Every outcome fulfils the future — a
+  /// shed request yields ServeStatus::Shed, never a broken promise.
+  std::future<ServeResult> submit(BatchRequest request);
+
+  /// Runs the whole batch over the pool; result i answers request i —
+  /// shed and degraded entries are explicitly marked in place, never
+  /// reordered or dropped. Every future is drained before the first engine
+  /// exception (if any) is rethrown, so the borrowed speed objects of the
+  /// batch are guaranteed unreferenced by the pool once this returns —
+  /// normally or by exception.
+  std::vector<ServeResult> run_batch(std::vector<BatchRequest> requests);
+
+  /// Blocks until every queued and in-flight request has completed, or
+  /// until `timeout` elapses — at which point every still-queued request
+  /// is degraded or shed (ShedReason::Shutdown) and the in-flight ones are
+  /// awaited. Returns true when the queue fully drained by work, false
+  /// when the timeout shed anything. The server stays usable afterwards.
+  bool drain(std::chrono::nanoseconds timeout);
 
   unsigned threads() const noexcept { return threads_; }
-  /// Cache counters including the server-side uncacheable tally.
+  /// Cache counters including the server-side uncacheable tally and the
+  /// hint-store occupancy/evictions.
   CacheStats cache_stats() const;
+  /// SLO accounting (offered == admitted + degraded + shed).
+  SloStats slo_stats() const;
+  /// The admission controller's current completion-time prediction for a
+  /// request of `priority` joining the queue now (seconds).
+  double predicted_delay(Priority priority) const;
   void clear_cache() { cache_.clear(); }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Queue order: higher priority first (negated enum), then earliest
+  /// deadline, then submission order. rbegin() is therefore the shedding
+  /// victim: lowest priority, latest deadline, newest.
+  using JobKey = std::tuple<int, Clock::time_point, std::uint64_t>;
+
+  struct QueuedJob {
+    BatchRequest request;
+    std::promise<ServeResult> promise;
+    Clock::time_point submitted{};
+    Clock::time_point deadline{};  ///< time_point::max() when none
+  };
+
   void worker_loop();
+  void execute(QueuedJob job);
+  /// Degraded (hint store permitting and slo.allow_degraded) or Shed
+  /// outcome for a request that will not get a full solve; unaccounted.
+  ServeResult resolve_shed(const BatchRequest& request, ShedReason reason);
+  /// Builds a degraded answer for the request from the hint store; nullopt
+  /// when no usable previous solution exists.
+  std::optional<ServeResult> try_degrade(const BatchRequest& request);
+  /// resolve_shed + account + fulfil, for a job leaving the queue.
+  void degrade_or_shed(QueuedJob&& job, ShedReason reason);
+  /// Removes and returns every queued job (caller fulfils the promises).
+  /// Adjusts the per-class counts and the queue-depth gauge.
+  std::vector<QueuedJob> steal_queue_locked();
 
   /// Cached references into the process registry (stable for its
   /// lifetime), so the hot path never takes the registry lock.
@@ -173,23 +314,47 @@ class PartitionServer {
     obs::Counter& misses;
     obs::Counter& evictions;
     obs::Counter& uncacheable;
+    obs::Counter& hint_evictions;
+    obs::Counter& slo_offered;
+    obs::Counter& slo_admitted;
+    obs::Counter& slo_degraded;
+    obs::Counter& slo_shed_admission;
+    obs::Counter& slo_shed_queue_full;
+    obs::Counter& slo_shed_expired;
+    obs::Counter& slo_shed_shutdown;
+    obs::Counter& slo_deadline_misses;
+    obs::Gauge& slo_queue_delay_us;
   };
 
-  /// The remembered slope for one model fingerprint. `baseline_iterations`
-  /// tracks the last *cold* solve so iterations_saved compares warm runs
-  /// against what they replaced, not against each other.
+  /// The remembered previous solution for one model fingerprint: the slope
+  /// that warm-starts the search, plus the distribution the degraded-
+  /// answer path rescales. `baseline_iterations` tracks the last *cold*
+  /// solve so iterations_saved compares warm runs against what they
+  /// replaced, not against each other.
   struct SlopeHint {
     double slope = 0.0;
     std::int64_t n = 0;
     int baseline_iterations = 0;
+    std::vector<std::int64_t> counts;
   };
+  /// LRU-bounded hint shard (mirrors the result cache's structure):
+  /// fingerprint churn evicts the least recently touched hint and bumps
+  /// the server.hints.evicted counter.
   struct HintShard {
-    std::mutex mu;
-    std::unordered_map<std::uint64_t, SlopeHint> map;
+    mutable std::mutex mu;
+    std::list<std::pair<std::uint64_t, SlopeHint>> lru;
+    std::unordered_map<
+        std::uint64_t,
+        std::list<std::pair<std::uint64_t, SlopeHint>>::iterator>
+        index;
   };
 
   /// The stored hint for `fingerprint`, packaged for PartitionPolicy.
   std::optional<PartitionHint> lookup_hint(std::uint64_t fingerprint);
+  /// The stored previous distribution for `fingerprint` (degradation
+  /// source), when one exists for exactly `p` processors.
+  std::optional<SlopeHint> lookup_degradation(std::uint64_t fingerprint,
+                                              std::size_t p);
   /// Refreshes the stored hint from a just-computed result (no-op for
   /// results whose final_slope does not describe the full problem).
   void update_hint(std::uint64_t fingerprint, std::int64_t n,
@@ -200,15 +365,40 @@ class PartitionServer {
                                       const PartitionPolicy& policy,
                                       std::uint64_t fingerprint);
 
+  /// Shared bookkeeping for an SLO answer: latency, deadline verdict, the
+  /// outcome counters, and the estimator sample (full solves only).
+  void account(ServeResult& outcome, Clock::time_point submitted,
+               Clock::time_point deadline, Priority priority);
+
   unsigned threads_;
   PartitionCache cache_;
   Metrics metrics_;
   bool warm_start_;
+  std::size_t hint_shard_capacity_;
+  std::size_t max_queue_depth_;
+  double admission_slack_;
+  QueueDelayEstimator estimator_;
   std::array<HintShard, 16> hint_shards_;
   std::atomic<std::int64_t> uncacheable_{0};
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<std::packaged_task<PartitionResult()>> queue_;
+  std::atomic<std::int64_t> hint_evictions_{0};
+
+  // SLO accounting (per server; the obs registry aggregates all servers).
+  std::atomic<std::int64_t> slo_offered_{0};
+  std::atomic<std::int64_t> slo_admitted_{0};
+  std::atomic<std::int64_t> slo_degraded_{0};
+  std::atomic<std::int64_t> slo_shed_admission_{0};
+  std::atomic<std::int64_t> slo_shed_queue_full_{0};
+  std::atomic<std::int64_t> slo_shed_expired_{0};
+  std::atomic<std::int64_t> slo_shed_shutdown_{0};
+  std::atomic<std::int64_t> slo_deadline_misses_{0};
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;  ///< work available / stopping
+  std::condition_variable idle_cv_;   ///< queue empty and nothing in flight
+  std::map<JobKey, QueuedJob> queue_;
+  std::array<std::size_t, kPriorityClasses> queued_per_class_{};
+  std::size_t inflight_ = 0;
+  std::uint64_t next_seq_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };
@@ -216,7 +406,7 @@ class PartitionServer {
 /// One-shot convenience: spins up a PartitionServer with `options`, runs
 /// the batch, and tears the pool down. For recurring traffic keep a
 /// PartitionServer alive instead, so the cache persists across batches.
-std::vector<PartitionResult> partition_batch(std::vector<BatchRequest> requests,
-                                             const ServerOptions& options = {});
+std::vector<ServeResult> partition_batch(std::vector<BatchRequest> requests,
+                                         const ServerOptions& options = {});
 
 }  // namespace fpm::core

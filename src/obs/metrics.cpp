@@ -295,7 +295,7 @@ MetricsRegistry& metrics() {
 }
 
 std::span<const MetricInfo> metric_catalogue() {
-  static constexpr std::array<MetricInfo, 18> kCatalogue{{
+  static constexpr std::array<MetricInfo, 28> kCatalogue{{
       {"partition.invocations.<algorithm>", "counter",
        "core::partition() calls per registry algorithm (the paper's "
        "basic/modified/combined family, Figs. 7-15)"},
@@ -329,6 +329,34 @@ std::span<const MetricInfo> metric_catalogue() {
       {names::kServerCacheUncacheable, "counter",
        "requests that bypassed the cache (observer-carrying policies, or "
        "caching disabled)"},
+      {names::kServerHintsEvicted, "counter",
+       "warm-start hints LRU-evicted under fingerprint churn "
+       "(ServerOptions::hint_capacity)"},
+      {names::kServerSloOffered, "counter",
+       "SLO-aware requests received (submit/run_batch/serve_slo); equals "
+       "admitted + degraded + the four shed counters at all times"},
+      {names::kServerSloAdmitted, "counter",
+       "SLO requests answered in full by the engine or cache"},
+      {names::kServerSloDegraded, "counter",
+       "SLO requests answered approximately from the hint store (previous "
+       "solution rescaled to the requested n, with an error bound)"},
+      {names::kServerSloShedAdmission, "counter",
+       "requests shed at submission: predicted completion past the "
+       "deadline"},
+      {names::kServerSloShedQueueFull, "counter",
+       "requests displaced from a full queue (lowest priority, latest "
+       "deadline first)"},
+      {names::kServerSloShedExpired, "counter",
+       "requests whose deadline passed while queued (shed at dispatch, "
+       "before spending the solve)"},
+      {names::kServerSloShedShutdown, "counter",
+       "requests shed by drain() timeout or server destruction (their "
+       "futures are still fulfilled)"},
+      {names::kServerSloDeadlineMisses, "counter",
+       "answers (full or degraded) delivered after their deadline"},
+      {names::kServerSloQueueDelayMicros, "gauge",
+       "latest admission-time queue-delay estimate (EWMA service time x "
+       "queue depth ahead / workers), microseconds"},
       {names::kRebalanceRounds, "counter",
        "Rebalancer::step calls — iterations observed under fluctuating "
        "load (paper Fig. 2 performance bands)"},

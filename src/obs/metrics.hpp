@@ -214,6 +214,24 @@ inline constexpr const char* kServerCacheMisses = "server.cache.misses";
 inline constexpr const char* kServerCacheEvictions = "server.cache.evictions";
 inline constexpr const char* kServerCacheUncacheable =
     "server.cache.uncacheable";
+inline constexpr const char* kServerHintsEvicted = "server.hints.evicted";
+// SLO layer of the PartitionServer: deadline-aware requests only
+// (submit/run_batch/serve_slo). offered == admitted + degraded + sheds.
+inline constexpr const char* kServerSloOffered = "server.slo.offered";
+inline constexpr const char* kServerSloAdmitted = "server.slo.admitted";
+inline constexpr const char* kServerSloDegraded = "server.slo.degraded";
+inline constexpr const char* kServerSloShedAdmission =
+    "server.slo.shed.admission";
+inline constexpr const char* kServerSloShedQueueFull =
+    "server.slo.shed.queue_full";
+inline constexpr const char* kServerSloShedExpired =
+    "server.slo.shed.expired";
+inline constexpr const char* kServerSloShedShutdown =
+    "server.slo.shed.shutdown";
+inline constexpr const char* kServerSloDeadlineMisses =
+    "server.slo.deadline_misses";
+inline constexpr const char* kServerSloQueueDelayMicros =
+    "server.slo.queue_delay_us";
 // balance::Rebalancer.
 inline constexpr const char* kRebalanceRounds = "rebalance.rounds";
 inline constexpr const char* kRebalanceRepartitions =

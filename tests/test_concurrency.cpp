@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -18,6 +20,8 @@
 
 namespace fpm {
 namespace {
+
+using namespace std::chrono_literals;
 
 TEST(PartitionServer, ServesBitIdenticalResultsFromManyThreads) {
   const test::Ensemble e = test::mixed_ensemble();
@@ -66,13 +70,14 @@ TEST(PartitionServer, RunBatchPreservesRequestOrder) {
   std::vector<core::BatchRequest> batch;
   for (int i = 0; i < 40; ++i)
     batch.push_back({list, 5000 + 991LL * i, {}});
-  const std::vector<core::PartitionResult> results =
+  const std::vector<core::ServeResult> results =
       server.run_batch(std::move(batch));
   ASSERT_EQ(results.size(), 40u);
   for (int i = 0; i < 40; ++i) {
     const core::PartitionResult direct = core::partition(list, 5000 + 991LL * i);
-    EXPECT_EQ(results[static_cast<std::size_t>(i)].distribution.counts,
-              direct.distribution.counts)
+    const core::ServeResult& got = results[static_cast<std::size_t>(i)];
+    EXPECT_EQ(got.status, core::ServeStatus::Ok) << "request " << i;
+    EXPECT_EQ(got.result.distribution.counts, direct.distribution.counts)
         << "request " << i;
   }
 }
@@ -85,7 +90,7 @@ TEST(PartitionServer, PartitionBatchConvenienceMatchesDirectCalls) {
   const auto results = core::partition_batch(batch);
   ASSERT_EQ(results.size(), batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i)
-    EXPECT_EQ(results[i].distribution.counts,
+    EXPECT_EQ(results[i].result.distribution.counts,
               core::partition(list, batch[i].n).distribution.counts);
 }
 
@@ -190,7 +195,7 @@ TEST(PartitionServer, RunBatchDrainsAllTasksBeforeRethrowing) {
   const test::Ensemble e2 = test::constant_ensemble(3);
   const auto results = server.run_batch({{e2.list(), 999, {}}});
   ASSERT_EQ(results.size(), 1u);
-  EXPECT_EQ(results[0].distribution.total(), 999);
+  EXPECT_EQ(results[0].result.distribution.total(), 999);
 }
 
 TEST(PartitionServer, DisabledCacheCountsEveryRequestAsUncacheable) {
@@ -260,6 +265,65 @@ TEST(PartitionServer, CacheHitIsBitIdenticalToPrecompiledMiss) {
   EXPECT_EQ(hit.distribution.counts, direct.distribution.counts);
   EXPECT_EQ(hit.stats.speed_evals, direct.stats.speed_evals);
   EXPECT_EQ(hit.stats.intersect_solves, direct.stats.intersect_solves);
+}
+
+TEST(PartitionServer, DestructorShedsQueuedRequestsWithoutBreakingPromises) {
+  // Graceful shutdown: destroying a server with a deep queue must fulfil
+  // every future — queued requests come back ServeStatus::Shed
+  // (ShedReason::Shutdown), never a broken_promise. Run under TSan in CI.
+  const test::Ensemble e = test::mixed_ensemble();
+  const core::SpeedList list = e.list();
+  std::vector<std::future<core::ServeResult>> futures;
+  {
+    core::ServerOptions opts;
+    opts.threads = 2;
+    opts.cache_capacity = 0;  // every request solves: the queue stays deep
+    core::PartitionServer server(opts);
+    for (int i = 0; i < 64; ++i)
+      futures.push_back(server.submit({list, 200000 + 1013LL * i, {}, {}}));
+  }  // destructor: shed the queue, finish in-flight, join
+  int answered = 0, shed = 0;
+  for (auto& f : futures) {
+    const core::ServeResult r = f.get();  // must never throw broken_promise
+    if (r.status == core::ServeStatus::Shed) {
+      EXPECT_EQ(r.shed_reason, core::ShedReason::Shutdown);
+      ++shed;
+    } else {
+      EXPECT_EQ(r.status, core::ServeStatus::Ok);
+      ++answered;
+    }
+  }
+  EXPECT_EQ(answered + shed, 64);
+  EXPECT_GT(shed, 0) << "2 workers cannot finish 64 solves before teardown";
+}
+
+TEST(PartitionServer, DrainRacesConcurrentSubmittersSafely) {
+  // drain() while other threads keep submitting: every future must still
+  // resolve, and the accounting invariant must hold. Run under TSan in CI.
+  const test::Ensemble e = test::mixed_ensemble();
+  const core::SpeedList list = e.list();
+  core::ServerOptions opts;
+  opts.threads = 2;
+  opts.cache_capacity = 0;
+  core::PartitionServer server(opts);
+  std::atomic<int> resolved{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < 16; ++i) {
+        auto f = server.submit({list, 100000 + 419LL * (t * 16 + i), {}, {}});
+        (void)f.get();
+        ++resolved;
+      }
+    });
+  }
+  for (int i = 0; i < 8; ++i) (void)server.drain(1ms);
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(resolved.load(), 64);
+  EXPECT_TRUE(server.drain(30s));
+  const core::SloStats s = server.slo_stats();
+  EXPECT_EQ(s.offered, 64);
+  EXPECT_EQ(s.offered, s.admitted + s.degraded + s.shed);
 }
 
 TEST(Rebalancer, SharedServerIsBehaviourallyInvisible) {

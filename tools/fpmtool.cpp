@@ -17,7 +17,8 @@
 //       Print the models in a file; with --at, the speeds at size X.
 //   partition --models FILE --n N [--algorithm ID] [--options "KEY V ..."]
 //             [--bounds B1,B2,...] [--trace] [--single-number REF] [--csv]
-//             [--repeat R] [--threads T] [--metrics]
+//             [--repeat R] [--threads T] [--deadline-ms MS] [--priority P]
+//             [--metrics]
 //       Distribute N elements over the modelled processors and print the
 //       result (optionally also the single-number baseline at size REF).
 //       --algorithm takes any id from the partitioner registry (see
@@ -29,7 +30,11 @@
 //       p50/p95/p99 per-request latency (--json additionally emits the
 //       summary as one JSON object); --metrics dumps the process metrics
 //       registry (serve-latency histogram, cache counters, engine
-//       rollups) after the run.
+//       rollups) after the run. --deadline-ms attaches a latency SLO to
+//       every request (served via serve_slo: admission control may answer
+//       approximately from the hint store, or shed) and --priority
+//       low|normal|high sets its class; the report then adds the
+//       admitted/degraded/shed outcome mix and deadline misses.
 //   partition --list-algorithms
 //       Print the registered partitioners (id, cost, description).
 //   simulate --app NAME --n MATRIX_N [--cluster FILE] [--reference REF_N]
@@ -44,6 +49,7 @@
 //
 // Exit status: 0 on success, 1 on CLI errors, 2 on runtime failures.
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <exception>
 #include <iostream>
@@ -85,6 +91,7 @@ int usage() {
          "[--trace]\n"
          "          [--single-number REF] [--csv] [--repeat R] [--threads T]"
          " [--json] [--metrics]\n"
+         "          [--deadline-ms MS] [--priority low|normal|high]\n"
          "  fpmtool partition --list-algorithms\n"
          "  fpmtool simulate --app NAME --n MATRIX_N [--cluster FILE] "
          "[--reference REF_N]\n"
@@ -321,8 +328,44 @@ int cmd_partition(const util::CliArgs& args) {
         "--trace cannot be combined with --repeat/--threads (the trace "
         "would interleave across requests)");
 
+  core::Slo slo;
+  if (const auto dl = args.get("--deadline-ms"))
+    slo.deadline_s = util::parse_double(*dl, "flag --deadline-ms") * 1e-3;
+  if (const auto prio = args.get("--priority")) {
+    if (*prio == "low")
+      slo.priority = core::Priority::Low;
+    else if (*prio == "normal")
+      slo.priority = core::Priority::Normal;
+    else if (*prio == "high")
+      slo.priority = core::Priority::High;
+    else
+      throw std::invalid_argument("--priority must be low, normal, or high");
+  }
+  if (slo.has_deadline() && args.flag("--trace"))
+    throw std::invalid_argument(
+        "--trace cannot be combined with --deadline-ms (observer-carrying "
+        "requests are never degraded, so the SLO path adds nothing)");
+
   core::PartitionResult result;
-  if (repeat > 1 || threads > 0) {
+  if (slo.has_deadline() && repeat == 1 && threads == 0) {
+    // One SLO-aware request: report the outcome explicitly; a shed request
+    // has no partition to print.
+    core::PartitionServer server({.threads = 1});
+    const core::ServeResult r = server.serve_slo(speeds, n, policy, slo);
+    std::cout << "slo: status=" << core::to_string(r.status)
+              << " shed_reason=" << core::to_string(r.shed_reason)
+              << " latency=" << util::fmt(r.latency_s * 1e3, 4)
+              << " ms deadline_met=" << (r.deadline_met ? "yes" : "no");
+    if (r.status == core::ServeStatus::Degraded)
+      std::cout << " error_bound=" << util::fmt(r.error_bound, 6);
+    std::cout << "\n";
+    if (!r.answered()) {
+      std::cout << "request shed (" << core::to_string(r.shed_reason)
+                << "): no partition to print\n";
+      return 0;
+    }
+    result = r.result;
+  } else if (repeat > 1 || threads > 0) {
     // Throughput mode: hammer a shared PartitionServer with the same
     // request from T client threads, timing every serve() call so the
     // report can show latency percentiles, not just the aggregate rate.
@@ -334,6 +377,7 @@ int cmd_partition(const util::CliArgs& args) {
     core::PartitionServer server(sopts);
     std::vector<double> latency_ms(static_cast<std::size_t>(repeat), 0.0);
     core::PartitionResult first_result;
+    std::atomic<bool> have_first{false};
     std::exception_ptr first_error;
     std::mutex error_mu;
     util::Timer timer;
@@ -346,9 +390,21 @@ int cmd_partition(const util::CliArgs& args) {
             for (auto i = static_cast<std::size_t>(t);
                  i < latency_ms.size(); i += clients) {
               util::Timer one;
-              core::PartitionResult r = server.serve(speeds, n, policy);
-              latency_ms[i] = one.seconds() * 1e3;
-              if (i == 0) first_result = std::move(r);
+              if (slo.has_deadline()) {
+                core::ServeResult r = server.serve_slo(speeds, n, policy, slo);
+                latency_ms[i] = r.latency_s * 1e3;
+                if (r.answered() && !have_first.exchange(true)) {
+                  std::lock_guard<std::mutex> lock(error_mu);
+                  first_result = std::move(r.result);
+                }
+              } else {
+                core::PartitionResult r = server.serve(speeds, n, policy);
+                latency_ms[i] = one.seconds() * 1e3;
+                if (i == 0) {
+                  have_first.store(true);
+                  first_result = std::move(r);
+                }
+              }
             }
           } catch (...) {
             std::lock_guard<std::mutex> lock(error_mu);
@@ -359,6 +415,19 @@ int cmd_partition(const util::CliArgs& args) {
     }
     if (first_error) std::rethrow_exception(first_error);
     const double seconds = timer.seconds();
+    if (slo.has_deadline()) {
+      const core::SloStats ss = server.slo_stats();
+      std::cout << "slo (" << core::to_string(slo.priority) << ", "
+                << util::fmt(slo.deadline_s * 1e3, 1)
+                << " ms deadline): offered=" << ss.offered
+                << " admitted=" << ss.admitted << " degraded=" << ss.degraded
+                << " shed=" << ss.shed << " deadline_misses="
+                << ss.deadline_misses << "\n";
+      if (!have_first.load()) {
+        std::cout << "every request was shed: no partition to print\n";
+        return 0;
+      }
+    }
     result = std::move(first_result);
     const core::CacheStats cs = server.cache_stats();
     const double total =
