@@ -1,0 +1,403 @@
+// SIMD / thousand-rank scaling ablation: synthetic heterogeneous fleets at
+// p in {16, 256, 1024, 4096} (core/fleetgen.hpp), solved end to end and
+// swept through CompiledSpeedList::intersect_all with the vector kernels on
+// and off.
+//
+// Written to BENCH_solve.json: one record with the SIMD build/runtime
+// state, the measured vector-over-scalar batch speedup, and a per-p sweep
+// of single-solve wall clock plus the operation counters (the same
+// trajectory schema the solve dashboards read).
+//
+// `--gate` turns the run into a CI check; it fails when
+//  (a) the vector batch path is < 2x the scalar batch path on a
+//      closed-form-heavy fleet at any p >= 256 (skipped when the build has
+//      no vector kernels or the host cannot run them — the scalar fallback
+//      is then the contract, not a regression),
+//  (b) the p = 4096 solve exceeds the paper's O(p^2 log2 n) intersection
+//      bound (the test suite's guard constant: 8 p^2 log2 n) or an
+//      intentionally loose wall-clock ceiling,
+//  (c) any registry algorithm's SIMD distribution fails the equivalence
+//      gate against the scalar oracle: exact sum to n, per-intersect
+//      agreement at the oracle's final slope within a 1e-12 relative
+//      tolerance, and a makespan within 1e-9 of the oracle's (fine-tune
+//      optimality carries over even when few-ULP slope differences break
+//      element-wise ties differently).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/fleetgen.hpp"
+#include "core/fpm.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace fpm;
+
+constexpr std::int64_t kN = 1'000'000'000;
+constexpr std::uint64_t kSeed = 42;
+const std::vector<std::size_t> kSweepP{16, 256, 1024, 4096};
+
+/// Closed-form-heavy mix for the kernel speedup measurement: the lanes the
+/// vector kernels accelerate, weighted the way a large CPU fleet models out
+/// (power/exp decay dominating, no piecewise tails).
+core::FleetMix closed_form_mix() {
+  core::FleetMix mix;
+  mix.constant = 0.05;
+  mix.linear_decay = 0.15;
+  mix.power_decay = 0.40;
+  mix.exp_decay = 0.40;
+  mix.piecewise = 0.0;
+  mix.stepped = 0.0;
+  return mix;
+}
+
+/// RAII around the global SIMD toggle.
+struct SimdToggle {
+  explicit SimdToggle(bool on) : prev(core::simd_kernels_enabled()) {
+    core::set_simd_kernels(on);
+  }
+  ~SimdToggle() { core::set_simd_kernels(prev); }
+  bool prev;
+};
+
+/// Best-of-reps seconds for one full intersect_all sweep over `slopes`.
+double sweep_seconds(const core::CompiledSpeedList& c,
+                     const std::vector<double>& slopes,
+                     std::vector<double>& out, int reps) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    util::Timer timer;
+    for (const double s : slopes) {
+      c.intersect_all(s, out);
+      benchmark::DoNotOptimize(out.data());
+    }
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+/// Vector-over-scalar batch speedup at one p (1.0 when no vector kernels).
+double measure_speedup(std::size_t p) {
+  const core::SyntheticFleet fleet =
+      core::make_synthetic_fleet(p, kSeed, closed_form_mix());
+  const auto c = core::CompiledSpeedList::compile(fleet.list());
+  std::vector<double> slopes;
+  for (int i = 0; i < 64; ++i)
+    slopes.push_back(1e-4 * std::pow(10.0, 8.0 * i / 63.0));
+  std::vector<double> out(p);
+  double t_simd = 0.0, t_scalar = 0.0;
+  {
+    SimdToggle on(true);
+    t_simd = sweep_seconds(c, slopes, out, 5);
+  }
+  {
+    SimdToggle off(false);
+    t_scalar = sweep_seconds(c, slopes, out, 5);
+  }
+  return t_scalar / t_simd;
+}
+
+/// Largest completion time of an integer allocation under `speeds`.
+double makespan(const core::SpeedList& speeds,
+                const std::vector<std::int64_t>& counts) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] <= 0) continue;
+    const double x = static_cast<double>(counts[i]);
+    worst = std::max(worst, x / speeds[i]->speed(x));
+  }
+  return worst;
+}
+
+std::int64_t sum(const std::vector<std::int64_t>& counts) {
+  std::int64_t s = 0;
+  for (const std::int64_t c : counts) s += c;
+  return s;
+}
+
+struct SweepRow {
+  std::size_t p = 0;
+  double solve_s = 0.0;
+  int iterations = 0;
+  std::int64_t speed_evals = 0;
+  std::int64_t intersect_solves = 0;
+  bool bit_identical = true;
+};
+
+/// One timed solve (combined policy) with the SIMD kernels on, compared
+/// against the scalar-oracle distribution of the same problem.
+SweepRow solve_row(std::size_t p) {
+  const core::SyntheticFleet fleet = core::make_synthetic_fleet(p, kSeed);
+  const core::SpeedList list = fleet.list();
+  SweepRow row;
+  row.p = p;
+
+  core::PartitionResult oracle;
+  {
+    SimdToggle off(false);
+    oracle = core::partition(list, kN);
+  }
+  core::PartitionResult simd;
+  {
+    SimdToggle on(true);
+    util::Timer timer;
+    simd = core::partition(list, kN);
+    row.solve_s = timer.seconds();
+  }
+  row.iterations = simd.stats.iterations;
+  row.speed_evals = simd.stats.speed_evals;
+  row.intersect_solves = simd.stats.intersect_solves;
+  row.bit_identical =
+      simd.distribution.counts == oracle.distribution.counts;
+  return row;
+}
+
+struct EquivalenceRow {
+  std::string algorithm;
+  bool sum_ok = false;
+  bool makespan_ok = false;
+  bool intersects_ok = false;
+  double worst_rel = 0.0;
+  double makespan_rel = 0.0;
+  bool ok() const { return sum_ok && makespan_ok && intersects_ok; }
+};
+
+/// SIMD-vs-scalar-oracle equivalence for one registry algorithm on one
+/// mixed fleet: exact sum to n, per-intersect ULP tolerance at the oracle's
+/// final slope, and matching makespan.
+EquivalenceRow check_equivalence(const core::SpeedList& list,
+                                 const std::string& algorithm,
+                                 std::int64_t n) {
+  EquivalenceRow row;
+  row.algorithm = algorithm;
+  core::PartitionPolicy policy;
+  policy.algorithm = algorithm;
+
+  core::PartitionResult oracle;
+  {
+    SimdToggle off(false);
+    oracle = core::partition(list, n, policy);
+  }
+  core::PartitionResult simd;
+  {
+    SimdToggle on(true);
+    simd = core::partition(list, n, policy);
+  }
+
+  row.sum_ok = sum(simd.distribution.counts) == n &&
+               sum(oracle.distribution.counts) == n;
+
+  const double span_simd = makespan(list, simd.distribution.counts);
+  const double span_oracle = makespan(list, oracle.distribution.counts);
+  row.makespan_rel =
+      std::abs(span_simd - span_oracle) / std::max(span_oracle, 1e-300);
+  row.makespan_ok = row.makespan_rel <= 1e-9;
+
+  // Per-intersect comparison at the oracle's final slope: every entry of
+  // the vector intersect_all within 1e-12 relative of the scalar batch.
+  const auto c = core::CompiledSpeedList::compile(list);
+  std::vector<double> xs_simd(list.size()), xs_scalar(list.size());
+  const double slope = oracle.stats.final_slope > 0.0
+                           ? oracle.stats.final_slope
+                           : 1.0;
+  {
+    SimdToggle on(true);
+    c.intersect_all(slope, xs_simd);
+  }
+  {
+    SimdToggle off(false);
+    c.intersect_all(slope, xs_scalar);
+  }
+  row.worst_rel = 0.0;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const double denom = std::max(std::abs(xs_scalar[i]), 1e-300);
+    row.worst_rel =
+        std::max(row.worst_rel, std::abs(xs_simd[i] - xs_scalar[i]) / denom);
+  }
+  row.intersects_ok = row.worst_rel <= 1e-12;
+  return row;
+}
+
+/// Scientific-notation cell for the tiny relative-error columns.
+std::string sci(double v) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(2) << v;
+  return os.str();
+}
+
+void BM_IntersectAllSimd(benchmark::State& state) {
+  const core::SyntheticFleet fleet =
+      core::make_synthetic_fleet(1024, kSeed, closed_form_mix());
+  const auto c = core::CompiledSpeedList::compile(fleet.list());
+  std::vector<double> out(1024);
+  SimdToggle on(true);
+  for (auto _ : state) {
+    c.intersect_all(37.5, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_IntersectAllSimd)->Unit(benchmark::kMicrosecond);
+
+void BM_IntersectAllScalar(benchmark::State& state) {
+  const core::SyntheticFleet fleet =
+      core::make_synthetic_fleet(1024, kSeed, closed_form_mix());
+  const auto c = core::CompiledSpeedList::compile(fleet.list());
+  std::vector<double> out(1024);
+  SimdToggle off(false);
+  for (auto _ : state) {
+    c.intersect_all(37.5, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_IntersectAllScalar)->Unit(benchmark::kMicrosecond);
+
+void BM_SolveP4096(benchmark::State& state) {
+  const core::SyntheticFleet fleet = core::make_synthetic_fleet(4096, kSeed);
+  const core::SpeedList list = fleet.list();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::partition(list, kN).distribution.total());
+}
+BENCHMARK(BM_SolveP4096)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool gate = false;
+  std::string out = "BENCH_solve.json";
+  // Strip our own flags before google-benchmark sees (and rejects) them.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gate") == 0)
+      gate = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out = argv[++i];
+    else
+      argv[kept++] = argv[i];
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const bool compiled_in =
+      core::active_simd_backend() != core::SimdBackend::Disabled ||
+      core::simd_kernels_available();
+  const bool available = core::simd_kernels_available();
+  bool ok = true;
+
+  // --- Vector-over-scalar batch speedup at every p >= 256. -------------
+  double min_speedup = std::numeric_limits<double>::infinity();
+  util::Table t_speed("SIMD batch speedup (closed-form-heavy fleets)",
+                      {"p", "speedup", "gate"});
+  for (const std::size_t p : kSweepP) {
+    if (p < 256) continue;
+    const double s = measure_speedup(p);
+    min_speedup = std::min(min_speedup, s);
+    const bool pass = !available || s >= 2.0;
+    t_speed.add_row({util::fmt(static_cast<std::int64_t>(p)),
+                     util::fmt(s, 2) + "x",
+                     available ? (pass ? "pass (>= 2x)" : "FAIL (< 2x)")
+                               : "skipped (no vector kernels)"});
+    if (!pass) {
+      std::cerr << "GATE FAIL: SIMD batch speedup " << util::fmt(s, 2)
+                << "x < 2x at p = " << p << "\n";
+      ok = false;
+    }
+  }
+  bench::emit(t_speed);
+
+  // --- Per-p solve trajectory (the BENCH_solve.json sweep). ------------
+  util::Table t_sweep("single-solve scaling sweep (n = " + util::fmt(kN) +
+                          ")",
+                      {"p", "solve (ms)", "iterations", "speed evals",
+                       "intersect solves", "simd vs scalar"});
+  std::vector<SweepRow> rows;
+  for (const std::size_t p : kSweepP) {
+    rows.push_back(solve_row(p));
+    const SweepRow& r = rows.back();
+    t_sweep.add_row({util::fmt(static_cast<std::int64_t>(r.p)),
+                     util::fmt(r.solve_s * 1e3, 3), util::fmt(r.iterations),
+                     util::fmt(r.speed_evals), util::fmt(r.intersect_solves),
+                     r.bit_identical ? "bit-identical" : "ULP-equivalent"});
+    if (r.p == 4096) {
+      const double bound =
+          8.0 * static_cast<double>(r.p) * static_cast<double>(r.p) *
+          std::log2(static_cast<double>(kN));
+      if (static_cast<double>(r.intersect_solves) > bound) {
+        std::cerr << "GATE FAIL: p=4096 intersect_solves "
+                  << r.intersect_solves << " exceed 8 p^2 log2 n = " << bound
+                  << "\n";
+        ok = false;
+      }
+      // Intentionally loose: catches only order-of-magnitude regressions,
+      // not scheduler noise (a p=4096 solve runs ~tens of ms).
+      if (r.solve_s > 5.0) {
+        std::cerr << "GATE FAIL: p=4096 solve took " << util::fmt(r.solve_s, 3)
+                  << "s > 5s\n";
+        ok = false;
+      }
+    }
+  }
+  bench::emit(t_sweep);
+
+  // --- Registry-wide equivalence against the scalar oracle. ------------
+  const core::SyntheticFleet fleet = core::make_synthetic_fleet(512, kSeed);
+  const core::SpeedList list = fleet.list();
+  util::Table t_equiv("SIMD equivalence vs scalar oracle (p = 512)",
+                      {"algorithm", "sum == n", "worst intersect rel",
+                       "makespan rel", "verdict"});
+  for (const core::PartitionerInfo& info :
+       core::partitioner_registry().entries()) {
+    const EquivalenceRow r = check_equivalence(list, info.id, kN);
+    t_equiv.add_row({r.algorithm, r.sum_ok ? "yes" : "NO",
+                     sci(r.worst_rel),
+                     sci(r.makespan_rel),
+                     r.ok() ? "equivalent" : "MISMATCH"});
+    if (!r.ok()) {
+      std::cerr << "GATE FAIL: " << r.algorithm
+                << " SIMD distribution not equivalent to the scalar oracle"
+                << " (sum_ok=" << r.sum_ok << ", worst_rel=" << r.worst_rel
+                << ", makespan_rel=" << r.makespan_rel << ")\n";
+      ok = false;
+    }
+  }
+  bench::emit(t_equiv);
+
+  // --- BENCH_solve.json trajectory. ------------------------------------
+  std::ofstream json(out);
+  json << "[\n  {\"bench\": \"ablation_simd\", \"n\": " << kN
+       << ", \"simd_compiled_in\": " << (compiled_in ? "true" : "false")
+       << ", \"simd_available\": " << (available ? "true" : "false")
+       << ", \"simd_speedup\": " << util::fmt(min_speedup, 6) << ",\n"
+       << "   \"sweep\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    json << "    {\"p\": " << r.p << ", \"solve_s\": "
+         << util::fmt(r.solve_s, 6) << ", \"iterations\": " << r.iterations
+         << ", \"speed_evals\": " << r.speed_evals
+         << ", \"intersect_solves\": " << r.intersect_solves
+         << ", \"simd_bit_identical\": "
+         << (r.bit_identical ? "true" : "false") << "}"
+         << (i + 1 < rows.size() ? ", " : "") << "\n";
+  }
+  json << "  ]}\n]\n";
+  std::cout << "wrote " << out << "\n";
+
+  if (gate) {
+    if (!ok) return 1;
+    std::cout << "gate passed\n";
+  }
+  return ok ? 0 : 1;
+}

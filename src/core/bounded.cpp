@@ -54,6 +54,7 @@ PartitionResult partition_bounded(const SpeedList& speeds, std::int64_t n,
     result.stats.search_speed_evals += sub_result.stats.search_speed_evals;
     result.stats.search_intersect_solves +=
         sub_result.stats.search_intersect_solves;
+    result.stats.bracket_saturations += sub_result.stats.bracket_saturations;
     result.stats.final_slope = sub_result.stats.final_slope;
     result.stats.switched_to_modified |= sub_result.stats.switched_to_modified;
 

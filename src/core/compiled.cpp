@@ -4,11 +4,16 @@
 #include <atomic>
 #include <bit>
 #include <cassert>
+#include <cmath>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 
+#include "core/detail/parallel.hpp"
+#include "core/detail/simd.hpp"
 #include "core/detail/speed_kernels.hpp"
 #include "core/piecewise.hpp"
+#include "obs/metrics.hpp"
 
 namespace fpm::core {
 namespace {
@@ -34,6 +39,15 @@ inline std::uint64_t fnv_mix(std::uint64_t h, double v) {
 
 std::atomic<bool> g_compiled_enabled{true};
 std::atomic<bool> g_batched_enabled{true};
+std::atomic<bool> g_simd_enabled{true};
+std::atomic<std::size_t> g_parallel_threshold{1024};
+
+/// The vector kernel table intersect_all should use right now, or nullptr
+/// for the bit-exact scalar batch path (toggle off or FPM_SIMD=OFF build).
+inline const detail::simd::SimdKernels* active_kernels() noexcept {
+  if (!g_simd_enabled.load(std::memory_order_relaxed)) return nullptr;
+  return detail::simd::resolved_simd_kernels();
+}
 
 /// Thread-local precompiled hint installed by PrecompiledGuard.
 thread_local const SpeedList* g_precompiled_speeds = nullptr;
@@ -160,6 +174,33 @@ void set_batched_kernels(bool enabled) noexcept {
   g_batched_enabled.store(enabled, std::memory_order_relaxed);
 }
 
+bool simd_kernels_enabled() noexcept {
+  return g_simd_enabled.load(std::memory_order_relaxed);
+}
+
+void set_simd_kernels(bool enabled) noexcept {
+  g_simd_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool simd_kernels_available() noexcept {
+  return detail::simd::resolved_simd_kernels() != nullptr;
+}
+
+SimdBackend active_simd_backend() noexcept {
+  const detail::simd::SimdKernels* kern = active_kernels();
+  if (kern == nullptr) return SimdBackend::Disabled;
+  return std::strcmp(kern->name, "avx2") == 0 ? SimdBackend::Avx2
+                                              : SimdBackend::Portable;
+}
+
+std::size_t parallel_intersect_threshold() noexcept {
+  return g_parallel_threshold.load(std::memory_order_relaxed);
+}
+
+void set_parallel_intersect_threshold(std::size_t entries) noexcept {
+  g_parallel_threshold.store(entries, std::memory_order_relaxed);
+}
+
 CompiledSpeedList CompiledSpeedList::compile(const SpeedList& speeds) {
   CompiledSpeedList list;
   list.entries_.reserve(speeds.size());
@@ -254,6 +295,25 @@ CompiledSpeedList CompiledSpeedList::compile(const SpeedList& speeds) {
         break;
     }
   }
+  // Pad every lane column to the vector width by duplicating the last real
+  // element: the SIMD kernels then stream whole registers with the pad
+  // slots computing harmless in-domain values that are never scattered
+  // (idx keeps the real count, and the scalar batch kernels loop over it).
+  const auto pad_lane = [](BatchLane& lane) {
+    if (lane.empty()) return;
+    const std::size_t padded = detail::simd::padded_size(lane.idx.size());
+    const auto grow = [padded](BatchLane::Column& col) {
+      if (!col.empty()) col.resize(padded, col.back());
+    };
+    grow(lane.a);
+    grow(lane.b);
+    grow(lane.c);
+    grow(lane.d);
+  };
+  pad_lane(list.lane_constant_);
+  pad_lane(list.lane_linear_);
+  pad_lane(list.lane_power_);
+  pad_lane(list.lane_exp_);
   list.fingerprint_ = fingerprint_of(speeds);
   return list;
 }
@@ -403,12 +463,29 @@ double CompiledSpeedList::entry_intersect(const Entry& e, double slope) const {
       if (slope * px_[off] >= ps_[off]) return ps_[off] / slope;
       std::uint32_t lo = 0;
       std::uint32_t hi = last;
-      while (hi - lo > 1) {
-        const std::uint32_t mid = lo + (hi - lo) / 2;
-        if (ps_[off + mid] > slope * px_[off + mid])
-          lo = mid;
-        else
-          hi = mid;
+      const detail::simd::SimdKernels* kern = active_kernels();
+      if (kern != nullptr && e.count >= 16) {
+        // Vectorized bracketing scan over the SoA slab: count the segment
+        // starts still above the line. The predicate ps > slope·px is the
+        // exact comparison of the binary search below, and the model's
+        // decreasing speed(x)/x invariant makes it a true-prefix, so
+        // (count_above - 1) is the same bracketing segment the binary
+        // search lands on — bit-identically, since the arithmetic on the
+        // selected segment is unchanged. The clamp only matters for
+        // invalid (non-monotone) data, where either path is best-effort.
+        const std::size_t above = kern->piecewise_count_above(
+            px_.data() + off, ps_.data() + off, e.count, slope);
+        lo = static_cast<std::uint32_t>(
+            std::clamp<std::size_t>(above, 1, last) - 1);
+        hi = lo + 1;
+      } else {
+        while (hi - lo > 1) {
+          const std::uint32_t mid = lo + (hi - lo) / 2;
+          if (ps_[off + mid] > slope * px_[off + mid])
+            lo = mid;
+          else
+            hi = mid;
+        }
       }
       return detail::piecewise_segment_intersect(px_[off + lo], ps_[off + lo],
                                                  pm_[off + lo], slope,
@@ -433,25 +510,197 @@ double CompiledSpeedList::intersect(std::size_t i, double slope) const {
   return entry_intersect(entries_[i], slope);
 }
 
+/// One batch task of intersect_all: either a closed-form lane (lane 0..3,
+/// with its BatchLane) or the per-entry fallback list (lane 4). `count` is
+/// the real (unpadded) element count; chunks address element ranges.
+struct CompiledSpeedList::LaneSweep {
+  int lane = 0;  ///< 0=constant 1=linear 2=power 3=exp 4=other
+  const BatchLane* bl = nullptr;
+  const std::vector<std::uint32_t>* other = nullptr;
+  const detail::simd::SimdKernels* kern = nullptr;  ///< null => scalar batch
+  std::size_t count = 0;
+};
+
+namespace {
+/// Elements per parallel chunk — coarse enough that chunk handoff cost is
+/// noise against ~512 intersect solves, small enough that p=4096 still
+/// splits 8+ ways. Multiple of simd::kLanes (chunk interiors then start on
+/// vector boundaries) and the size of the on-stack result block below.
+constexpr std::size_t kLaneChunk = 512;
+}  // namespace
+
+void CompiledSpeedList::lane_chunk_intersect(const LaneSweep& sweep,
+                                             std::size_t begin,
+                                             std::size_t end, double slope,
+                                             std::span<double> out,
+                                             std::int64_t& scalar_fixups) const {
+  if (sweep.lane == 4) {
+    for (std::size_t j = begin; j < end; ++j) {
+      const std::uint32_t i = (*sweep.other)[j];
+      out[i] = entry_intersect(entries_[i], slope);
+    }
+    return;
+  }
+  const BatchLane& bl = *sweep.bl;
+  const std::size_t m = end - begin;
+  if (sweep.kern == nullptr) {
+    // Bit-exact scalar batch kernels over the chunk's sub-columns (the
+    // kernels loop over idx.size(), so padding never enters).
+    const std::span<const std::uint32_t> idx(bl.idx.data() + begin, m);
+    switch (sweep.lane) {
+      case 0:
+        detail::constant_intersect_batch(idx, {bl.a.data() + begin, m}, slope,
+                                         out);
+        break;
+      case 1:
+        detail::linear_decay_intersect_batch(idx, {bl.a.data() + begin, m},
+                                             {bl.b.data() + begin, m},
+                                             {bl.c.data() + begin, m}, slope,
+                                             out);
+        break;
+      case 2:
+        detail::power_decay_intersect_batch(
+            idx, {bl.a.data() + begin, m}, {bl.b.data() + begin, m},
+            {bl.c.data() + begin, m}, {bl.d.data() + begin, m}, slope, out);
+        break;
+      default:
+        detail::exp_decay_intersect_batch(idx, {bl.a.data() + begin, m},
+                                          {bl.b.data() + begin, m},
+                                          {bl.d.data() + begin, m}, slope,
+                                          out);
+        break;
+    }
+    return;
+  }
+  // Vector path: the kernel fills a dense on-stack block (begin is always a
+  // multiple of kLanes — chunks step by kLaneChunk — and reading up to the
+  // padded length stays inside the column because only the final chunk has
+  // a ragged end). NaN slots are the kernels' punt sentinel: recompute
+  // those with the exact scalar kernel, then scatter through idx.
+  assert(begin % detail::simd::kLanes == 0 && m <= kLaneChunk);
+  alignas(64) double block[kLaneChunk];
+  const std::size_t mpad = detail::simd::padded_size(m);
+  switch (sweep.lane) {
+    case 0:
+      sweep.kern->constant_batch(bl.a.data() + begin, mpad, slope, block);
+      break;
+    case 1:
+      sweep.kern->linear_batch(bl.a.data() + begin, bl.b.data() + begin,
+                               bl.c.data() + begin, mpad, slope, block);
+      break;
+    case 2:
+      sweep.kern->power_batch(bl.a.data() + begin, bl.b.data() + begin,
+                              bl.c.data() + begin, bl.d.data() + begin, mpad,
+                              slope, block);
+      break;
+    default:
+      sweep.kern->exp_batch(bl.a.data() + begin, bl.b.data() + begin, mpad,
+                            slope, block);
+      break;
+  }
+  if (sweep.lane <= 1) {
+    // Constant/linear kernels never punt (pure IEEE arithmetic, no NaN
+    // sentinels), so scatter without the fixup scan — the scan otherwise
+    // costs as much as the division-bound kernels themselves.
+    for (std::size_t j = 0; j < m; ++j) out[bl.idx[begin + j]] = block[j];
+    return;
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    double x = block[j];
+    if (std::isnan(x)) {
+      const std::size_t s = begin + j;
+      if (sweep.lane == 2) {
+        x = detail::power_decay_intersect(bl.a[s], bl.b[s], bl.c[s], bl.d[s],
+                                          slope);
+      } else {
+        x = detail::exp_decay_intersect(bl.a[s], bl.b[s], bl.d[s], slope);
+      }
+      ++scalar_fixups;
+    }
+    out[bl.idx[begin + j]] = x;
+  }
+}
+
 void CompiledSpeedList::intersect_all(double slope,
                                       std::span<double> out) const {
   assert(out.size() == entries_.size());
-  if (!lane_constant_.empty())
-    detail::constant_intersect_batch(lane_constant_.idx, lane_constant_.a,
-                                     slope, out);
-  if (!lane_linear_.empty())
-    detail::linear_decay_intersect_batch(lane_linear_.idx, lane_linear_.a,
-                                         lane_linear_.b, lane_linear_.c, slope,
-                                         out);
-  if (!lane_power_.empty())
-    detail::power_decay_intersect_batch(lane_power_.idx, lane_power_.a,
-                                        lane_power_.b, lane_power_.c,
-                                        lane_power_.d, slope, out);
-  if (!lane_exp_.empty())
-    detail::exp_decay_intersect_batch(lane_exp_.idx, lane_exp_.a, lane_exp_.b,
-                                      lane_exp_.d, slope, out);
-  for (const std::uint32_t i : batch_other_)
-    out[i] = entry_intersect(entries_[i], slope);
+  const detail::simd::SimdKernels* kern = active_kernels();
+
+  LaneSweep sweeps[5];
+  std::size_t nsweeps = 0;
+  const auto add_lane = [&](int lane, const BatchLane& bl) {
+    if (!bl.empty())
+      sweeps[nsweeps++] = LaneSweep{lane, &bl, nullptr, kern, bl.idx.size()};
+  };
+  add_lane(0, lane_constant_);
+  add_lane(1, lane_linear_);
+  add_lane(2, lane_power_);
+  add_lane(3, lane_exp_);
+  if (!batch_other_.empty())
+    sweeps[nsweeps++] =
+        LaneSweep{4, nullptr, &batch_other_, kern, batch_other_.size()};
+
+  std::int64_t fixups = 0;
+  bool split = false;
+  if (entries_.size() >= parallel_intersect_threshold() &&
+      detail::lane_pool_threads() > 0) {
+    struct Task {
+      const LaneSweep* sweep;
+      std::size_t begin, end;
+    };
+    std::vector<Task> tasks;
+    tasks.reserve(entries_.size() / kLaneChunk + nsweeps);
+    for (std::size_t i = 0; i < nsweeps; ++i)
+      for (std::size_t b = 0; b < sweeps[i].count; b += kLaneChunk)
+        tasks.push_back(
+            {&sweeps[i], b, std::min(b + kLaneChunk, sweeps[i].count)});
+    split = tasks.size() > 1;
+    std::atomic<std::int64_t> fix_total{0};
+    std::atomic<std::int64_t> sat_total{0};
+    detail::parallel_for_chunks(tasks.size(), [&](std::size_t t) {
+      // Bracket saturations inside a chunk land on the executing pool
+      // thread's tally; migrate each chunk's delta to the solving thread so
+      // SearchState's snapshot sees them no matter where the chunk ran.
+      std::int64_t local_fix = 0;
+      std::int64_t& tally = detail::bracket_saturation_tally();
+      const std::int64_t tally_before = tally;
+      const Task& task = tasks[t];
+      lane_chunk_intersect(*task.sweep, task.begin, task.end, slope, out,
+                           local_fix);
+      sat_total.fetch_add(tally - tally_before, std::memory_order_relaxed);
+      tally = tally_before;
+      if (local_fix != 0)
+        fix_total.fetch_add(local_fix, std::memory_order_relaxed);
+    });
+    detail::bracket_saturation_tally() +=
+        sat_total.load(std::memory_order_relaxed);
+    fixups = fix_total.load(std::memory_order_relaxed);
+  } else {
+    for (std::size_t i = 0; i < nsweeps; ++i) {
+      for (std::size_t b = 0; b < sweeps[i].count; b += kLaneChunk)
+        lane_chunk_intersect(sweeps[i], b,
+                             std::min(b + kLaneChunk, sweeps[i].count), slope,
+                             out, fixups);
+    }
+  }
+
+  // Lane occupancy / vector-path hit rate. Counter refs resolve once.
+  static obs::Counter& c_simd =
+      obs::metrics().counter(obs::names::kPartitionBatchSimdEntries);
+  static obs::Counter& c_scalar =
+      obs::metrics().counter(obs::names::kPartitionBatchScalarEntries);
+  static obs::Counter& c_splits =
+      obs::metrics().counter(obs::names::kPartitionBatchParallelSweeps);
+  const auto batched =
+      static_cast<std::int64_t>(entries_.size() - batch_other_.size());
+  const auto other = static_cast<std::int64_t>(batch_other_.size());
+  if (kern != nullptr) {
+    c_simd.add(batched - fixups);
+    if (other + fixups != 0) c_scalar.add(other + fixups);
+  } else if (batched + other != 0) {
+    c_scalar.add(batched + other);
+  }
+  if (split) c_splits.add(1);
 }
 
 std::vector<double> sizes_at(const CompiledSpeedList& speeds, double slope,

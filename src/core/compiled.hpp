@@ -24,6 +24,7 @@
 
 #include "core/partition.hpp"
 #include "core/speed_function.hpp"
+#include "util/aligned.hpp"
 
 namespace fpm::core {
 
@@ -88,9 +89,15 @@ class CompiledSpeedList {
   /// Solves slope·x = s_i(x) for every entry in one structure-of-arrays
   /// pass: the closed-form families (Constant, LinearDecay, PowerDecay,
   /// ExpDecay, unwrapped) run out of contiguous parameter lanes built at
-  /// compile time (detail/speed_kernels.hpp batch kernels); the remaining
-  /// entries fall back to the per-entry dispatch. out.size() must equal
-  /// size(). Bit-identical to calling intersect(i, slope) per entry.
+  /// compile time — through the vector kernels (detail/simd.hpp) when
+  /// SIMD is enabled, the scalar batch kernels otherwise — and the
+  /// remaining entries fall back to the per-entry dispatch. out.size()
+  /// must equal size(). With set_simd_kernels(false) (or FPM_SIMD=OFF)
+  /// this is bit-identical to calling intersect(i, slope) per entry;
+  /// with SIMD on, Constant/LinearDecay lanes and the piecewise scan stay
+  /// bit-identical while PowerDecay/ExpDecay roots may differ by a few
+  /// ULP (decision boundaries are punted to the exact scalar kernels —
+  /// see SimdBackend below and docs/performance.md).
   void intersect_all(double slope, std::span<double> out) const;
 
   /// How many entries run through a closed-form batch lane (the rest take
@@ -138,12 +145,23 @@ class CompiledSpeedList {
   double entry_intersect(const Entry& e, double slope) const;
 
   /// One SoA lane of the batch plan: the destination entry indices plus the
-  /// parameter columns the family's batch kernel consumes.
+  /// parameter columns the family's batch kernel consumes. Columns are
+  /// 64-byte aligned and padded to the vector width (pad slots duplicate
+  /// the last real element) so the SIMD kernels can stream whole registers;
+  /// idx keeps the real entry count. The scalar batch kernels simply ignore
+  /// the padding (they loop over idx.size()).
   struct BatchLane {
+    using Column = std::vector<double, util::AlignedAllocator<double, 64>>;
     std::vector<std::uint32_t> idx;
-    std::vector<double> a, b, c, d;
+    Column a, b, c, d;
     bool empty() const noexcept { return idx.empty(); }
   };
+
+  struct LaneSweep;  // one chunk-parallel batch task (compiled.cpp)
+  void lane_chunk_intersect(const LaneSweep& sweep, std::size_t begin,
+                            std::size_t end, double slope,
+                            std::span<double> out,
+                            std::int64_t& scalar_fixups) const;
 
   std::vector<Entry> entries_;
   // Batch plan for intersect_all(), grouped at compile time: one lane per
@@ -217,6 +235,41 @@ void set_compiled_partitioning(bool enabled) noexcept;
 /// Bit-identical either way; off measures the per-entry dispatch baseline.
 bool batched_kernels_enabled() noexcept;
 void set_batched_kernels(bool enabled) noexcept;
+
+/// Which vector implementation intersect_all's batch lanes are running on.
+enum class SimdBackend : std::uint8_t {
+  Disabled,  ///< FPM_SIMD=OFF build, or set_simd_kernels(false)
+  Portable,  ///< GCC vector-extension codegen under the baseline flags
+  Avx2,      ///< AVX2+FMA variant (runtime-dispatched or baseline -march)
+};
+
+/// Process-wide switch (default on) selecting whether the batch lanes of
+/// intersect_all run the vector kernels of detail/simd.hpp or the scalar
+/// batch kernels. Unlike the two toggles above this one is NOT bit-neutral:
+/// the vector power/exp kernels replace libm with polynomial exp/log and
+/// may differ from the scalar path in the last ULPs (the constant/linear
+/// lanes and the piecewise scan stay bit-identical). set_simd_kernels(false)
+/// is the bit-exact scalar mode; the SIMD mode is gated by toleranced
+/// equivalence plus exact optimality invariants in tests/test_simd.cpp.
+/// Per-entry intersect(i, slope) is always scalar and bit-identical to the
+/// virtual path regardless of this switch.
+bool simd_kernels_enabled() noexcept;
+void set_simd_kernels(bool enabled) noexcept;
+
+/// True when the build carries the vector kernels at all (FPM_SIMD=ON),
+/// independent of the runtime toggle.
+bool simd_kernels_available() noexcept;
+
+/// The backend intersect_all would use right now.
+SimdBackend active_simd_backend() noexcept;
+
+/// Entry-count threshold (default 1024) above which intersect_all splits
+/// its batch lanes into chunks across the detail lane pool (the calling
+/// thread participates; with no helper threads the sweep stays serial).
+/// Results are bit-identical either way: chunks write disjoint ranges and
+/// reductions stay in entry order.
+std::size_t parallel_intersect_threshold() noexcept;
+void set_parallel_intersect_threshold(std::size_t entries) noexcept;
 
 /// RAII thread-local hint installing an already-compiled model for a
 /// specific SpeedList: while in scope, detail::SearchState construction

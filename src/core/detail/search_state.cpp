@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/detail/speed_kernels.hpp"
+
 namespace fpm::core::detail {
 
 namespace {
@@ -25,7 +27,9 @@ constexpr int kWarmProbeBudget = 12;
 SearchState::SearchState(const SpeedList& speeds, std::int64_t n,
                          const SearchObserver* observer,
                          const PartitionHint* hint)
-    : n_(static_cast<double>(n)), observer_(observer) {
+    : n_(static_cast<double>(n)),
+      saturation_base_(bracket_saturation_tally()),
+      observer_(observer) {
   speeds_.reserve(speeds.size());
   if (compiled_partitioning_enabled()) {
     // Compiled mode: flatten once, then run the bracket detection and both
@@ -69,6 +73,10 @@ SearchState::SearchState(const SpeedList& speeds, std::int64_t n,
   intersections_ += static_cast<int>(2 * speeds_.size());
   if (observing())
     emit(SearchStepKind::Bracket, bracket_.hi_slope, false, kNoProcessor);
+}
+
+std::int64_t SearchState::bracket_saturations() const noexcept {
+  return bracket_saturation_tally() - saturation_base_;
 }
 
 bool SearchState::try_warm_bracket(const PartitionHint& hint, std::int64_t n,

@@ -87,6 +87,12 @@ class SearchState {
     return counters_.intersect_solves;
   }
 
+  /// Generic-bisection bracket saturations observed since this state was
+  /// constructed (the thread-local tally delta — intersect_all migrates
+  /// pool-thread chunks back to the solving thread, so the delta is
+  /// complete). Read from the constructing thread, like the counters.
+  std::int64_t bracket_saturations() const noexcept;
+
   /// What the constructor did with the warm-start hint.
   WarmStart warmstart() const noexcept { return warmstart_; }
 
@@ -159,6 +165,7 @@ class SearchState {
   int iterations_ = 0;
   int intersections_ = 0;
   EvalCounters counters_;
+  std::int64_t saturation_base_ = 0;  ///< tally snapshot at construction
   const SearchObserver* observer_ = nullptr;
   WarmStart warmstart_ = WarmStart::None;
 };

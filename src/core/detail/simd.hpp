@@ -1,0 +1,87 @@
+// Portable SIMD shim under the batched intersect lanes of core/compiled.*.
+//
+// The scalar batch kernels in speed_kernels.hpp walk one lane entry at a
+// time; at p in the thousands the per-line candidate evaluation is the whole
+// solve, so the four closed-form lanes and the piecewise segment scan get a
+// vector path here. The implementation uses GCC/Clang vector extensions
+// (double __attribute__((vector_size(32))), four lanes) rather than raw
+// intrinsics or std::experimental::simd: the extension types compile to real
+// vector code on every target the repo builds for (SSE2 and NEON from the
+// portable variant, AVX2+FMA from a second compilation of the same source
+// under `#pragma GCC target`), and the scalar fallback is the pre-existing
+// batch kernels, untouched.
+//
+// Numerics contract: the constant and linear-decay kernels are pure
+// rational arithmetic evaluated in the same order as the scalar kernels and
+// are bit-identical to them. The power- and exp-decay kernels replace the
+// libm exp/log inside the Newton iterations with 4-wide polynomial
+// implementations (vexp_/vlog_ in the .inc) that agree with libm to a few
+// ULPs but not bitwise; they are gated by the toleranced-equivalence tests
+// in tests/test_simd.cpp, and any lane whose result could be
+// *decision*-sensitive to those ULPs — near exp-decay's underflow floor,
+// near power-decay's 2^256 delegation threshold, or outside the vexp clamp
+// range — is punted back to the scalar kernel by writing a NaN sentinel
+// that the caller resolves (see scalar-fixup handling in compiled.cpp).
+// set_simd_kernels(false) (declared in core/compiled.hpp) restores the
+// bit-exact scalar batch path process-wide.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/aligned.hpp"
+
+namespace fpm::core::detail::simd {
+
+/// Vector width in doubles. Columns handed to the kernels must be padded to
+/// a multiple of kLanes (pad slots duplicate the last real element so the
+/// vector tail computes harmless, in-domain garbage).
+inline constexpr std::size_t kLanes = 4;
+
+/// Pads `n` up to the next multiple of kLanes.
+constexpr std::size_t padded_size(std::size_t n) noexcept {
+  return (n + kLanes - 1) / kLanes * kLanes;
+}
+
+/// 64-byte-aligned column storage for BatchLane / piecewise slabs: every
+/// vector load in the kernels is then naturally aligned.
+using LaneVector = std::vector<double, util::AlignedAllocator<double, 64>>;
+
+/// One resolved set of vector entry points. All array arguments are
+/// kLanes-padded and 64-byte aligned; `m` is the padded length. Results are
+/// written densely to `res` (same indexing as the columns, NOT scattered
+/// through an idx column — the caller scatters). Kernels that can punt
+/// (power/exp) write a NaN sentinel into `res` for lanes the scalar kernel
+/// must recompute; constant/linear never punt.
+struct SimdKernels {
+  void (*constant_batch)(const double* a, std::size_t m, double slope,
+                         double* res);
+  void (*linear_batch)(const double* a, const double* b, const double* c,
+                       std::size_t m, double slope, double* res);
+  void (*power_batch)(const double* a, const double* b, const double* c,
+                      const double* d, std::size_t m, double slope,
+                      double* res);
+  void (*exp_batch)(const double* a, const double* b, std::size_t m,
+                    double slope, double* res);
+  /// Counts piecewise segment starts with point-ratio above `slope`, i.e.
+  /// |{j < count : ps[j] > slope * px[j]}|. Under the monotone-predicate
+  /// invariant of the piecewise slabs this equals the length of the true
+  /// prefix, so (count - 1) with a >=1 clamp is the bracketing segment —
+  /// the same answer the scalar binary search produces, bit-identically,
+  /// because the per-segment arithmetic is unchanged. `px`/`ps` need not
+  /// be padded; the kernel handles the tail scalar.
+  std::size_t (*piecewise_count_above)(const double* px, const double* ps,
+                                       std::size_t count, double slope);
+  const char* name;  ///< "portable" | "avx2"
+};
+
+/// The best vector implementation for this process, chosen once at first
+/// use (AVX2+FMA variant when the build carries one and the CPU supports
+/// it, otherwise the portable variant). Returns nullptr when the build was
+/// configured with FPM_SIMD=OFF — callers then use the scalar batch path.
+/// Independent of the runtime toggle: compiled.cpp consults
+/// simd_kernels_enabled() first.
+const SimdKernels* resolved_simd_kernels() noexcept;
+
+}  // namespace fpm::core::detail::simd

@@ -1,0 +1,81 @@
+// Compiles the vector kernels of simd_kernels.inc once per code-generation
+// variant and resolves the best one for this process at first use.
+//
+//  - `portable`: built with the translation unit's baseline flags. On a
+//    default x86-64 build that means SSE2 codegen from the same source; on
+//    an explicit -march=x86-64-v3 (or NEON) build the "portable" variant
+//    already carries the wide instructions, so no second variant is needed
+//    and its table is named accordingly.
+//  - `avx2`: on x86-64 GCC builds *without* AVX2 in the baseline, the same
+//    source is recompiled under `#pragma GCC target("avx2,fma")` and picked
+//    at runtime via __builtin_cpu_supports, so stock builds still run AVX2
+//    on the machines that have it.
+//
+// FPM_SIMD=OFF defines FPM_SIMD_DISABLED and strips every variant: the
+// resolver returns nullptr and core/compiled.* stays on the scalar batch
+// kernels of speed_kernels.hpp.
+
+#include "core/detail/simd.hpp"
+
+#ifndef FPM_SIMD_DISABLED
+
+#include <cmath>
+#include <cstdint>
+
+namespace fpm::core::detail::simd {
+
+// The 256-bit vector types are passed between `static` helpers inside this
+// translation unit only, so GCC's "AVX vector return without AVX enabled
+// changes the ABI" warning (-Wpsabi) does not apply: nothing with a vector
+// signature is visible across TU boundaries (the kKernels entry points take
+// and return scalars/pointers).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpsabi"
+
+namespace portable {
+#ifdef __AVX2__
+#define FPM_SIMD_VARIANT_NAME "avx2"  // baseline flags already target AVX2
+#else
+#define FPM_SIMD_VARIANT_NAME "portable"
+#endif
+#include "core/detail/simd_kernels.inc"
+#undef FPM_SIMD_VARIANT_NAME
+}  // namespace portable
+
+#if defined(__GNUC__) && !defined(__clang__) && defined(__x86_64__) && \
+    !defined(__AVX2__)
+#define FPM_SIMD_HAVE_AVX2_VARIANT 1
+#pragma GCC push_options
+#pragma GCC target("avx2,fma")
+namespace avx2 {
+#define FPM_SIMD_VARIANT_NAME "avx2"
+#include "core/detail/simd_kernels.inc"
+#undef FPM_SIMD_VARIANT_NAME
+}  // namespace avx2
+#pragma GCC pop_options
+#endif
+
+#pragma GCC diagnostic pop
+
+const SimdKernels* resolved_simd_kernels() noexcept {
+  static const SimdKernels* const chosen = [] {
+#ifdef FPM_SIMD_HAVE_AVX2_VARIANT
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+      return &avx2::kKernels;
+#endif
+    return &portable::kKernels;
+  }();
+  return chosen;
+}
+
+}  // namespace fpm::core::detail::simd
+
+#else  // FPM_SIMD_DISABLED
+
+namespace fpm::core::detail::simd {
+
+const SimdKernels* resolved_simd_kernels() noexcept { return nullptr; }
+
+}  // namespace fpm::core::detail::simd
+
+#endif  // FPM_SIMD_DISABLED

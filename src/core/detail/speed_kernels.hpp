@@ -67,6 +67,20 @@ inline double stepped_step_factor(double at, double to, double width,
 // same beyond-the-range semantics as SpeedFunction::intersect.
 // -------------------------------------------------------------------------
 
+/// Thread-local tally of generic_intersect bracket saturations: expansions
+/// that hit the 256-doubling cap with the curve still above the line. A
+/// saturated solve silently returns the midpoint of a bracket that does NOT
+/// straddle the crossing — the answer is the furthest representable probe
+/// (~max_size·2^256), not the true intersection. Callers that care
+/// (detail::SearchState -> PartitionStats::bracket_saturations, rolled into
+/// the partition.intersect.bracket_saturations obs counter) snapshot this
+/// tally around a solve; the counter is cheap because it only moves on the
+/// (pathological) saturating slopes.
+inline std::int64_t& bracket_saturation_tally() noexcept {
+  thread_local std::int64_t tally = 0;
+  return tally;
+}
+
 /// The default bisection of SpeedFunction::intersect, templated over the
 /// speed callable so the compiled layer can run it without virtual calls.
 /// `speed` must be the exact function the owning object exposes.
@@ -80,7 +94,13 @@ inline double generic_intersect(SpeedFn&& speed, double max_size,
   // partitioning problem stays well-posed even when n exceeds the sum of
   // the modelled ranges.
   double hi = max_size;
-  for (int i = 0; i < 256 && speed(hi) >= slope * hi; ++i) hi *= 2.0;
+  int doublings = 0;
+  while (doublings < 256 && speed(hi) >= slope * hi) {
+    hi *= 2.0;
+    ++doublings;
+  }
+  if (doublings == 256 && speed(hi) >= slope * hi)
+    ++bracket_saturation_tally();  // saturated: [0, hi] does not straddle
   double lo = 0.0;  // ratio(lo) > slope (limit at 0+)
   // 200 halvings of [0, b] reach ~b/2^200: far below any representable
   // spacing, so the loop is effectively exact; bail early on fixpoint.
@@ -124,7 +144,12 @@ inline double linear_decay_intersect(double s0, double max_size, double floor,
 /// Lines shallow enough to cross beyond max_size·2^256 — the furthest the
 /// generic bisection's bracket expansion reaches — are delegated to that
 /// bisection so the two paths stay interchangeable even where the generic
-/// answer is its saturated bracket rather than the true crossing.
+/// answer is its saturated bracket rather than the true crossing. Such a
+/// delegated solve saturates the bisection's bracket by construction and
+/// therefore bumps bracket_saturation_tally(): the returned value is the
+/// saturated bracket's midpoint (~max_size·2^255), a deliberate stand-in
+/// for an astronomically distant crossing, and the tally is how that loss
+/// of meaning becomes observable instead of silent.
 inline double power_decay_intersect(double s0, double x0, double k,
                                     double max_size, double slope) {
   const double c0 = std::log(slope) - std::log(s0);

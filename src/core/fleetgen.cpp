@@ -1,0 +1,129 @@
+#include "core/fleetgen.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "core/piecewise.hpp"
+
+namespace fpm::core {
+namespace {
+
+/// SplitMix64 (Steele/Lea/Flood): tiny, full-period, and identical on every
+/// platform — unlike std:: distributions, whose outputs may differ across
+/// standard libraries, which would make "fleet(p, seed)" unreproducible.
+struct SplitMix64 {
+  std::uint64_t state;
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [0, 1) with 53 random bits.
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1p-53;
+  }
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+  /// Log-uniform in [lo, hi): equal mass per decade.
+  double log_uniform(double lo, double hi) noexcept {
+    return lo * std::exp(uniform() * std::log(hi / lo));
+  }
+  /// Uniform integer in [lo, hi].
+  std::size_t uniform_index(std::size_t lo, std::size_t hi) noexcept {
+    return lo + static_cast<std::size_t>(next() % (hi - lo + 1));
+  }
+};
+
+}  // namespace
+
+SyntheticFleet make_synthetic_fleet(std::size_t p, std::uint64_t seed,
+                                    const FleetMix& mix) {
+  SyntheticFleet fleet;
+  fleet.owned.reserve(p);
+  // Mix seed bits so nearby seeds produce unrelated streams.
+  SplitMix64 rng{seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL};
+
+  const double weights[6] = {mix.constant,  mix.linear_decay, mix.power_decay,
+                             mix.exp_decay, mix.piecewise,    mix.stepped};
+  double total = 0.0;
+  for (const double w : weights) total += w > 0.0 ? w : 0.0;
+
+  for (std::size_t i = 0; i < p; ++i) {
+    const double s0 = rng.log_uniform(50.0, 5000.0);
+    const double cap = rng.log_uniform(1e6, 1e9);
+    int family = 0;  // all-zero mix degrades to constant
+    if (total > 0.0) {
+      double draw = rng.uniform() * total;
+      for (int f = 0; f < 6; ++f) {
+        const double w = weights[f] > 0.0 ? weights[f] : 0.0;
+        if (draw < w) {
+          family = f;
+          break;
+        }
+        draw -= w;
+      }
+    }
+    switch (family) {
+      case 0:
+        fleet.owned.push_back(std::make_shared<ConstantSpeed>(s0, cap));
+        break;
+      case 1:
+        fleet.owned.push_back(std::make_shared<LinearDecaySpeed>(
+            s0, cap, rng.log_uniform(1e-4, 1e-2)));
+        break;
+      case 2:
+        fleet.owned.push_back(std::make_shared<PowerDecaySpeed>(
+            s0, cap * rng.uniform(0.01, 0.5), rng.uniform(0.6, 3.0), cap));
+        break;
+      case 3:
+        fleet.owned.push_back(std::make_shared<ExpDecaySpeed>(
+            s0, cap * rng.uniform(0.05, 0.5), cap));
+        break;
+      case 4: {
+        // Strictly decreasing speeds over a geometric size grid: decreasing
+        // s with increasing x keeps speed(x)/x strictly decreasing, so the
+        // points always satisfy the piecewise shape requirement.
+        const std::size_t npts = rng.uniform_index(8, 32);
+        std::vector<SpeedPoint> pts;
+        pts.reserve(npts);
+        const double x_first = cap * 1e-4;
+        const double step =
+            std::pow(cap / x_first,
+                     1.0 / static_cast<double>(npts - 1));
+        double x = x_first;
+        double s = s0;
+        for (std::size_t j = 0; j < npts; ++j) {
+          pts.push_back({x, s});
+          x *= step;
+          s *= rng.uniform(0.80, 0.98);
+        }
+        fleet.owned.push_back(
+            std::make_shared<PiecewiseLinearSpeed>(std::move(pts)));
+        break;
+      }
+      default: {
+        // Two to three memory-hierarchy cliffs with decreasing plateaus.
+        const std::size_t nsteps = rng.uniform_index(2, 3);
+        std::vector<SteppedSpeed::Step> steps;
+        steps.reserve(nsteps);
+        double at = cap * rng.uniform(1e-4, 1e-3);
+        double level = s0;
+        for (std::size_t j = 0; j < nsteps; ++j) {
+          level *= rng.uniform(0.1, 0.5);
+          steps.push_back({at, level, at * rng.uniform(0.05, 0.3)});
+          at *= rng.uniform(20.0, 200.0);
+        }
+        fleet.owned.push_back(
+            std::make_shared<SteppedSpeed>(s0, std::move(steps), cap));
+        break;
+      }
+    }
+  }
+  return fleet;
+}
+
+}  // namespace fpm::core

@@ -103,6 +103,7 @@ HierarchicalResult partition_hierarchical(
     result.stats.intersections += inner.stats.intersections;
     result.stats.speed_evals += inner.stats.speed_evals;
     result.stats.intersect_solves += inner.stats.intersect_solves;
+    result.stats.bracket_saturations += inner.stats.bracket_saturations;
     result.within.push_back(std::move(inner.distribution));
   }
   return result;

@@ -63,6 +63,7 @@ PartitionResult partition_interpolation(const SpeedList& speeds,
   result.distribution = fine_tune(state.counted_speeds(), n, state.small());
   result.stats.speed_evals = state.speed_evals();
   result.stats.intersect_solves = state.intersect_solves();
+  result.stats.bracket_saturations = state.bracket_saturations();
   result.stats.warmstart = state.warmstart();
   if (result.stats.warmstart == WarmStart::Hit)
     result.stats.iterations_saved = std::max(

@@ -37,6 +37,7 @@ PartitionResult partition_modified(const SpeedList& speeds, std::int64_t n,
   result.distribution = fine_tune(state.counted_speeds(), n, state.small());
   result.stats.speed_evals = state.speed_evals();
   result.stats.intersect_solves = state.intersect_solves();
+  result.stats.bracket_saturations = state.bracket_saturations();
   result.stats.warmstart = state.warmstart();
   if (result.stats.warmstart == WarmStart::Hit)
     result.stats.iterations_saved = std::max(

@@ -114,6 +114,14 @@ struct PartitionStats {
   /// gates on them.
   std::int64_t search_speed_evals = 0;
   std::int64_t search_intersect_solves = 0;
+  /// Generic-bisection bracket expansions that hit the 256-doubling cap
+  /// with the curve still above the line: those solves returned the
+  /// saturated bracket's midpoint (~max_size·2^256), a stand-in for a
+  /// crossing too distant to represent, not a true intersection. Nonzero
+  /// means some candidate line was astronomically shallower than every
+  /// model — usually a modelling problem worth surfacing, hence the
+  /// partition.intersect.bracket_saturations obs counter.
+  std::int64_t bracket_saturations = 0;
 };
 
 /// A partitioner's output: the integer allocation plus diagnostics.

@@ -193,6 +193,9 @@ PartitionResult partition(const SpeedList& speeds, std::int64_t n,
   reg.counter(obs::names::kPartitionSpeedEvals).add(result.stats.speed_evals);
   reg.counter(obs::names::kPartitionIntersectSolves)
       .add(result.stats.intersect_solves);
+  if (result.stats.bracket_saturations != 0)
+    reg.counter(obs::names::kPartitionBracketSaturations)
+        .add(result.stats.bracket_saturations);
   if (result.stats.warmstart == WarmStart::Hit) {
     reg.counter(obs::names::kPartitionWarmstartHits).add(1);
     reg.counter(obs::names::kPartitionWarmstartIterationsSaved)

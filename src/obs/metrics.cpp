@@ -295,7 +295,7 @@ MetricsRegistry& metrics() {
 }
 
 std::span<const MetricInfo> metric_catalogue() {
-  static constexpr std::array<MetricInfo, 28> kCatalogue{{
+  static constexpr std::array<MetricInfo, 32> kCatalogue{{
       {"partition.invocations.<algorithm>", "counter",
        "core::partition() calls per registry algorithm (the paper's "
        "basic/modified/combined family, Figs. 7-15)"},
@@ -305,6 +305,20 @@ std::span<const MetricInfo> metric_catalogue() {
       {names::kPartitionIntersectSolves, "counter",
        "c*x = s(x) solves — the paper's complexity unit for the "
        "bisection searches"},
+      {names::kPartitionBracketSaturations, "counter",
+       "generic-bisection bracket expansions that hit the 256-doubling cap "
+       "still above the line: the solve returned a saturated-bracket "
+       "midpoint, not a true crossing (slope far below every model)"},
+      {names::kPartitionBatchSimdEntries, "counter",
+       "intersect_all entries solved by the vector batch kernels (SIMD "
+       "lane occupancy of the compiled SoA plan)"},
+      {names::kPartitionBatchScalarEntries, "counter",
+       "intersect_all entries solved scalar: per-entry fallback lane plus "
+       "vector-kernel punts recomputed with libm (hit rate = simd / "
+       "(simd + scalar))"},
+      {names::kPartitionBatchParallelSweeps, "counter",
+       "intersect_all sweeps that split their lanes across the lane pool "
+       "(entry count above parallel_intersect_threshold)"},
       {names::kPartitionWarmstartHits, "counter",
        "searches whose PartitionHint bracket verified, replacing the "
        "Fig. 18 cold bracket with a tight one around the previous slope"},

@@ -197,6 +197,22 @@ inline constexpr const char* kPartitionInvocationsPrefix =
 inline constexpr const char* kPartitionSpeedEvals = "partition.speed_evals";
 inline constexpr const char* kPartitionIntersectSolves =
     "partition.intersect_solves";
+// Bracket expansions of the generic bisection that hit the 256-doubling cap
+// with the curve still above the line (the solve then returns the saturated
+// bracket's midpoint, not a true crossing — see speed_kernels.hpp).
+inline constexpr const char* kPartitionBracketSaturations =
+    "partition.intersect.bracket_saturations";
+// Batch-lane occupancy of CompiledSpeedList::intersect_all: entries solved
+// by the vector kernels vs entries that took a scalar path (per-entry
+// fallback lane, or vector-kernel punts recomputed scalar). The vector-path
+// hit rate is simd_entries / (simd_entries + scalar_entries). One
+// parallel_sweeps tick per intersect_all that split across the lane pool.
+inline constexpr const char* kPartitionBatchSimdEntries =
+    "partition.batch.simd_entries";
+inline constexpr const char* kPartitionBatchScalarEntries =
+    "partition.batch.scalar_entries";
+inline constexpr const char* kPartitionBatchParallelSweeps =
+    "partition.batch.parallel_sweeps";
 // Warm-start layer (PartitionHint): verified-hint hits, rejected hints, and
 // the iterations saved versus each hint's cold baseline.
 inline constexpr const char* kPartitionWarmstartHits =

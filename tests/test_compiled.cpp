@@ -17,6 +17,20 @@ namespace {
 
 using core::CompiledSpeedList;
 
+/// RAII guard pinning the bit-exact scalar batch kernels: the SIMD lanes
+/// are only ULP-equivalent to the virtual path (tests/test_simd.cpp owns
+/// that gate), so the bit-identity assertions below run in scalar mode.
+class ScalarKernelsGuard {
+ public:
+  ScalarKernelsGuard() : old_(core::simd_kernels_enabled()) {
+    core::set_simd_kernels(false);
+  }
+  ~ScalarKernelsGuard() { core::set_simd_kernels(old_); }
+
+ private:
+  bool old_;
+};
+
 /// RAII guard flipping the process-wide compiled-partitioning switch.
 class CompiledToggle {
  public:
@@ -150,6 +164,7 @@ TEST(Compiled, ExpDecayClosedFormMatchesBisection) {
 }
 
 TEST(Compiled, AllAlgorithmsBitIdenticalAcrossToggle) {
+  ScalarKernelsGuard scalar;
   std::vector<test::Ensemble> ensembles = equivalence_ensembles();
   for (const test::Ensemble& e : ensembles) {
     const core::SpeedList list = e.list();
@@ -186,6 +201,7 @@ TEST(Compiled, AllAlgorithmsBitIdenticalAcrossToggle) {
 }
 
 TEST(Compiled, BracketAndSizesMatchVirtualHelpers) {
+  ScalarKernelsGuard scalar;
   for (const test::Ensemble& e : equivalence_ensembles()) {
     const core::SpeedList list = e.list();
     const CompiledSpeedList compiled = CompiledSpeedList::compile(list);

@@ -1,0 +1,368 @@
+// Equivalence and edge-case coverage for the vectorized batch-intersect
+// kernels (core/detail/simd.hpp wired through CompiledSpeedList):
+//
+//  * the ULP-toleranced SIMD-vs-scalar gate on intersect_all, with the
+//    virtual SpeedFunction path as the oracle,
+//  * bit-identity guarantees that survive the toggle (per-entry intersect,
+//    scalar batch mode, the piecewise vector scan),
+//  * speed_kernels.hpp edge cases near the punt boundaries: exp-decay's
+//    1e-280 underflow floor plateau, power-decay's beyond-2^256 delegation
+//    to generic_intersect (and its bracket-saturation tally), piecewise
+//    tail intersects across rising / flat / falling final segments,
+//  * the registry-wide equivalence gate (exact sum to n, makespan within
+//    fine-tune tolerance) for every algorithm with SIMD on,
+//  * the O(p)-parallel intersect_all path and the synthetic fleet
+//    generator's determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/detail/parallel.hpp"
+#include "core/detail/speed_kernels.hpp"
+#include "core/detail/search_state.hpp"
+#include "core/fleetgen.hpp"
+#include "core/fpm.hpp"
+
+namespace fpm {
+namespace {
+
+using core::CompiledSpeedList;
+
+/// RAII guard around the process-wide SIMD kernel toggle.
+class SimdToggle {
+ public:
+  explicit SimdToggle(bool enabled) : old_(core::simd_kernels_enabled()) {
+    core::set_simd_kernels(enabled);
+  }
+  ~SimdToggle() { core::set_simd_kernels(old_); }
+
+ private:
+  bool old_;
+};
+
+/// RAII guard around the parallel-sweep threshold.
+class ThresholdGuard {
+ public:
+  explicit ThresholdGuard(std::size_t t)
+      : old_(core::parallel_intersect_threshold()) {
+    core::set_parallel_intersect_threshold(t);
+  }
+  ~ThresholdGuard() { core::set_parallel_intersect_threshold(old_); }
+
+ private:
+  std::size_t old_;
+};
+
+constexpr double kUlpTolerance = 1e-12;  // relative, generous vs ~1e-15 seen
+
+double rel_diff(double a, double b) {
+  const double denom = std::max(std::abs(b), 1e-300);
+  return std::abs(a - b) / denom;
+}
+
+/// An unknown SpeedFunction subclass: compiles to a Generic entry, so every
+/// intersect goes through the generic bisection of speed_kernels.hpp.
+class OpaqueConstantSpeed final : public core::SpeedFunction {
+ public:
+  OpaqueConstantSpeed(double s0, double max_size) : s0_(s0), max_(max_size) {}
+  double speed(double) const override { return s0_; }
+  double max_size() const override { return max_; }
+
+ private:
+  double s0_;
+  double max_;
+};
+
+std::vector<double> sweep_slopes() {
+  std::vector<double> slopes;
+  for (int i = -6; i <= 6; i += 2) slopes.push_back(std::pow(10.0, i));
+  return slopes;
+}
+
+TEST(Simd, IntersectAllMatchesVirtualOracleWithinTolerance) {
+  const core::SyntheticFleet fleet = core::make_synthetic_fleet(512, 7);
+  const core::SpeedList list = fleet.list();
+  const auto c = CompiledSpeedList::compile(list);
+  std::vector<double> xs(list.size());
+  SimdToggle simd(true);
+  for (const double slope : sweep_slopes()) {
+    c.intersect_all(slope, xs);
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      EXPECT_LE(rel_diff(xs[i], list[i]->intersect(slope)), kUlpTolerance)
+          << "entry " << i << " slope " << slope;
+    }
+  }
+}
+
+TEST(Simd, ScalarToggleRestoresBitIdentity) {
+  const core::SyntheticFleet fleet = core::make_synthetic_fleet(256, 11);
+  const core::SpeedList list = fleet.list();
+  const auto c = CompiledSpeedList::compile(list);
+  std::vector<double> xs(list.size());
+  SimdToggle scalar(false);
+  for (const double slope : sweep_slopes()) {
+    c.intersect_all(slope, xs);
+    for (std::size_t i = 0; i < list.size(); ++i)
+      EXPECT_EQ(xs[i], list[i]->intersect(slope))
+          << "entry " << i << " slope " << slope;
+  }
+}
+
+TEST(Simd, PerEntryIntersectBitIdenticalRegardlessOfToggle) {
+  const core::SyntheticFleet fleet = core::make_synthetic_fleet(128, 3);
+  const core::SpeedList list = fleet.list();
+  const auto c = CompiledSpeedList::compile(list);
+  for (const bool enabled : {true, false}) {
+    SimdToggle toggle(enabled);
+    for (const double slope : sweep_slopes())
+      for (std::size_t i = 0; i < list.size(); ++i)
+        EXPECT_EQ(c.intersect(i, slope), list[i]->intersect(slope))
+            << "entry " << i << " slope " << slope << " simd " << enabled;
+  }
+}
+
+// --- speed_kernels.hpp edge cases, against the virtual oracle. ----------
+
+TEST(Simd, ExpDecayUnderflowFloorPlateau) {
+  // Deep in the tail the curve underflows the 1e-280 floor: the crossing
+  // is the plateau point floor/slope for both paths. Several lambdas so a
+  // whole batch lane runs the vector kernel.
+  std::vector<std::shared_ptr<const core::SpeedFunction>> owned;
+  for (int i = 0; i < 8; ++i)
+    owned.push_back(std::make_shared<core::ExpDecaySpeed>(
+        100.0 + i, 1.0 + 0.125 * i, 1e6));
+  core::SpeedList list;
+  for (const auto& f : owned) list.push_back(f.get());
+  const auto c = CompiledSpeedList::compile(list);
+  std::vector<double> xs(list.size());
+  // Slopes shallow enough that the root lands far beyond the floor
+  // crossing (s0·e^-x/lambda < 1e-280 at the line), plus one regular one.
+  for (const double slope : {1e-290, 1e-300, 0.5}) {
+    SimdToggle simd(true);
+    c.intersect_all(slope, xs);
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const double oracle = list[i]->intersect(slope);
+      EXPECT_LE(rel_diff(xs[i], oracle), kUlpTolerance)
+          << "entry " << i << " slope " << slope;
+      if (slope < 1e-285) {
+        // On the plateau the answer is exactly floor/slope — one IEEE
+        // division in both kernels, so exact equality is expected.
+        EXPECT_EQ(xs[i], oracle) << "entry " << i << " slope " << slope;
+      }
+    }
+  }
+}
+
+TEST(Simd, PowerDecayBeyondDelegationThreshold) {
+  // A slope so shallow the closed-form root exceeds max_size·2^256: the
+  // scalar kernel delegates to generic_intersect; the vector kernel must
+  // punt (NaN sentinel) so the same scalar delegation decides. Results are
+  // therefore exactly equal, and the generic bracket saturates (root far
+  // beyond max_size·2^256), which the tally must record.
+  std::vector<std::shared_ptr<const core::SpeedFunction>> owned;
+  for (int i = 0; i < 8; ++i)
+    owned.push_back(std::make_shared<core::PowerDecaySpeed>(
+        100.0 + i, 10.0, 0.001 + 0.0001 * i, 1e6));
+  core::SpeedList list;
+  for (const auto& f : owned) list.push_back(f.get());
+  const auto c = CompiledSpeedList::compile(list);
+  std::vector<double> xs(list.size());
+  const double slope = 1e-120;  // root ~ e^280, max_size·2^256 ~ 1e83
+
+  std::int64_t& tally = core::detail::bracket_saturation_tally();
+  const std::int64_t before = tally;
+  SimdToggle simd(true);
+  c.intersect_all(slope, xs);
+  EXPECT_GT(tally, before) << "delegated brackets should saturate";
+  for (std::size_t i = 0; i < list.size(); ++i)
+    EXPECT_EQ(xs[i], list[i]->intersect(slope)) << "entry " << i;
+}
+
+TEST(Simd, PiecewiseTailIntersectAcrossFinalSegmentShapes) {
+  // >= 16 breakpoints engages the vectorized segment scan. Three final
+  // segment shapes — rising (allowed while s/x still falls), flat, and
+  // falling — exercised at slopes crossing the head, the interior, and the
+  // extrapolated tail.
+  const auto make = [](double last_step) {
+    std::vector<core::SpeedPoint> pts;
+    double x = 1e3, s = 500.0;
+    for (int j = 0; j < 19; ++j) {
+      pts.push_back({x, s});
+      x *= 1.9;
+      s *= 0.93;
+    }
+    pts.push_back({x, s * last_step});
+    return std::make_shared<core::PiecewiseLinearSpeed>(std::move(pts));
+  };
+  std::vector<std::shared_ptr<const core::SpeedFunction>> owned{
+      make(1.2),  // rising final segment (x grows 1.9x, speed only 1.2x)
+      make(1.0),  // flat
+      make(0.6),  // falling
+  };
+  core::SpeedList list;
+  for (const auto& f : owned) list.push_back(f.get());
+  const auto c = CompiledSpeedList::compile(list);
+  std::vector<double> xs(list.size());
+  for (const double slope : {1.0, 1e-2, 1e-4, 1e-6, 1e-9}) {
+    for (const bool enabled : {true, false}) {
+      SimdToggle toggle(enabled);
+      c.intersect_all(slope, xs);
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        // The vector scan picks the same segment as the binary search and
+        // the segment solve is the same scalar arithmetic: bit-identical.
+        EXPECT_EQ(xs[i], list[i]->intersect(slope))
+            << "entry " << i << " slope " << slope << " simd " << enabled;
+      }
+    }
+  }
+}
+
+// --- Registry-wide equivalence with SIMD on. ----------------------------
+
+double makespan(const core::SpeedList& speeds,
+                const std::vector<std::int64_t>& counts) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] <= 0) continue;
+    const double x = static_cast<double>(counts[i]);
+    worst = std::max(worst, x / speeds[i]->speed(x));
+  }
+  return worst;
+}
+
+TEST(Simd, EveryRegistryAlgorithmEquivalentToScalarOracle) {
+  const core::SyntheticFleet fleet = core::make_synthetic_fleet(96, 5);
+  const core::SpeedList list = fleet.list();
+  const std::int64_t n = 40'000'000;
+  for (const core::PartitionerInfo& info :
+       core::partitioner_registry().entries()) {
+    core::PartitionPolicy policy;
+    policy.algorithm = info.id;
+    core::PartitionResult oracle, simd;
+    {
+      SimdToggle off(false);
+      oracle = core::partition(list, n, policy);
+    }
+    {
+      SimdToggle on(true);
+      simd = core::partition(list, n, policy);
+    }
+    EXPECT_EQ(simd.distribution.total(), n) << info.id;
+    EXPECT_EQ(oracle.distribution.total(), n) << info.id;
+    // Few-ULP slope differences may break integer ties differently, but
+    // fine-tuning must land on an equally good makespan.
+    EXPECT_LE(rel_diff(makespan(list, simd.distribution.counts),
+                       makespan(list, oracle.distribution.counts)),
+              1e-9)
+        << info.id;
+  }
+}
+
+// --- Parallel sweep path. -----------------------------------------------
+
+TEST(Simd, ParallelSweepMatchesSerialSweep) {
+  core::detail::set_lane_pool_threads(2);  // before the pool lazily starts
+  const core::SyntheticFleet fleet = core::make_synthetic_fleet(700, 13);
+  const core::SpeedList list = fleet.list();
+  const auto c = CompiledSpeedList::compile(list);
+  std::vector<double> serial(list.size()), parallel(list.size());
+  for (const bool enabled : {true, false}) {
+    SimdToggle toggle(enabled);
+    for (const double slope : sweep_slopes()) {
+      {
+        ThresholdGuard serial_only(100'000);  // above p: serial path
+        c.intersect_all(slope, serial);
+      }
+      {
+        ThresholdGuard always(1);  // below p: parallel path
+        c.intersect_all(slope, parallel);
+      }
+      // Chunks write disjoint ranges with the same kernels: the split must
+      // be invisible in the output, bit for bit.
+      EXPECT_EQ(serial, parallel) << "slope " << slope << " simd " << enabled;
+    }
+  }
+}
+
+TEST(Simd, ParallelSweepMigratesSaturationTally) {
+  core::detail::set_lane_pool_threads(2);
+  // Generic entries whose brackets saturate at this slope: the tally delta
+  // must land on the calling thread even when pool workers ran the chunks.
+  std::vector<std::shared_ptr<const core::SpeedFunction>> owned;
+  for (int i = 0; i < 40; ++i)
+    owned.push_back(std::make_shared<OpaqueConstantSpeed>(100.0 + i, 1.0));
+  core::SpeedList list;
+  for (const auto& f : owned) list.push_back(f.get());
+  const auto c = CompiledSpeedList::compile(list);
+  ASSERT_EQ(c.batched_entries(), 0u);  // all Generic -> fallback lane
+  std::vector<double> xs(list.size());
+  ThresholdGuard always(1);
+  std::int64_t& tally = core::detail::bracket_saturation_tally();
+  const std::int64_t before = tally;
+  c.intersect_all(1e-80, xs);  // 100 >= 1e-80·(2^256) never crosses
+  EXPECT_EQ(tally - before, static_cast<std::int64_t>(list.size()));
+}
+
+// --- PartitionStats / SearchState plumbing. -----------------------------
+
+TEST(Simd, SearchStateSnapshotsSaturationTally) {
+  std::vector<std::shared_ptr<const core::SpeedFunction>> owned{
+      std::make_shared<OpaqueConstantSpeed>(100.0, 1.0),
+      std::make_shared<OpaqueConstantSpeed>(50.0, 1.0)};
+  core::SpeedList list;
+  for (const auto& f : owned) list.push_back(f.get());
+  core::detail::SearchState state(list, 1000);
+  EXPECT_EQ(state.bracket_saturations(), 0);
+  // A follow-up solve under the same counters (the fine-tuning pattern)
+  // that saturates must be visible in the snapshot delta.
+  state.counted_speeds()[0]->intersect(1e-80);
+  EXPECT_EQ(state.bracket_saturations(), 1);
+}
+
+TEST(Simd, PartitionStatsReportZeroSaturationsOnHealthyFleets) {
+  const core::SyntheticFleet fleet = core::make_synthetic_fleet(64, 9);
+  const core::PartitionResult res = core::partition(fleet.list(), 1'000'000);
+  EXPECT_EQ(res.stats.bracket_saturations, 0);
+  EXPECT_EQ(res.distribution.total(), 1'000'000);
+}
+
+// --- Fleet generator. ---------------------------------------------------
+
+TEST(Simd, FleetGeneratorIsDeterministicPerSeed) {
+  const core::SyntheticFleet a = core::make_synthetic_fleet(333, 21);
+  const core::SyntheticFleet b = core::make_synthetic_fleet(333, 21);
+  const core::SyntheticFleet other = core::make_synthetic_fleet(333, 22);
+  EXPECT_EQ(CompiledSpeedList::fingerprint_of(a.list()),
+            CompiledSpeedList::fingerprint_of(b.list()));
+  EXPECT_NE(CompiledSpeedList::fingerprint_of(a.list()),
+            CompiledSpeedList::fingerprint_of(other.list()));
+}
+
+TEST(Simd, FleetGeneratorScalesToLargeP) {
+  const core::SyntheticFleet fleet = core::make_synthetic_fleet(4096, 1);
+  ASSERT_EQ(fleet.owned.size(), 4096u);
+  const auto c = CompiledSpeedList::compile(fleet.list());
+  EXPECT_TRUE(c.fully_compiled());
+  EXPECT_GT(c.batched_entries(), 3000u);  // closed-form families dominate
+}
+
+// --- Backend introspection. ---------------------------------------------
+
+TEST(Simd, BackendIntrospectionIsConsistent) {
+  const bool available = core::simd_kernels_available();
+  const core::SimdBackend backend = core::active_simd_backend();
+  if (!available) {
+    EXPECT_EQ(backend, core::SimdBackend::Disabled);
+  } else {
+    SimdToggle on(true);
+    EXPECT_NE(core::active_simd_backend(), core::SimdBackend::Disabled);
+    SimdToggle off(false);
+    EXPECT_EQ(core::active_simd_backend(), core::SimdBackend::Disabled);
+  }
+}
+
+}  // namespace
+}  // namespace fpm

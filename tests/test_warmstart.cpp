@@ -252,6 +252,11 @@ TEST(WarmStart, CallerSuppliedHintWinsOverTheServerStore) {
 TEST(WarmStart, BatchedKernelToggleIsBitIdentical) {
   constexpr std::int64_t kN = 1'000'003;
   ASSERT_TRUE(batched_kernels_enabled());
+  // Scalar batch mode: the SIMD lanes are only ULP-equivalent (the
+  // equivalence gate lives in tests/test_simd.cpp); this test pins the
+  // batched-vs-per-entry bit-identity contract of the scalar kernels.
+  const bool simd_was = simd_kernels_enabled();
+  set_simd_kernels(false);
   std::vector<Ensemble> ensembles = fpm::test::all_ensembles(6);
   ensembles.push_back(fpm::test::mixed_ensemble());
   for (const Ensemble& e : ensembles) {
@@ -273,6 +278,7 @@ TEST(WarmStart, BatchedKernelToggleIsBitIdentical) {
           << e.name << " " << id;
     }
   }
+  set_simd_kernels(simd_was);
 }
 
 TEST(WarmStart, BatchPlanCoversClosedFormFamilies) {

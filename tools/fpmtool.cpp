@@ -50,6 +50,7 @@
 // Exit status: 0 on success, 1 on CLI errors, 2 on runtime failures.
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstring>
 #include <exception>
 #include <iostream>
@@ -61,6 +62,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/fleetgen.hpp"
 #include "core/fpm.hpp"
 #include "obs/metrics.hpp"
 #include "util/cli.hpp"
@@ -95,6 +97,8 @@ int usage() {
          "  fpmtool partition --list-algorithms\n"
          "  fpmtool simulate --app NAME --n MATRIX_N [--cluster FILE] "
          "[--reference REF_N]\n"
+         "  fpmtool gen-fleet --p P --out FILE [--seed S] [--points K]\n"
+         "          [--mix CONST,LIN,POW,EXP,PIECE,STEP]\n"
          "  fpmtool metrics [--format table|json|prometheus]\n";
   return 1;
 }
@@ -573,6 +577,63 @@ int cmd_simulate(const util::CliArgs& args) {
   return 0;
 }
 
+/// Samples a synthetic fleet (core/fleetgen.hpp) into piecewise-linear
+/// models and writes them in the fpm-model format, so thousand-rank
+/// workloads can be driven through `partition --models` without hand-written
+/// spec files. The sampling grid is geometric up to each machine's
+/// max_size; the saved curve is the analytic model within interpolation
+/// error.
+int cmd_gen_fleet(const util::CliArgs& args) {
+  const auto p = static_cast<std::size_t>(args.integer("--p", 0));
+  if (p == 0) throw std::invalid_argument("gen-fleet: --p must be >= 1");
+  const std::string out = args.require("--out");
+  const auto seed = static_cast<std::uint64_t>(args.integer("--seed", 42));
+  const auto points = static_cast<std::size_t>(args.integer("--points", 24));
+  if (points < 2)
+    throw std::invalid_argument("gen-fleet: --points must be >= 2");
+
+  core::FleetMix mix;
+  if (const auto spec = args.get("--mix")) {
+    double* const weights[6] = {&mix.constant, &mix.linear_decay,
+                                &mix.power_decay, &mix.exp_decay,
+                                &mix.piecewise, &mix.stepped};
+    std::stringstream ss(*spec);
+    std::string tok;
+    std::size_t i = 0;
+    while (std::getline(ss, tok, ',')) {
+      if (i >= 6)
+        throw std::invalid_argument("gen-fleet: --mix takes 6 weights");
+      *weights[i++] = util::parse_double(tok, "--mix");
+    }
+    if (i != 6)
+      throw std::invalid_argument("gen-fleet: --mix takes 6 weights");
+  }
+
+  const core::SyntheticFleet fleet = core::make_synthetic_fleet(p, seed, mix);
+  std::vector<core::NamedModel> models;
+  models.reserve(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    const core::SpeedFunction& f = *fleet.owned[i];
+    const double hi = f.max_size();
+    const double lo = std::max(1.0, hi * 1e-5);
+    std::vector<core::SpeedPoint> pts;
+    pts.reserve(points);
+    for (std::size_t j = 0; j < points; ++j) {
+      const double t =
+          static_cast<double>(j) / static_cast<double>(points - 1);
+      const double x = lo * std::pow(hi / lo, t);
+      pts.push_back({x, f.speed(x)});
+    }
+    std::string name = "synth-" + std::to_string(i);
+    models.push_back(core::make_named_model(
+        std::move(name), core::PiecewiseLinearSpeed(std::move(pts))));
+  }
+  core::save_models_file(out, models);
+  std::cout << "wrote " << models.size() << " synthetic models to " << out
+            << "\n";
+  return 0;
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
@@ -586,6 +647,7 @@ int main(int argc, char** argv) {
     if (command == "show") return cmd_show(args);
     if (command == "partition") return cmd_partition(args);
     if (command == "simulate") return cmd_simulate(args);
+    if (command == "gen-fleet") return cmd_gen_fleet(args);
     if (command == "metrics") return cmd_metrics(args);
     std::cerr << "unknown command '" << command << "'\n";
     return usage();
