@@ -57,7 +57,7 @@ PartitionResult partition_combined(const SpeedList& speeds, std::int64_t n,
   result.stats.switched_to_modified = switched;
   result.stats.search_speed_evals = state.speed_evals();
   result.stats.search_intersect_solves = state.intersect_solves();
-  result.distribution = fine_tune(state.counted_speeds(), n, state.small());
+  result.distribution = state.fine_tune_epilogue(n);
   result.stats.speed_evals = state.speed_evals();
   result.stats.intersect_solves = state.intersect_solves();
   result.stats.bracket_saturations = state.bracket_saturations();

@@ -5,9 +5,11 @@
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "core/detail/parallel.hpp"
 #include "core/detail/simd.hpp"
@@ -42,9 +44,27 @@ std::atomic<bool> g_batched_enabled{true};
 std::atomic<bool> g_simd_enabled{true};
 std::atomic<std::size_t> g_parallel_threshold{1024};
 
+/// One-time application of the FPM_SIMD_BACKEND environment override. A
+/// valid value behaves exactly like force_simd_backend(value); an invalid
+/// one is ignored here (the library keeps auto dispatch) and surfaced as a
+/// hard error by fpmtool, which validates the variable explicitly.
+inline void apply_env_backend_once() noexcept {
+  static const bool applied = [] {
+    if (const char* env = std::getenv("FPM_SIMD_BACKEND")) {
+      try {
+        force_simd_backend(env);
+      } catch (const std::exception&) {
+      }
+    }
+    return true;
+  }();
+  (void)applied;
+}
+
 /// The vector kernel table intersect_all should use right now, or nullptr
 /// for the bit-exact scalar batch path (toggle off or FPM_SIMD=OFF build).
 inline const detail::simd::SimdKernels* active_kernels() noexcept {
+  apply_env_backend_once();
   if (!g_simd_enabled.load(std::memory_order_relaxed)) return nullptr;
   return detail::simd::resolved_simd_kernels();
 }
@@ -186,11 +206,71 @@ bool simd_kernels_available() noexcept {
   return detail::simd::resolved_simd_kernels() != nullptr;
 }
 
+namespace {
+
+SimdBackend backend_from_name(const char* name) noexcept {
+  if (std::strcmp(name, "avx512") == 0) return SimdBackend::Avx512;
+  if (std::strcmp(name, "avx2") == 0) return SimdBackend::Avx2;
+  if (std::strcmp(name, "neon") == 0) return SimdBackend::Neon;
+  return SimdBackend::Portable;
+}
+
+}  // namespace
+
 SimdBackend active_simd_backend() noexcept {
   const detail::simd::SimdKernels* kern = active_kernels();
   if (kern == nullptr) return SimdBackend::Disabled;
-  return std::strcmp(kern->name, "avx2") == 0 ? SimdBackend::Avx2
-                                              : SimdBackend::Portable;
+  return backend_from_name(kern->name);
+}
+
+const char* to_string(SimdBackend backend) noexcept {
+  switch (backend) {
+    case SimdBackend::Portable:
+      return "portable";
+    case SimdBackend::Avx2:
+      return "avx2";
+    case SimdBackend::Avx512:
+      return "avx512";
+    case SimdBackend::Neon:
+      return "neon";
+    case SimdBackend::Disabled:
+      break;
+  }
+  return "off";
+}
+
+void force_simd_backend(std::string_view name) {
+  if (name == "auto") {
+    detail::simd::set_forced_simd_variant(nullptr);
+    set_simd_kernels(true);
+    return;
+  }
+  if (name == "off") {
+    detail::simd::set_forced_simd_variant(nullptr);
+    set_simd_kernels(false);
+    return;
+  }
+  const detail::simd::SimdKernels* k = detail::simd::find_simd_variant(name);
+  if (k == nullptr) {
+    std::string msg = "simd backend '";
+    msg += name;
+    msg += "' is not compiled into this build (available:";
+    for (const detail::simd::SimdKernels* v :
+         detail::simd::compiled_simd_variants()) {
+      msg += ' ';
+      msg += v->name;
+    }
+    msg += " auto off)";
+    throw std::invalid_argument(msg);
+  }
+  if (!detail::simd::simd_variant_supported(*k)) {
+    std::string msg = "simd backend '";
+    msg += name;
+    msg += "' is compiled in but not supported by this CPU";
+    throw std::invalid_argument(msg);
+  }
+  detail::simd::set_forced_simd_variant(k);
+  set_simd_kernels(true);
 }
 
 std::size_t parallel_intersect_threshold() noexcept {
@@ -257,8 +337,15 @@ CompiledSpeedList CompiledSpeedList::compile(const SpeedList& speeds) {
     list.entries_.push_back(e);
   }
   // Batch plan for intersect_all(): group the unwrapped closed-form
-  // families into SoA parameter lanes; everything else (wrapped entries,
-  // pool-backed families, Generic) keeps the per-entry dispatch.
+  // families into SoA parameter lanes, vetted unwrapped Unimodal/Stepped
+  // entries into the bisection lanes; everything else (wrapped entries,
+  // irregular pool-backed entries, Piecewise, Generic) keeps the per-entry
+  // dispatch. Vetting admits only parameters squarely inside the vector
+  // kernels' vexp/vlog domains — anything exotic (non-normal scales,
+  // negative exponents, too many steps) is a compile-time punt to
+  // batch_other_, so the only runtime punt those lanes need is the
+  // beyond-max_size bracket expansion.
+  const auto pos_normal = [](double v) { return std::isnormal(v) && v > 0.0; };
   for (std::size_t i = 0; i < list.entries_.size(); ++i) {
     const Entry& e = list.entries_[i];
     const auto dst = static_cast<std::uint32_t>(i);
@@ -290,15 +377,53 @@ CompiledSpeedList CompiledSpeedList::compile(const SpeedList& speeds) {
         list.lane_exp_.b.push_back(e.b);
         list.lane_exp_.d.push_back(e.d);
         break;
+      case Family::Unimodal: {
+        const double x0 = list.aux_[e.offset];
+        const double k = list.aux_[e.offset + 1];
+        const bool safe = pos_normal(e.c) && pos_normal(x0) &&
+                          pos_normal(e.max_size) && std::isfinite(k) &&
+                          k >= 0.0 && std::isfinite(e.a) && e.a >= 0.0 &&
+                          std::isfinite(e.b) && e.b > 0.0;
+        if (!safe) {
+          list.batch_other_.push_back(dst);
+          break;
+        }
+        list.lane_unimodal_.idx.push_back(dst);
+        list.lane_unimodal_.a.push_back(e.a);
+        list.lane_unimodal_.b.push_back(e.b);
+        list.lane_unimodal_.c.push_back(e.c);
+        list.lane_unimodal_.d.push_back(x0);
+        list.lane_unimodal_.e.push_back(k);
+        list.lane_unimodal_.f.push_back(e.max_size);
+        break;
+      }
+      case Family::Stepped: {
+        bool safe = pos_normal(e.a) && pos_normal(e.max_size) &&
+                    e.count <= kMaxVecSteps;
+        for (std::uint32_t s = 0; safe && s < e.count; ++s) {
+          const SteppedSpeed::Step& st = list.steps_[e.offset + s];
+          safe = std::isfinite(st.at) && pos_normal(st.to) &&
+                 pos_normal(st.width);
+        }
+        if (!safe) {
+          list.batch_other_.push_back(dst);
+          break;
+        }
+        list.lane_stepped_.idx.push_back(dst);
+        list.lane_stepped_.a.push_back(e.a);
+        list.lane_stepped_.f.push_back(e.max_size);
+        break;
+      }
       default:
         list.batch_other_.push_back(dst);
         break;
     }
   }
-  // Pad every lane column to the vector width by duplicating the last real
-  // element: the SIMD kernels then stream whole registers with the pad
-  // slots computing harmless in-domain values that are never scattered
-  // (idx keeps the real count, and the scalar batch kernels loop over it).
+  // Pad every lane column to kMaxLanes (the widest compiled vector width)
+  // by duplicating the last real element: whichever backend the runtime
+  // dispatch picks then streams whole registers with the pad slots
+  // computing harmless in-domain values that are never scattered (idx
+  // keeps the real count, and the scalar batch kernels loop over it).
   const auto pad_lane = [](BatchLane& lane) {
     if (lane.empty()) return;
     const std::size_t padded = detail::simd::padded_size(lane.idx.size());
@@ -309,11 +434,42 @@ CompiledSpeedList CompiledSpeedList::compile(const SpeedList& speeds) {
     grow(lane.b);
     grow(lane.c);
     grow(lane.d);
+    grow(lane.e);
+    grow(lane.f);
   };
   pad_lane(list.lane_constant_);
   pad_lane(list.lane_linear_);
   pad_lane(list.lane_power_);
   pad_lane(list.lane_exp_);
+  pad_lane(list.lane_unimodal_);
+  // Second pass for the stepped lane: the slot-major slabs need the final
+  // entry count (stride) before any step can be placed.
+  if (!list.lane_stepped_.empty()) {
+    SteppedLane& sl = list.lane_stepped_;
+    const std::size_t count = sl.idx.size();
+    sl.stride = detail::simd::padded_size(count);
+    sl.a.resize(sl.stride, sl.a.back());
+    sl.f.resize(sl.stride, sl.f.back());
+    for (std::size_t j = 0; j < count; ++j)
+      sl.nslots = std::max<std::size_t>(
+          sl.nslots, list.entries_[sl.idx[j]].count);
+    const double inf = std::numeric_limits<double>::infinity();
+    sl.at.assign(sl.nslots * sl.stride, inf);       // identity step:
+    sl.ratio.assign(sl.nslots * sl.stride, 1.0);    //   factor == 1 exactly
+    sl.width.assign(sl.nslots * sl.stride, 1.0);
+    for (std::size_t j = 0; j < count; ++j) {
+      const Entry& e = list.entries_[sl.idx[j]];
+      double level = e.a;
+      for (std::uint32_t s = 0; s < e.count; ++s) {
+        const SteppedSpeed::Step& st = list.steps_[e.offset + s];
+        const std::size_t off = s * sl.stride + j;
+        sl.at[off] = st.at;
+        sl.ratio[off] = st.to / level;
+        sl.width[off] = st.width;
+        level = st.to;
+      }
+    }
+  }
   list.fingerprint_ = fingerprint_of(speeds);
   return list;
 }
@@ -510,12 +666,15 @@ double CompiledSpeedList::intersect(std::size_t i, double slope) const {
   return entry_intersect(entries_[i], slope);
 }
 
-/// One batch task of intersect_all: either a closed-form lane (lane 0..3,
-/// with its BatchLane) or the per-entry fallback list (lane 4). `count` is
-/// the real (unpadded) element count; chunks address element ranges.
+/// One batch task of intersect_all: a closed-form lane (lane 0..3, with its
+/// BatchLane), a bisection lane (4=unimodal with its BatchLane, 5=stepped
+/// with the SteppedLane) or the per-entry fallback list (lane 6). `count`
+/// is the real (unpadded) element count; chunks address element ranges.
 struct CompiledSpeedList::LaneSweep {
-  int lane = 0;  ///< 0=constant 1=linear 2=power 3=exp 4=other
+  int lane = 0;  ///< 0=constant 1=linear 2=power 3=exp 4=unimodal 5=stepped
+                 ///< 6=other
   const BatchLane* bl = nullptr;
+  const SteppedLane* sl = nullptr;
   const std::vector<std::uint32_t>* other = nullptr;
   const detail::simd::SimdKernels* kern = nullptr;  ///< null => scalar batch
   std::size_t count = 0;
@@ -524,9 +683,28 @@ struct CompiledSpeedList::LaneSweep {
 namespace {
 /// Elements per parallel chunk — coarse enough that chunk handoff cost is
 /// noise against ~512 intersect solves, small enough that p=4096 still
-/// splits 8+ ways. Multiple of simd::kLanes (chunk interiors then start on
-/// vector boundaries) and the size of the on-stack result block below.
+/// splits 8+ ways. Multiple of simd::kMaxLanes (chunk interiors then start
+/// on vector boundaries at either width) and the size of the on-stack
+/// result block below.
 constexpr std::size_t kLaneChunk = 512;
+static_assert(kLaneChunk % detail::simd::kMaxLanes == 0);
+
+/// Per-backend slice of kPartitionBatchSimdEntries. The set of names is
+/// fixed at compile time, so each resolves its registry slot once.
+obs::Counter& backend_simd_entries_counter(const char* name) {
+  static obs::Counter& portable = obs::metrics().counter(
+      obs::names::kPartitionBatchSimdEntriesPortable);
+  static obs::Counter& avx2 =
+      obs::metrics().counter(obs::names::kPartitionBatchSimdEntriesAvx2);
+  static obs::Counter& avx512 =
+      obs::metrics().counter(obs::names::kPartitionBatchSimdEntriesAvx512);
+  static obs::Counter& neon =
+      obs::metrics().counter(obs::names::kPartitionBatchSimdEntriesNeon);
+  if (std::strcmp(name, "avx512") == 0) return avx512;
+  if (std::strcmp(name, "avx2") == 0) return avx2;
+  if (std::strcmp(name, "neon") == 0) return neon;
+  return portable;
+}
 }  // namespace
 
 void CompiledSpeedList::lane_chunk_intersect(const LaneSweep& sweep,
@@ -534,15 +712,58 @@ void CompiledSpeedList::lane_chunk_intersect(const LaneSweep& sweep,
                                              std::size_t end, double slope,
                                              std::span<double> out,
                                              std::int64_t& scalar_fixups) const {
-  if (sweep.lane == 4) {
+  if (sweep.lane == 6) {
     for (std::size_t j = begin; j < end; ++j) {
       const std::uint32_t i = (*sweep.other)[j];
       out[i] = entry_intersect(entries_[i], slope);
     }
     return;
   }
-  const BatchLane& bl = *sweep.bl;
   const std::size_t m = end - begin;
+  if (sweep.lane >= 4) {
+    // Bisection lanes. These families have no scalar *batch* kernel, so
+    // scalar mode is the per-entry generic bisection — bit-identical to
+    // the pre-lane behaviour, where these entries sat in batch_other_.
+    const std::vector<std::uint32_t>& idx =
+        sweep.lane == 4 ? sweep.bl->idx : sweep.sl->idx;
+    if (sweep.kern == nullptr) {
+      for (std::size_t j = begin; j < end; ++j)
+        out[idx[j]] = entry_intersect(entries_[idx[j]], slope);
+      return;
+    }
+    assert(begin % sweep.kern->width == 0 && m <= kLaneChunk);
+    alignas(64) double block[kLaneChunk];
+    const std::size_t mpad = detail::simd::padded_size(m, sweep.kern->width);
+    if (sweep.lane == 4) {
+      const BatchLane& bl = *sweep.bl;
+      sweep.kern->unimodal_batch(bl.a.data() + begin, bl.b.data() + begin,
+                                 bl.c.data() + begin, bl.d.data() + begin,
+                                 bl.e.data() + begin, bl.f.data() + begin,
+                                 mpad, slope, block);
+    } else {
+      // The slot-major slabs share the entry indexing of a/f, so offsetting
+      // every slab pointer by `begin` (keeping the full-lane stride) lands
+      // slot s of chunk element j at [s·stride + begin + j] as laid out.
+      const SteppedLane& sl = *sweep.sl;
+      sweep.kern->stepped_batch(sl.a.data() + begin, sl.f.data() + begin,
+                                sl.at.data() + begin, sl.ratio.data() + begin,
+                                sl.width.data() + begin, mpad, sl.stride,
+                                sl.nslots, slope, block);
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      double x = block[j];
+      if (std::isnan(x)) {
+        // Crossing at/beyond max_size: rerun the scalar bisection so the
+        // bracket expansion and its saturation tally happen exactly as on
+        // the per-entry path.
+        x = entry_intersect(entries_[idx[begin + j]], slope);
+        ++scalar_fixups;
+      }
+      out[idx[begin + j]] = x;
+    }
+    return;
+  }
+  const BatchLane& bl = *sweep.bl;
   if (sweep.kern == nullptr) {
     // Bit-exact scalar batch kernels over the chunk's sub-columns (the
     // kernels loop over idx.size(), so padding never enters).
@@ -573,13 +794,14 @@ void CompiledSpeedList::lane_chunk_intersect(const LaneSweep& sweep,
     return;
   }
   // Vector path: the kernel fills a dense on-stack block (begin is always a
-  // multiple of kLanes — chunks step by kLaneChunk — and reading up to the
-  // padded length stays inside the column because only the final chunk has
-  // a ragged end). NaN slots are the kernels' punt sentinel: recompute
-  // those with the exact scalar kernel, then scatter through idx.
-  assert(begin % detail::simd::kLanes == 0 && m <= kLaneChunk);
+  // multiple of the backend width — chunks step by kLaneChunk — and reading
+  // up to the width-padded length stays inside the column because storage
+  // is padded to kMaxLanes and only the final chunk has a ragged end). NaN
+  // slots are the kernels' punt sentinel: recompute those with the exact
+  // scalar kernel, then scatter through idx.
+  assert(begin % sweep.kern->width == 0 && m <= kLaneChunk);
   alignas(64) double block[kLaneChunk];
-  const std::size_t mpad = detail::simd::padded_size(m);
+  const std::size_t mpad = detail::simd::padded_size(m, sweep.kern->width);
   switch (sweep.lane) {
     case 0:
       sweep.kern->constant_batch(bl.a.data() + begin, mpad, slope, block);
@@ -626,19 +848,24 @@ void CompiledSpeedList::intersect_all(double slope,
   assert(out.size() == entries_.size());
   const detail::simd::SimdKernels* kern = active_kernels();
 
-  LaneSweep sweeps[5];
+  LaneSweep sweeps[7];
   std::size_t nsweeps = 0;
   const auto add_lane = [&](int lane, const BatchLane& bl) {
     if (!bl.empty())
-      sweeps[nsweeps++] = LaneSweep{lane, &bl, nullptr, kern, bl.idx.size()};
+      sweeps[nsweeps++] =
+          LaneSweep{lane, &bl, nullptr, nullptr, kern, bl.idx.size()};
   };
   add_lane(0, lane_constant_);
   add_lane(1, lane_linear_);
   add_lane(2, lane_power_);
   add_lane(3, lane_exp_);
+  add_lane(4, lane_unimodal_);
+  if (!lane_stepped_.empty())
+    sweeps[nsweeps++] = LaneSweep{5,    nullptr, &lane_stepped_,
+                                  nullptr, kern, lane_stepped_.idx.size()};
   if (!batch_other_.empty())
-    sweeps[nsweeps++] =
-        LaneSweep{4, nullptr, &batch_other_, kern, batch_other_.size()};
+    sweeps[nsweeps++] = LaneSweep{6,    nullptr, nullptr,
+                                  &batch_other_, kern, batch_other_.size()};
 
   std::int64_t fixups = 0;
   bool split = false;
@@ -684,23 +911,97 @@ void CompiledSpeedList::intersect_all(double slope,
     }
   }
 
-  // Lane occupancy / vector-path hit rate. Counter refs resolve once.
+  // Lane occupancy / vector-path hit rate. Counter refs resolve once; the
+  // per-backend split and the backend info gauge let dashboards tell which
+  // variant the dispatch picked without scraping logs.
   static obs::Counter& c_simd =
       obs::metrics().counter(obs::names::kPartitionBatchSimdEntries);
   static obs::Counter& c_scalar =
       obs::metrics().counter(obs::names::kPartitionBatchScalarEntries);
   static obs::Counter& c_splits =
       obs::metrics().counter(obs::names::kPartitionBatchParallelSweeps);
+  static obs::Gauge& g_backend =
+      obs::metrics().gauge(obs::names::kPartitionBatchBackend);
   const auto batched =
       static_cast<std::int64_t>(entries_.size() - batch_other_.size());
   const auto other = static_cast<std::int64_t>(batch_other_.size());
+  g_backend.set(static_cast<double>(
+      static_cast<std::uint8_t>(active_simd_backend())));
   if (kern != nullptr) {
     c_simd.add(batched - fixups);
+    backend_simd_entries_counter(kern->name).add(batched - fixups);
     if (other + fixups != 0) c_scalar.add(other + fixups);
   } else if (batched + other != 0) {
     c_scalar.add(batched + other);
   }
   if (split) c_splits.add(1);
+}
+
+void CompiledSpeedList::speed_all(std::span<const double> xs,
+                                  std::span<double> out) const {
+  assert(xs.size() == entries_.size() && out.size() == entries_.size());
+  const detail::simd::SimdKernels* kern = active_kernels();
+  const auto scalar_lane = [&](const std::vector<std::uint32_t>& idx) {
+    for (const std::uint32_t i : idx) out[i] = entry_speed(entries_[i], xs[i]);
+  };
+  // Constant/linear/bisection-lane entries are cheap per-entry scalar
+  // evaluations (a select, a division, a couple of multiplies); the libm
+  // pow/exp of the power/exp lanes is where the sweep's time goes, so those
+  // two lanes take the vector speed kernels when a backend is active.
+  scalar_lane(lane_constant_.idx);
+  scalar_lane(lane_linear_.idx);
+  scalar_lane(lane_unimodal_.idx);
+  scalar_lane(lane_stepped_.idx);
+  scalar_lane(batch_other_);
+  if (kern == nullptr) {
+    scalar_lane(lane_power_.idx);
+    scalar_lane(lane_exp_.idx);
+    return;
+  }
+  // Gather xs through idx into a padded column (pad slots duplicate the
+  // last real size: in-domain, never scattered back), run the kernel over
+  // the whole lane, fix up NaN punts with the exact scalar evaluation.
+  static thread_local detail::simd::LaneVector xbuf;
+  static thread_local detail::simd::LaneVector rbuf;
+  const auto vector_lane = [&](const BatchLane& bl, bool is_power) {
+    const std::size_t count = bl.idx.size();
+    if (count == 0) return;
+    const std::size_t storage = detail::simd::padded_size(count);
+    const std::size_t mpad = detail::simd::padded_size(count, kern->width);
+    xbuf.resize(storage);
+    rbuf.resize(storage);
+    for (std::size_t j = 0; j < count; ++j) xbuf[j] = xs[bl.idx[j]];
+    for (std::size_t j = count; j < storage; ++j) xbuf[j] = xbuf[count - 1];
+    if (is_power) {
+      kern->power_speed_batch(bl.a.data(), bl.b.data(), bl.c.data(),
+                              xbuf.data(), mpad, rbuf.data());
+    } else {
+      kern->exp_speed_batch(bl.a.data(), bl.b.data(), xbuf.data(), mpad,
+                            rbuf.data());
+    }
+    for (std::size_t j = 0; j < count; ++j) {
+      double s = rbuf[j];
+      if (std::isnan(s)) s = entry_speed(entries_[bl.idx[j]], xs[bl.idx[j]]);
+      out[bl.idx[j]] = s;
+    }
+  };
+  vector_lane(lane_power_, /*is_power=*/true);
+  vector_lane(lane_exp_, /*is_power=*/false);
+}
+
+std::vector<double> speeds_at(const CompiledSpeedList& speeds,
+                              std::span<const double> xs,
+                              EvalCounters* counters) {
+  std::vector<double> out(speeds.size());
+  if (batched_kernels_enabled()) {
+    speeds.speed_all(xs, out);
+  } else {
+    for (std::size_t i = 0; i < speeds.size(); ++i)
+      out[i] = speeds.speed(i, xs[i]);
+  }
+  if (counters)
+    counters->speed_evals += static_cast<std::int64_t>(speeds.size());
+  return out;
 }
 
 std::vector<double> sizes_at(const CompiledSpeedList& speeds, double slope,

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "core/partition.hpp"
@@ -88,20 +89,32 @@ class CompiledSpeedList {
 
   /// Solves slope·x = s_i(x) for every entry in one structure-of-arrays
   /// pass: the closed-form families (Constant, LinearDecay, PowerDecay,
-  /// ExpDecay, unwrapped) run out of contiguous parameter lanes built at
-  /// compile time — through the vector kernels (detail/simd.hpp) when
-  /// SIMD is enabled, the scalar batch kernels otherwise — and the
+  /// ExpDecay, unwrapped) plus parameter-vetted unwrapped Unimodal/Stepped
+  /// entries run out of contiguous parameter lanes built at compile time —
+  /// through the vector kernels (detail/simd.hpp) when SIMD is enabled,
+  /// the scalar batch kernels / per-entry bisection otherwise — and the
   /// remaining entries fall back to the per-entry dispatch. out.size()
   /// must equal size(). With set_simd_kernels(false) (or FPM_SIMD=OFF)
   /// this is bit-identical to calling intersect(i, slope) per entry;
   /// with SIMD on, Constant/LinearDecay lanes and the piecewise scan stay
-  /// bit-identical while PowerDecay/ExpDecay roots may differ by a few
-  /// ULP (decision boundaries are punted to the exact scalar kernels —
-  /// see SimdBackend below and docs/performance.md).
+  /// bit-identical while PowerDecay/ExpDecay roots and the Unimodal/
+  /// Stepped bisections may differ by a few ULP (decision boundaries are
+  /// punted to the exact scalar kernels — see SimdBackend below and
+  /// docs/performance.md).
   void intersect_all(double slope, std::span<double> out) const;
 
-  /// How many entries run through a closed-form batch lane (the rest take
-  /// the per-entry fallback inside intersect_all).
+  /// Evaluates speed(i, xs[i]) for every entry in one pass — the fine-tune
+  /// epilogue's hot loop (core/finetune.cpp seeds its award heap from one
+  /// such sweep instead of p virtual calls). The PowerDecay/ExpDecay lanes
+  /// gather their sizes and run the vector speed kernels (NaN punts fixed
+  /// up scalar, same contract as intersect_all); every other entry takes
+  /// the per-entry dispatch, which is bit-identical to speed(i, xs[i]).
+  /// With SIMD off (or set_batched_kernels(false)) the whole sweep is the
+  /// per-entry loop, bit-identical to calling speed() yourself.
+  void speed_all(std::span<const double> xs, std::span<double> out) const;
+
+  /// How many entries run through a batch lane (the rest take the
+  /// per-entry fallback inside intersect_all).
   std::size_t batched_entries() const noexcept {
     return entries_.size() - batch_other_.size();
   }
@@ -146,16 +159,40 @@ class CompiledSpeedList {
 
   /// One SoA lane of the batch plan: the destination entry indices plus the
   /// parameter columns the family's batch kernel consumes. Columns are
-  /// 64-byte aligned and padded to the vector width (pad slots duplicate
-  /// the last real element) so the SIMD kernels can stream whole registers;
-  /// idx keeps the real entry count. The scalar batch kernels simply ignore
-  /// the padding (they loop over idx.size()).
+  /// 64-byte aligned and padded to detail::simd::kMaxLanes — the *widest*
+  /// compiled vector width, so the runtime-dispatched backend can stream
+  /// whole registers at either width without reading past the pool (pad
+  /// slots duplicate the last real element); idx keeps the real entry
+  /// count. The scalar batch kernels simply ignore the padding (they loop
+  /// over idx.size()). e/f are only populated for the unimodal lane
+  /// (d=decay_x0, e=decay_exponent, f=max_size).
   struct BatchLane {
     using Column = std::vector<double, util::AlignedAllocator<double, 64>>;
     std::vector<std::uint32_t> idx;
-    Column a, b, c, d;
+    Column a, b, c, d, e, f;
     bool empty() const noexcept { return idx.empty(); }
   };
+
+  /// SoA lane for vetted Stepped entries: per-entry s0/max_size columns
+  /// plus slot-major step slabs (`nslots` columns of `stride` doubles; the
+  /// s-th step of entry j lives at [s·stride + j]). Entries with more than
+  /// kMaxVecSteps steps, or with parameters outside the vector kernels'
+  /// domain, stay in batch_other_ ("irregular" punt at compile time).
+  /// Unused slots hold the identity step (at=+inf, ratio=1, width=1);
+  /// `ratio` is the step's to/level factor precomputed at compile time —
+  /// the same division the scalar kernel performs per evaluation.
+  struct SteppedLane {
+    using Column = std::vector<double, util::AlignedAllocator<double, 64>>;
+    std::vector<std::uint32_t> idx;
+    Column a, f;                ///< s0, max_size (padded like BatchLane)
+    Column at, ratio, width;    ///< nslots × stride slot-major slabs
+    std::size_t nslots = 0;
+    std::size_t stride = 0;     ///< padded idx count (kMaxLanes multiple)
+    bool empty() const noexcept { return idx.empty(); }
+  };
+
+  /// Most steps a SteppedSpeed may have and still ride the vector lane.
+  static constexpr std::size_t kMaxVecSteps = 8;
 
   struct LaneSweep;  // one chunk-parallel batch task (compiled.cpp)
   void lane_chunk_intersect(const LaneSweep& sweep, std::size_t begin,
@@ -165,12 +202,14 @@ class CompiledSpeedList {
 
   std::vector<Entry> entries_;
   // Batch plan for intersect_all(), grouped at compile time: one lane per
-  // closed-form family (unwrapped entries only) and an index list for
-  // everything else.
+  // closed-form family (unwrapped entries only), bisection lanes for the
+  // vetted unimodal/stepped entries, and an index list for everything else.
   BatchLane lane_constant_;
   BatchLane lane_linear_;
   BatchLane lane_power_;
   BatchLane lane_exp_;
+  BatchLane lane_unimodal_;
+  SteppedLane lane_stepped_;
   std::vector<std::uint32_t> batch_other_;
   // Piecewise SoA slabs (all functions concatenated; entry.offset/count
   // delimit a function's breakpoints, segment i spans [i, i+1]):
@@ -222,6 +261,13 @@ double total_size_at(const CompiledSpeedList& speeds, double slope,
 SlopeBracket detect_bracket(const CompiledSpeedList& speeds, std::int64_t n,
                             EvalCounters* counters);
 
+/// Batched counterpart of `speeds.speed(i, xs[i])` per entry (one
+/// CompiledSpeedList::speed_all sweep, counted like p boundary
+/// evaluations). The fine-tune epilogue's seeding pass.
+std::vector<double> speeds_at(const CompiledSpeedList& speeds,
+                              std::span<const double> xs,
+                              EvalCounters* counters);
+
 /// Process-wide switch (default on) selecting whether detail::SearchState
 /// runs on compiled models or on the original virtual objects. The two
 /// paths are bit-identical; the switch exists for benchmarks (measuring the
@@ -240,8 +286,25 @@ void set_batched_kernels(bool enabled) noexcept;
 enum class SimdBackend : std::uint8_t {
   Disabled,  ///< FPM_SIMD=OFF build, or set_simd_kernels(false)
   Portable,  ///< GCC vector-extension codegen under the baseline flags
-  Avx2,      ///< AVX2+FMA variant (runtime-dispatched or baseline -march)
+  Avx2,      ///< AVX2+FMA 4-wide variant (runtime-dispatched or -march)
+  Avx512,    ///< AVX-512F/DQ 8-wide variant (runtime-dispatched or -march)
+  Neon,      ///< AArch64 baseline codegen (the portable variant's name there)
 };
+
+/// Lower-case name for CLI/JSON/metrics surfaces: "off", "portable",
+/// "avx2", "avx512", "neon".
+const char* to_string(SimdBackend backend) noexcept;
+
+/// Forces intersect_all's vector dispatch onto one backend at runtime.
+/// Accepts "auto" (clear any override, re-enable SIMD), "off"
+/// (set_simd_kernels(false)), or a backend name ("portable", "avx2",
+/// "avx512", "neon"). Throws std::invalid_argument when the name is not a
+/// variant compiled into this build or the CPU lacks the instruction set —
+/// the mechanism behind `fpmtool partition --simd=...` and the
+/// FPM_SIMD_BACKEND environment override (read once, at the first batch
+/// dispatch; invalid environment values are ignored by the library and
+/// rejected loudly by fpmtool).
+void force_simd_backend(std::string_view name);
 
 /// Process-wide switch (default on) selecting whether the batch lanes of
 /// intersect_all run the vector kernels of detail/simd.hpp or the scalar

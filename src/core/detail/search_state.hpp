@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/compiled.hpp"
+#include "core/finetune.hpp"
 #include "core/observer.hpp"
 #include "core/partition.hpp"
 
@@ -100,6 +101,16 @@ class SearchState {
   /// solves (e.g. fine-tuning) under the same counters. Valid only while
   /// this SearchState is alive.
   const SpeedList& counted_speeds() const noexcept { return speeds_; }
+
+  /// The Figure-9 fine-tune over this search's steep line: the batched
+  /// compiled overload (one speeds_at sweep seeds the award heap) when the
+  /// search ran on a compiled model, the counted virtual views otherwise.
+  /// Both paths feed the same counters and are bit-identical with the
+  /// scalar kernels.
+  Distribution fine_tune_epilogue(std::int64_t n) {
+    return compiled_ != nullptr ? fine_tune(*compiled_, n, small_, &counters_)
+                                : fine_tune(speeds_, n, small_);
+  }
 
   /// Count of integers k with small[i] < k <= large[i]: the candidate
   /// solutions the i-th graph still contributes to the solution space.

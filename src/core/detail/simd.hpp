@@ -1,59 +1,72 @@
-// Portable SIMD shim under the batched intersect lanes of core/compiled.*.
+// Width-generic SIMD shim under the batched intersect lanes of
+// core/compiled.*.
 //
 // The scalar batch kernels in speed_kernels.hpp walk one lane entry at a
 // time; at p in the thousands the per-line candidate evaluation is the whole
-// solve, so the four closed-form lanes and the piecewise segment scan get a
-// vector path here. The implementation uses GCC/Clang vector extensions
-// (double __attribute__((vector_size(32))), four lanes) rather than raw
-// intrinsics or std::experimental::simd: the extension types compile to real
-// vector code on every target the repo builds for (SSE2 and NEON from the
-// portable variant, AVX2+FMA from a second compilation of the same source
-// under `#pragma GCC target`), and the scalar fallback is the pre-existing
-// batch kernels, untouched.
+// solve, so the closed-form lanes, the unimodal/stepped bisection lanes, the
+// fine-tune speed sweep, and the piecewise segment scan get a vector path
+// here. The implementation uses GCC/Clang vector extensions
+// (double __attribute__((vector_size(8·W)))) rather than raw intrinsics or
+// std::experimental::simd: one kernel body (simd_kernels.inc) is compiled
+// once per code-generation variant — portable 4-wide (SSE2, or NEON on
+// AArch64), AVX2+FMA 4-wide, and AVX-512 8-wide under
+// `#pragma GCC target("avx512f,avx512dq")` — and the best supported variant
+// is picked at runtime via __builtin_cpu_supports. The scalar fallback is
+// the pre-existing batch kernels, untouched.
 //
-// Numerics contract: the constant and linear-decay kernels are pure
-// rational arithmetic evaluated in the same order as the scalar kernels and
-// are bit-identical to them. The power- and exp-decay kernels replace the
-// libm exp/log inside the Newton iterations with 4-wide polynomial
-// implementations (vexp_/vlog_ in the .inc) that agree with libm to a few
-// ULPs but not bitwise; they are gated by the toleranced-equivalence tests
-// in tests/test_simd.cpp, and any lane whose result could be
-// *decision*-sensitive to those ULPs — near exp-decay's underflow floor,
-// near power-decay's 2^256 delegation threshold, or outside the vexp clamp
-// range — is punted back to the scalar kernel by writing a NaN sentinel
-// that the caller resolves (see scalar-fixup handling in compiled.cpp).
+// Numerics contract (identical on every backend): the constant and
+// linear-decay kernels are pure rational arithmetic evaluated in the same
+// order as the scalar kernels and are bit-identical to them. The power/exp
+// intersect kernels, the unimodal/stepped bisection kernels, and the
+// power/exp speed kernels replace libm exp/log/pow/tanh with W-wide
+// polynomial implementations (vexp_/vlog_ in the .inc) that agree with libm
+// to a few ULPs but not bitwise; they are gated by the toleranced-
+// equivalence tests in tests/test_simd.cpp, and any lane whose result could
+// be *decision*-sensitive to those ULPs — near exp-decay's underflow floor,
+// near power-decay's 2^256 delegation threshold, outside the vexp clamp
+// range, non-normal inputs, or a unimodal/stepped crossing beyond max_size
+// (where the scalar bracket expansion and its saturation tally must run) —
+// is punted back to the scalar kernel by writing a NaN sentinel that the
+// caller resolves (see scalar-fixup handling in compiled.cpp).
 // set_simd_kernels(false) (declared in core/compiled.hpp) restores the
 // bit-exact scalar batch path process-wide.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
+#include <string_view>
 #include <vector>
 
 #include "util/aligned.hpp"
 
 namespace fpm::core::detail::simd {
 
-/// Vector width in doubles. Columns handed to the kernels must be padded to
-/// a multiple of kLanes (pad slots duplicate the last real element so the
-/// vector tail computes harmless, in-domain garbage).
-inline constexpr std::size_t kLanes = 4;
+/// Maximum vector width in doubles across all compiled variants. Columns
+/// handed to the kernels are padded to a multiple of kMaxLanes (pad slots
+/// duplicate the last real element so the vector tail computes harmless,
+/// in-domain garbage) — padding to the *widest* width keeps every column
+/// safe for whichever backend the runtime dispatch picks, so an 8-wide
+/// AVX-512 lane never reads past a pool sized for the 4-wide variants.
+inline constexpr std::size_t kMaxLanes = 8;
 
-/// Pads `n` up to the next multiple of kLanes.
-constexpr std::size_t padded_size(std::size_t n) noexcept {
-  return (n + kLanes - 1) / kLanes * kLanes;
+/// Pads `n` up to the next multiple of `width` (the active backend's
+/// SimdKernels::width for kernel trip counts, kMaxLanes for storage).
+constexpr std::size_t padded_size(std::size_t n,
+                                  std::size_t width = kMaxLanes) noexcept {
+  return (n + width - 1) / width * width;
 }
 
 /// 64-byte-aligned column storage for BatchLane / piecewise slabs: every
-/// vector load in the kernels is then naturally aligned.
+/// vector load in the kernels is then naturally aligned, at either width.
 using LaneVector = std::vector<double, util::AlignedAllocator<double, 64>>;
 
-/// One resolved set of vector entry points. All array arguments are
-/// kLanes-padded and 64-byte aligned; `m` is the padded length. Results are
-/// written densely to `res` (same indexing as the columns, NOT scattered
-/// through an idx column — the caller scatters). Kernels that can punt
-/// (power/exp) write a NaN sentinel into `res` for lanes the scalar kernel
-/// must recompute; constant/linear never punt.
+/// One compiled set of vector entry points. All array arguments are padded
+/// to kMaxLanes and 64-byte aligned; `m` is the padded length (a multiple
+/// of `width`). Results are written densely to `res` (same indexing as the
+/// columns, NOT scattered through an idx column — the caller scatters).
+/// Kernels that can punt write a NaN sentinel into `res` for lanes the
+/// scalar kernel must recompute; constant/linear never punt.
 struct SimdKernels {
   void (*constant_batch)(const double* a, std::size_t m, double slope,
                          double* res);
@@ -64,6 +77,30 @@ struct SimdKernels {
                       double* res);
   void (*exp_batch)(const double* a, const double* b, std::size_t m,
                     double slope, double* res);
+  /// Unimodal intersect by W-wide bisection on [0, max_size]: columns are
+  /// a=s_low, b=s_peak, c=x_peak, d=decay_x0, e=decay_exponent, f=max_size.
+  /// Punts (NaN) lanes whose crossing lies at or beyond max_size — those
+  /// need the scalar bracket expansion and its saturation tally.
+  void (*unimodal_batch)(const double* a, const double* b, const double* c,
+                         const double* d, const double* e, const double* f,
+                         std::size_t m, double slope, double* res);
+  /// Stepped intersect by W-wide bisection. `a`=s0 and `f`=max_size are
+  /// per-entry columns; `at`/`ratio`/`width_col` are slot-major slabs of
+  /// `nslots` columns with `stride` doubles between slots (slot s of entry
+  /// j lives at [s·stride + j]); unused slots are padded to the identity
+  /// step (at=+inf, ratio=1, width=1). Same beyond-max_size punt rule.
+  void (*stepped_batch)(const double* a, const double* f, const double* at,
+                        const double* ratio, const double* width_col,
+                        std::size_t m, std::size_t stride, std::size_t nslots,
+                        double slope, double* res);
+  /// Batched speed evaluation at per-entry sizes (the fine-tune epilogue's
+  /// hot loop): res[j] = family_speed(params[j], x[j]). Punts (NaN) on
+  /// non-normal parameters and wherever the vexp clamp or the exp-decay
+  /// 1e-280 floor decision could bite.
+  void (*power_speed_batch)(const double* a, const double* b, const double* c,
+                            const double* x, std::size_t m, double* res);
+  void (*exp_speed_batch)(const double* a, const double* b, const double* x,
+                          std::size_t m, double* res);
   /// Counts piecewise segment starts with point-ratio above `slope`, i.e.
   /// |{j < count : ps[j] > slope * px[j]}|. Under the monotone-predicate
   /// invariant of the piecewise slabs this equals the length of the true
@@ -73,15 +110,33 @@ struct SimdKernels {
   /// be padded; the kernel handles the tail scalar.
   std::size_t (*piecewise_count_above)(const double* px, const double* ps,
                                        std::size_t count, double slope);
-  const char* name;  ///< "portable" | "avx2"
+  const char* name;   ///< "portable" | "avx2" | "avx512" | "neon"
+  std::size_t width;  ///< vector width in doubles (4 or 8)
 };
 
-/// The best vector implementation for this process, chosen once at first
-/// use (AVX2+FMA variant when the build carries one and the CPU supports
-/// it, otherwise the portable variant). Returns nullptr when the build was
-/// configured with FPM_SIMD=OFF — callers then use the scalar batch path.
-/// Independent of the runtime toggle: compiled.cpp consults
-/// simd_kernels_enabled() first.
+/// The vector implementation this process runs right now: the forced
+/// variant when one is installed, otherwise the best supported variant
+/// (avx512 > avx2 > portable/neon), chosen once at first use. Returns
+/// nullptr when the build was configured with FPM_SIMD=OFF — callers then
+/// use the scalar batch path. Independent of the runtime toggle:
+/// compiled.cpp consults simd_kernels_enabled() first.
 const SimdKernels* resolved_simd_kernels() noexcept;
+
+/// Every variant compiled into this build, best-first. Empty under
+/// FPM_SIMD=OFF. Lets tests iterate all compiled-in backends, not just the
+/// one the dispatch would pick.
+std::span<const SimdKernels* const> compiled_simd_variants() noexcept;
+
+/// Whether this CPU can execute `k` (ISA check via __builtin_cpu_supports;
+/// always true for the baseline portable/neon variant).
+bool simd_variant_supported(const SimdKernels& k) noexcept;
+
+/// The compiled-in variant with this name, or nullptr.
+const SimdKernels* find_simd_variant(std::string_view name) noexcept;
+
+/// Overrides the runtime dispatch (nullptr restores auto). The caller is
+/// responsible for checking simd_variant_supported first — this is the
+/// mechanism under core::force_simd_backend, which validates.
+void set_forced_simd_variant(const SimdKernels* k) noexcept;
 
 }  // namespace fpm::core::detail::simd

@@ -64,6 +64,72 @@ Distribution fine_tune(const SpeedList& speeds, std::int64_t n,
   return d;
 }
 
+namespace {
+
+/// time(x) over one compiled entry, counted at the same boundary as
+/// CountingSpeedView / CompiledEntryView (one speed eval per call; x >= 1
+/// here, so the time() zero-guard never fires).
+double compiled_time_at(const CompiledSpeedList& speeds,
+                        EvalCounters* counters, std::size_t i,
+                        std::int64_t x) {
+  if (counters) ++counters->speed_evals;
+  const double xd = static_cast<double>(x);
+  return xd / speeds.speed(i, xd);
+}
+
+}  // namespace
+
+Distribution fine_tune(const CompiledSpeedList& speeds, std::int64_t n,
+                       std::span<const double> small_sizes,
+                       EvalCounters* counters) {
+  if (speeds.size() != small_sizes.size())
+    throw std::invalid_argument("fine_tune: size mismatch");
+  Distribution d;
+  d.counts.resize(speeds.size());
+  std::int64_t assigned = 0;
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
+    d.counts[i] = std::max<std::int64_t>(
+        0, static_cast<std::int64_t>(std::floor(small_sizes[i])));
+    assigned += d.counts[i];
+  }
+  using Entry = std::pair<double, std::size_t>;
+  if (assigned > n) {
+    // Defensive shed, as in the SpeedList overload: rare (round-off only),
+    // so it stays per-entry.
+    std::priority_queue<Entry> heap;  // max by current completion time
+    for (std::size_t i = 0; i < speeds.size(); ++i)
+      if (d.counts[i] > 0)
+        heap.emplace(compiled_time_at(speeds, counters, i, d.counts[i]), i);
+    for (std::int64_t excess = assigned - n; excess > 0; --excess) {
+      assert(!heap.empty());
+      const auto [t, i] = heap.top();
+      heap.pop();
+      --d.counts[i];
+      if (d.counts[i] > 0)
+        heap.emplace(compiled_time_at(speeds, counters, i, d.counts[i]), i);
+    }
+    return d;
+  }
+  // Seed the award heap from one batched sweep over the post-award sizes
+  // (counts + 1 >= 1, all in-domain). The heap sees the same (time, index)
+  // pairs in the same i-ascending push order as award_greedily, so with the
+  // scalar kernels the pop sequence — and the allocation — is bit-identical.
+  std::vector<double> xs(speeds.size());
+  for (std::size_t i = 0; i < speeds.size(); ++i)
+    xs[i] = static_cast<double>(d.counts[i] + 1);
+  const std::vector<double> sp = speeds_at(speeds, xs, counters);
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t i = 0; i < speeds.size(); ++i)
+    heap.emplace(xs[i] / sp[i], i);
+  for (std::int64_t deficit = n - assigned; deficit > 0; --deficit) {
+    const auto [t, i] = heap.top();
+    heap.pop();
+    ++d.counts[i];
+    heap.emplace(compiled_time_at(speeds, counters, i, d.counts[i] + 1), i);
+  }
+  return d;
+}
+
 Distribution greedy_from_zero(const SpeedList& speeds, std::int64_t n) {
   if (speeds.empty()) throw std::invalid_argument("greedy_from_zero: no speeds");
   Distribution d;

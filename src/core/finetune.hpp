@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <span>
 
+#include "core/compiled.hpp"
 #include "core/partition.hpp"
 
 namespace fpm::core {
@@ -25,6 +26,18 @@ namespace fpm::core {
 /// seed the floor allocation. O((p + deficit)·log p).
 Distribution fine_tune(const SpeedList& speeds, std::int64_t n,
                        std::span<const double> small_sizes);
+
+/// Compiled-model overload: the award heap is seeded from ONE batched
+/// speeds_at() sweep (the p-wide hot loop of the epilogue, vectorized for
+/// the power/exp lanes) instead of p virtual calls; the award/shed
+/// iterations stay per-entry, exactly as the virtual path orders them.
+/// With SIMD off this is bit-identical — same values, same heap push
+/// sequence — to fine_tune over CompiledEntryView adaptors. Evaluations
+/// land in `counters` at the same boundary the counting views use
+/// (pass nullptr to skip).
+Distribution fine_tune(const CompiledSpeedList& speeds, std::int64_t n,
+                       std::span<const double> small_sizes,
+                       EvalCounters* counters);
 
 /// Greedy makespan-optimal allocation built from scratch (all-zero seed).
 /// O(n·log p) — exact but slow; exposed for tests and tiny problems.

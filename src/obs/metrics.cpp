@@ -295,7 +295,7 @@ MetricsRegistry& metrics() {
 }
 
 std::span<const MetricInfo> metric_catalogue() {
-  static constexpr std::array<MetricInfo, 32> kCatalogue{{
+  static constexpr std::array<MetricInfo, 37> kCatalogue{{
       {"partition.invocations.<algorithm>", "counter",
        "core::partition() calls per registry algorithm (the paper's "
        "basic/modified/combined family, Figs. 7-15)"},
@@ -319,6 +319,17 @@ std::span<const MetricInfo> metric_catalogue() {
       {names::kPartitionBatchParallelSweeps, "counter",
        "intersect_all sweeps that split their lanes across the lane pool "
        "(entry count above parallel_intersect_threshold)"},
+      {names::kPartitionBatchBackend, "gauge",
+       "active vector backend of the batch lanes as the core::SimdBackend "
+       "enum value (0=off 1=portable 2=avx2 3=avx512 4=neon)"},
+      {names::kPartitionBatchSimdEntriesPortable, "counter",
+       "simd_entries solved by the portable (baseline-ISA) vector variant"},
+      {names::kPartitionBatchSimdEntriesAvx2, "counter",
+       "simd_entries solved by the AVX2+FMA 4-wide vector variant"},
+      {names::kPartitionBatchSimdEntriesAvx512, "counter",
+       "simd_entries solved by the AVX-512F/DQ 8-wide vector variant"},
+      {names::kPartitionBatchSimdEntriesNeon, "counter",
+       "simd_entries solved by the AArch64 NEON 4-wide vector variant"},
       {names::kPartitionWarmstartHits, "counter",
        "searches whose PartitionHint bracket verified, replacing the "
        "Fig. 18 cold bracket with a tight one around the previous slope"},

@@ -213,6 +213,20 @@ inline constexpr const char* kPartitionBatchScalarEntries =
     "partition.batch.scalar_entries";
 inline constexpr const char* kPartitionBatchParallelSweeps =
     "partition.batch.parallel_sweeps";
+// Which vector backend the batch lanes are running on, as an info gauge
+// holding the core::SimdBackend enum value (0=off 1=portable 2=avx2
+// 3=avx512 4=neon), plus a per-backend split of simd_entries so a fleet
+// mixing ISAs can attribute its vector-path throughput per variant.
+inline constexpr const char* kPartitionBatchBackend =
+    "partition.batch.backend";
+inline constexpr const char* kPartitionBatchSimdEntriesPortable =
+    "partition.batch.simd_entries.portable";
+inline constexpr const char* kPartitionBatchSimdEntriesAvx2 =
+    "partition.batch.simd_entries.avx2";
+inline constexpr const char* kPartitionBatchSimdEntriesAvx512 =
+    "partition.batch.simd_entries.avx512";
+inline constexpr const char* kPartitionBatchSimdEntriesNeon =
+    "partition.batch.simd_entries.neon";
 // Warm-start layer (PartitionHint): verified-hint hits, rejected hints, and
 // the iterations saved versus each hint's cold baseline.
 inline constexpr const char* kPartitionWarmstartHits =

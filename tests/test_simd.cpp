@@ -18,9 +18,11 @@
 #include <cmath>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "core/detail/parallel.hpp"
+#include "core/detail/simd.hpp"
 #include "core/detail/speed_kernels.hpp"
 #include "core/detail/search_state.hpp"
 #include "core/fleetgen.hpp"
@@ -30,6 +32,28 @@ namespace fpm {
 namespace {
 
 using core::CompiledSpeedList;
+
+/// RAII guard that restores auto backend dispatch (and the SIMD toggle it
+/// re-enables) when a test forced a specific variant.
+class BackendGuard {
+ public:
+  BackendGuard() : was_enabled_(core::simd_kernels_enabled()) {}
+  ~BackendGuard() {
+    core::force_simd_backend("auto");
+    core::set_simd_kernels(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_;
+};
+
+/// The compiled-in variants this CPU can actually run.
+std::vector<const core::detail::simd::SimdKernels*> runnable_variants() {
+  std::vector<const core::detail::simd::SimdKernels*> out;
+  for (const auto* k : core::detail::simd::compiled_simd_variants())
+    if (core::detail::simd::simd_variant_supported(*k)) out.push_back(k);
+  return out;
+}
 
 /// RAII guard around the process-wide SIMD kernel toggle.
 class SimdToggle {
@@ -347,6 +371,238 @@ TEST(Simd, FleetGeneratorScalesToLargeP) {
   const auto c = CompiledSpeedList::compile(fleet.list());
   EXPECT_TRUE(c.fully_compiled());
   EXPECT_GT(c.batched_entries(), 3000u);  // closed-form families dominate
+}
+
+// --- Cross-backend equivalence. -----------------------------------------
+
+TEST(Simd, EveryCompiledBackendMatchesScalarOracle) {
+  const auto variants = runnable_variants();
+  if (variants.empty()) GTEST_SKIP() << "no vector variants in this build";
+  const core::SyntheticFleet fleet = core::make_synthetic_fleet(512, 17);
+  const core::SpeedList list = fleet.list();
+  const auto c = CompiledSpeedList::compile(list);
+  std::vector<double> xs(list.size());
+  BackendGuard restore;
+  for (const auto* k : variants) {
+    SCOPED_TRACE(k->name);
+    core::force_simd_backend(k->name);
+    for (const double slope : sweep_slopes()) {
+      c.intersect_all(slope, xs);
+      for (std::size_t i = 0; i < list.size(); ++i)
+        EXPECT_LE(rel_diff(xs[i], list[i]->intersect(slope)), kUlpTolerance)
+            << "entry " << i << " slope " << slope;
+    }
+  }
+}
+
+TEST(Simd, UnimodalAndSteppedLanesMatchOracleOnEveryBackend) {
+  // A fleet made purely of the new bisection lanes: 24 unimodal curves, 24
+  // stepped curves with 1..4 steps, plus one stepped curve with more steps
+  // than kMaxVecSteps (compile-time punt to the per-entry path). Shallow
+  // slopes push some crossings to max_size, exercising the runtime punt.
+  std::vector<std::shared_ptr<const core::SpeedFunction>> owned;
+  for (int i = 0; i < 24; ++i)
+    owned.push_back(std::make_shared<core::UnimodalSpeed>(
+        10.0 + i, 120.0 + 3.0 * i, 1e4 * (1.0 + i % 5), 2e5 + 1e4 * i,
+        1.2 + 0.05 * i, 5e6));
+  for (int i = 0; i < 24; ++i) {
+    std::vector<core::SteppedSpeed::Step> steps;
+    double at = 3e3 * (1.0 + i % 3), to = 90.0 + i;
+    for (int s = 0; s <= i % 4; ++s) {
+      steps.push_back({at, to, 50.0 + 10.0 * s});
+      at *= 7.0;
+      to *= 0.55;
+    }
+    owned.push_back(
+        std::make_shared<core::SteppedSpeed>(140.0 + i, std::move(steps), 8e6));
+  }
+  {
+    std::vector<core::SteppedSpeed::Step> many;
+    double at = 1e3, to = 200.0;
+    for (int s = 0; s < 12; ++s) {
+      many.push_back({at, to, 40.0});
+      at *= 3.0;
+      to *= 0.8;
+    }
+    owned.push_back(
+        std::make_shared<core::SteppedSpeed>(250.0, std::move(many), 1e9));
+  }
+  core::SpeedList list;
+  for (const auto& f : owned) list.push_back(f.get());
+  const auto c = CompiledSpeedList::compile(list);
+  EXPECT_EQ(c.batched_entries(), list.size() - 1);  // the 12-step curve punts
+  std::vector<double> xs(list.size());
+  BackendGuard restore;
+  for (const auto* k : runnable_variants()) {
+    SCOPED_TRACE(k->name);
+    core::force_simd_backend(k->name);
+    for (const double slope : {1e3, 1.0, 1e-2, 1e-5, 1e-9}) {
+      c.intersect_all(slope, xs);
+      for (std::size_t i = 0; i < list.size(); ++i)
+        EXPECT_LE(rel_diff(xs[i], list[i]->intersect(slope)), kUlpTolerance)
+            << "entry " << i << " slope " << slope;
+    }
+    // Beyond-max_size crossings must punt to the scalar bisection: with a
+    // slope so shallow every crossing clears even max_size·2^256 the
+    // answers are exactly the per-entry results, bracket expansion and its
+    // saturation tally included.
+    std::int64_t& tally = core::detail::bracket_saturation_tally();
+    const std::int64_t before = tally;
+    c.intersect_all(1e-300, xs);
+    EXPECT_GT(tally, before) << "saturating brackets must be tallied";
+    for (std::size_t i = 0; i < list.size(); ++i)
+      EXPECT_EQ(xs[i], list[i]->intersect(1e-300)) << "entry " << i;
+  }
+}
+
+TEST(Simd, EightWidePuntBoundaryFuzz) {
+  // 64 exp-decay curves straddling the 1e-280 underflow floor and 64
+  // power-decay curves straddling the 2^256 delegation threshold: at 8-wide
+  // every register mixes punting and non-punting lanes, so a mask handled
+  // per 4-wide assumptions would corrupt neighbours. Deterministic LCG
+  // parameters; every backend must stay inside the tolerance, and punted
+  // decisions must be exactly scalar.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  const auto rnd = [&state] {  // uniform in [0, 1)
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(state >> 11) * 0x1.0p-53;
+  };
+  std::vector<std::shared_ptr<const core::SpeedFunction>> owned;
+  for (int i = 0; i < 64; ++i)
+    owned.push_back(std::make_shared<core::ExpDecaySpeed>(
+        50.0 + 200.0 * rnd(), 0.5 + 2.0 * rnd(), 1e8));
+  for (int i = 0; i < 64; ++i)
+    owned.push_back(std::make_shared<core::PowerDecaySpeed>(
+        50.0 + 200.0 * rnd(), 5.0 + 20.0 * rnd(), 0.0005 + 0.1 * rnd(), 1e6));
+  core::SpeedList list;
+  for (const auto& f : owned) list.push_back(f.get());
+  const auto c = CompiledSpeedList::compile(list);
+  std::vector<double> xs(list.size());
+  BackendGuard restore;
+  for (const auto* k : runnable_variants()) {
+    SCOPED_TRACE(k->name);
+    core::force_simd_backend(k->name);
+    for (const double slope :
+         {1e2, 1.0, 1e-30, 1e-120, 1e-200, 1e-285, 1e-295, 1e-305}) {
+      c.intersect_all(slope, xs);
+      for (std::size_t i = 0; i < list.size(); ++i)
+        EXPECT_LE(rel_diff(xs[i], list[i]->intersect(slope)), kUlpTolerance)
+            << "entry " << i << " slope " << slope;
+    }
+  }
+}
+
+TEST(Simd, RegistryAlgorithmsEquivalentOnEveryBackend) {
+  const core::SyntheticFleet fleet = core::make_synthetic_fleet(96, 5);
+  const core::SpeedList list = fleet.list();
+  const std::int64_t n = 40'000'000;
+  std::vector<core::PartitionResult> oracle;
+  {
+    SimdToggle off(false);
+    for (const core::PartitionerInfo& info :
+         core::partitioner_registry().entries()) {
+      core::PartitionPolicy policy;
+      policy.algorithm = info.id;
+      oracle.push_back(core::partition(list, n, policy));
+    }
+  }
+  BackendGuard restore;
+  for (const auto* k : runnable_variants()) {
+    SCOPED_TRACE(k->name);
+    core::force_simd_backend(k->name);
+    std::size_t a = 0;
+    for (const core::PartitionerInfo& info :
+         core::partitioner_registry().entries()) {
+      core::PartitionPolicy policy;
+      policy.algorithm = info.id;
+      const core::PartitionResult r = core::partition(list, n, policy);
+      EXPECT_EQ(r.distribution.total(), n) << info.id;
+      EXPECT_LE(rel_diff(makespan(list, r.distribution.counts),
+                         makespan(list, oracle[a].distribution.counts)),
+                1e-9)
+          << info.id;
+      ++a;
+    }
+  }
+}
+
+// --- speeds_at / the fine-tune epilogue sweep. --------------------------
+
+TEST(Simd, SpeedsAtMatchesPerEntrySpeeds) {
+  const core::SyntheticFleet fleet = core::make_synthetic_fleet(512, 23);
+  const core::SpeedList list = fleet.list();
+  const auto c = CompiledSpeedList::compile(list);
+  std::vector<double> xs(list.size());
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    xs[i] = 1.0 + static_cast<double>((i * 37) % 100000);
+  // Scalar mode: the batched sweep is the same per-entry arithmetic in a
+  // different loop — bit-identical.
+  {
+    SimdToggle off(false);
+    core::EvalCounters counters;
+    const std::vector<double> got = core::speeds_at(c, xs, &counters);
+    EXPECT_EQ(counters.speed_evals, static_cast<std::int64_t>(list.size()));
+    for (std::size_t i = 0; i < list.size(); ++i)
+      EXPECT_EQ(got[i], list[i]->speed(xs[i])) << "entry " << i;
+  }
+  // Vector mode, every backend: power/exp lanes run the polynomial kernels,
+  // everything else stays bit-identical.
+  BackendGuard restore;
+  for (const auto* k : runnable_variants()) {
+    SCOPED_TRACE(k->name);
+    core::force_simd_backend(k->name);
+    const std::vector<double> got = core::speeds_at(c, xs, nullptr);
+    for (std::size_t i = 0; i < list.size(); ++i)
+      EXPECT_LE(rel_diff(got[i], list[i]->speed(xs[i])), kUlpTolerance)
+          << "entry " << i;
+  }
+}
+
+TEST(Simd, SizesAtBitIdenticalPerAlgorithmSlopesInScalarMode) {
+  // One registry-algorithm solve per family mix, then replay its final
+  // slope through sizes_at in batched and per-entry form: with the scalar
+  // kernels the two must agree bit for bit for every algorithm.
+  const core::SyntheticFleet fleet = core::make_synthetic_fleet(128, 29);
+  const core::SpeedList list = fleet.list();
+  const auto c = CompiledSpeedList::compile(list);
+  SimdToggle off(false);
+  for (const core::PartitionerInfo& info :
+       core::partitioner_registry().entries()) {
+    core::PartitionPolicy policy;
+    policy.algorithm = info.id;
+    const core::PartitionResult r = core::partition(list, 5'000'000, policy);
+    const double slope = r.stats.final_slope;
+    if (!(slope > 0.0)) continue;  // bounded may finish outside the bracket
+    const std::vector<double> batched = core::sizes_at(c, slope, nullptr);
+    core::set_batched_kernels(false);
+    const std::vector<double> per_entry = core::sizes_at(c, slope, nullptr);
+    core::set_batched_kernels(true);
+    EXPECT_EQ(batched, per_entry) << info.id;
+  }
+}
+
+// --- Backend forcing / rejection. ---------------------------------------
+
+TEST(Simd, ForceBackendRoundTripsAndRejectsUnknownNames) {
+  BackendGuard restore;
+  EXPECT_THROW(core::force_simd_backend("bogus"), std::invalid_argument);
+  EXPECT_THROW(core::force_simd_backend(""), std::invalid_argument);
+  for (const auto* k : core::detail::simd::compiled_simd_variants()) {
+    if (!core::detail::simd::simd_variant_supported(*k)) {
+      // Compiled in but not runnable here: forcing must refuse, not crash.
+      EXPECT_THROW(core::force_simd_backend(k->name), std::invalid_argument);
+      continue;
+    }
+    core::force_simd_backend(k->name);
+    EXPECT_TRUE(core::simd_kernels_enabled());
+    EXPECT_STREQ(core::to_string(core::active_simd_backend()), k->name);
+  }
+  core::force_simd_backend("off");
+  EXPECT_EQ(core::active_simd_backend(), core::SimdBackend::Disabled);
+  core::force_simd_backend("auto");
+  if (core::simd_kernels_available()) {
+    EXPECT_NE(core::active_simd_backend(), core::SimdBackend::Disabled);
+  }
 }
 
 // --- Backend introspection. ---------------------------------------------

@@ -282,8 +282,9 @@ TEST(WarmStart, BatchedKernelToggleIsBitIdentical) {
 }
 
 TEST(WarmStart, BatchPlanCoversClosedFormFamilies) {
-  // Unwrapped constant/linear/power/exp entries ride the SoA lanes; the
-  // mixed ensemble's unimodal and stepped members stay on the scalar path.
+  // Unwrapped constant/linear/power/exp entries ride the SoA lanes, and the
+  // mixed ensemble's well-behaved unimodal and stepped members now ride the
+  // vector bisection lanes too — the whole ensemble is batched.
   const Ensemble closed = fpm::test::power_ensemble(5);
   const CompiledSpeedList compiled_closed =
       CompiledSpeedList::compile(closed.list());
@@ -292,7 +293,7 @@ TEST(WarmStart, BatchPlanCoversClosedFormFamilies) {
   const Ensemble mixed = fpm::test::mixed_ensemble();
   const CompiledSpeedList compiled_mixed =
       CompiledSpeedList::compile(mixed.list());
-  EXPECT_EQ(compiled_mixed.batched_entries(), 3u);
+  EXPECT_EQ(compiled_mixed.batched_entries(), 5u);
 }
 
 }  // namespace

@@ -34,7 +34,13 @@
 //       every request (served via serve_slo: admission control may answer
 //       approximately from the hint store, or shed) and --priority
 //       low|normal|high sets its class; the report then adds the
-//       admitted/degraded/shed outcome mix and deadline misses.
+//       admitted/degraded/shed outcome mix and deadline misses. --simd
+//       pins the vector backend of the batch kernels (auto|off|portable|
+//       avx2|avx512|neon; names not compiled in or not supported by this
+//       CPU are rejected with exit status 1), overriding the
+//       FPM_SIMD_BACKEND environment variable, which is validated just as
+//       strictly when the flag is absent; the active backend is echoed in
+//       the report and in the --json summary.
 //   partition --list-algorithms
 //       Print the registered partitioners (id, cost, description).
 //   simulate --app NAME --n MATRIX_N [--cluster FILE] [--reference REF_N]
@@ -51,6 +57,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <iostream>
@@ -94,6 +101,7 @@ int usage() {
          "          [--single-number REF] [--csv] [--repeat R] [--threads T]"
          " [--json] [--metrics]\n"
          "          [--deadline-ms MS] [--priority low|normal|high]\n"
+         "          [--simd auto|off|portable|avx2|avx512|neon]\n"
          "  fpmtool partition --list-algorithms\n"
          "  fpmtool simulate --app NAME --n MATRIX_N [--cluster FILE] "
          "[--reference REF_N]\n"
@@ -321,6 +329,16 @@ int cmd_partition(const util::CliArgs& args) {
       algo, split_tokens(args.get("--options").value_or("")));
   if (const auto bounds = args.get("--bounds"))
     policy.bounds = parse_bounds_csv(*bounds);
+
+  // SIMD backend selection for the batch kernels: --simd wins; with the
+  // flag absent, an FPM_SIMD_BACKEND environment value is validated here so
+  // a typo fails the run loudly (the library alone would silently ignore
+  // it and keep auto dispatch). Bad names/unsupported ISAs throw
+  // std::invalid_argument -> exit status 1.
+  if (const auto simd = args.get("--simd"))
+    core::force_simd_backend(*simd);
+  else if (const char* env = std::getenv("FPM_SIMD_BACKEND"))
+    core::force_simd_backend(env);
   core::StepTrace trace;
   if (args.flag("--trace")) policy.observer = trace.observer();
 
@@ -469,7 +487,9 @@ int cmd_partition(const util::CliArgs& args) {
       std::cout << "{\"requests\":" << repeat << ",\"threads\":" << clients
                 << ",\"seconds\":" << util::fmt(seconds, 6)
                 << ",\"req_per_s\":" << util::fmt(rate, 1)
-                << ",\"latency_ms\":{\"p50\":" << util::fmt(p50, 6)
+                << ",\"simd_backend\":\""
+                << core::to_string(core::active_simd_backend())
+                << "\",\"latency_ms\":{\"p50\":" << util::fmt(p50, 6)
                 << ",\"p95\":" << util::fmt(p95, 6) << ",\"p99\":"
                 << util::fmt(p99, 6) << ",\"min\":"
                 << util::fmt(util::min_of(latency_ms), 6) << ",\"max\":"
@@ -506,6 +526,8 @@ int cmd_partition(const util::CliArgs& args) {
             << " (" << result.stats.iterations << " iterations, "
             << result.stats.speed_evals << " speed evals, "
             << result.stats.intersect_solves << " intersection solves)\n";
+  std::cout << "simd backend: " << core::to_string(core::active_simd_backend())
+            << "\n";
   if (baseline)
     std::cout << "single-number makespan: "
               << core::makespan(speeds, *baseline) << "\n";
